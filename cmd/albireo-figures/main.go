@@ -1,0 +1,79 @@
+// Command albireo-figures regenerates every table and figure of the
+// paper's evaluation from the simulator.
+//
+// Usage:
+//
+//	albireo-figures              # print everything
+//	albireo-figures -only fig8   # one experiment: fig3, fig4a, fig4b,
+//	                             # fig4c, fig8, fig9, table1..table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"albireo/internal/core"
+	"albireo/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single experiment (fig3, fig4a, fig4b, fig4c, fig8, fig9, table1..table4, dataflow, energy, link, feasibility)")
+	jsonOut := flag.Bool("json", false, "dump every experiment's structured rows as JSON instead of text tables")
+	flag.Parse()
+
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, experiments.CollectDataset()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	gens := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", experiments.FormatTableI},
+		{"table2", experiments.FormatTableII},
+		{"fig3", func() string {
+			return experiments.FormatFig3(experiments.Fig3(experiments.DefaultFig3Params()))
+		}},
+		{"fig4a", func() string {
+			return experiments.FormatFig4a([]float64{0.02, 0.03, 0.05, 0.1})
+		}},
+		{"fig4b", func() string {
+			return experiments.FormatFig4b(experiments.Fig4b(
+				[]float64{0.02, 0.03, 0.05},
+				[]float64{5e9, 10e9, 20e9, 40e9}))
+		}},
+		{"fig4c", func() string {
+			return experiments.FormatFig4c(experiments.Fig4c([]float64{0.02, 0.03, 0.05}, 40))
+		}},
+		{"table3", func() string { return experiments.FormatTableIII(core.DefaultConfig()) }},
+		{"fig8", func() string { return experiments.FormatFig8(experiments.Fig8()) }},
+		{"fig9", func() string { return experiments.FormatFig9(experiments.Fig9(core.DefaultConfig())) }},
+		{"table4", func() string { return experiments.FormatTableIV(experiments.TableIV()) }},
+		// Beyond-the-paper analyses (EXPERIMENTS.md).
+		{"dataflow", func() string { return experiments.FormatDataflow(experiments.DataflowComparison()) }},
+		{"energy", func() string { return experiments.FormatEnergy(experiments.EnergyRefinement()) }},
+		{"link", experiments.FormatLink},
+		{"feasibility", func() string { return experiments.FormatFeasibility(experiments.FeasibilityReport()) }},
+		{"bitwidth", func() string {
+			return experiments.FormatBitwidth(experiments.BitwidthSweep([]int{3, 4, 5, 6, 8, 10}, 60))
+		}},
+	}
+
+	found := false
+	for _, g := range gens {
+		if *only != "" && g.name != *only {
+			continue
+		}
+		found = true
+		fmt.Printf("==== %s ====\n%s\n", g.name, g.run())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

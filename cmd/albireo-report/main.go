@@ -1,0 +1,109 @@
+// Command albireo-report regenerates the complete reproduction in one
+// shot and writes a self-contained markdown report (tables, figures,
+// and the beyond-the-paper analyses) to stdout or a file.
+//
+//	go run ./cmd/albireo-report > REPORT.md
+//	go run ./cmd/albireo-report -o REPORT.md -bitwidth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"albireo/internal/baseline"
+	"albireo/internal/core"
+	"albireo/internal/experiments"
+	"albireo/internal/nn"
+	"albireo/internal/perf"
+)
+
+// mustModel fetches a benchmark model by name.
+func mustModel(name string) nn.Model {
+	m, ok := nn.ByName(name)
+	if !ok {
+		panic("unknown model " + name)
+	}
+	return m
+}
+
+// scaleOutTable renders the VGG16 strong-scaling curve.
+func scaleOutTable() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "chips  latency(ms)  power(W)  EDP(mJ*ms)")
+	curve := perf.ScaleOutCurve(core.DefaultConfig(), nn.VGG16(), 8)
+	for i, r := range curve {
+		fmt.Fprintf(&b, "%5d  %11.4f  %8.1f  %10.4f\n", i+1, r.Latency*1e3, r.Power, r.EDP*1e6)
+	}
+	return b.String()
+}
+
+// excludedTable substantiates the Section V exclusion of HolyLight and
+// DNNARA at the 60 W budget.
+func excludedTable() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "design                    VGG16 latency(ms)  power(W)")
+	alb := perf.Evaluate(core.Albireo27(), nn.VGG16())
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", "Albireo-27", alb.Latency*1e3, alb.Power)
+	h := baseline.NewHolyLight().Evaluate(nn.VGG16())
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", h.Design, h.Latency*1e3, h.Power)
+	d := baseline.NewDNNARA().Evaluate(nn.VGG16())
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", d.Design, d.Latency*1e3, d.Power)
+	return b.String()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	bitwidth := flag.Bool("bitwidth", false, "include the converter bit-width sweep (trains a model; slower)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	section := func(title, body string) {
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	fmt.Fprintf(w, "# Albireo reproduction report\n\n")
+	fmt.Fprintf(w, "Generated %s by albireo-report. Paper: Shiflett et al., ISCA 2021.\n\n",
+		time.Now().Format(time.RFC3339))
+
+	section("Table I — device power estimates", experiments.FormatTableI())
+	section("Table II — optical parameters", experiments.FormatTableII())
+	section("Figure 3 — noise-limited precision",
+		experiments.FormatFig3(experiments.Fig3(experiments.DefaultFig3Params())))
+	section("Figure 4a — MRR drop spectra", experiments.FormatFig4a([]float64{0.02, 0.03, 0.05, 0.1}))
+	section("Figure 4b — MRR temporal response",
+		experiments.FormatFig4b(experiments.Fig4b([]float64{0.02, 0.03, 0.05}, []float64{5e9, 10e9, 20e9, 40e9})))
+	section("Figure 4c — crosstalk-limited precision",
+		experiments.FormatFig4c(experiments.Fig4c([]float64{0.02, 0.03, 0.05}, 40)))
+	section("Table III — chip power breakdown", experiments.FormatTableIII(core.DefaultConfig()))
+	section("Figure 8 — photonic accelerator comparison", experiments.FormatFig8(experiments.Fig8()))
+	section("Figure 9 — chip area breakdown", experiments.FormatFig9(experiments.Fig9(core.DefaultConfig())))
+	section("Table IV — electronic comparison", experiments.FormatTableIV(experiments.TableIV()))
+	section("Per-layer analysis — VGG16 on Albireo-C",
+		experiments.FormatLayers(core.DefaultConfig(), mustModel("VGG16")))
+
+	fmt.Fprintf(w, "# Beyond-the-paper analyses\n\n")
+	section("Dataflow ablation", experiments.FormatDataflow(experiments.DataflowComparison()))
+	section("Energy refinement", experiments.FormatEnergy(experiments.EnergyRefinement()))
+	section("WDM link budget", experiments.FormatLink())
+	section("Memory feasibility", experiments.FormatFeasibility(experiments.FeasibilityReport()))
+	section("Multi-chip strong scaling (VGG16)", scaleOutTable())
+	section("Excluded baselines (Section V claim)", excludedTable())
+	if *bitwidth {
+		section("Converter bit-width vs accuracy",
+			experiments.FormatBitwidth(experiments.BitwidthSweep([]int{3, 4, 5, 6, 8, 10}, 60)))
+	}
+}

@@ -1,0 +1,20 @@
+// Package albireo is a pure-Go reproduction of "Albireo:
+// Energy-Efficient Acceleration of Convolutional Neural Networks via
+// Silicon Photonics" (Shiflett, Karanth, Bunescu, Louri - ISCA 2021).
+//
+// The module rebuilds the paper's entire stack from scratch: analytic
+// silicon-photonic device models (internal/photonics), noise and
+// crosstalk precision analysis (internal/noise, internal/circuit), the
+// Albireo PLCU/PLCG/chip architecture as both a functional analog
+// simulator and a cycle-level mapping model (internal/core),
+// performance/power/area accounting (internal/perf), photonic and
+// electronic baselines (internal/baseline), CNN workloads and exact
+// references (internal/nn, internal/tensor), and an experiment harness
+// that regenerates every table and figure of the paper's evaluation
+// (internal/experiments, bench_test.go).
+//
+// Start with README.md for the tour, DESIGN.md for the system
+// inventory and modeling decisions, and EXPERIMENTS.md for the
+// paper-vs-measured record. The runnable entry points are the five
+// commands under cmd/ and the six programs under examples/.
+package albireo

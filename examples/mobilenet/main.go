@@ -1,0 +1,100 @@
+// MobileNet case study: the depthwise-separable convolution mappings
+// of Section III-C, demonstrated functionally on a small block and
+// analytically on the full network.
+//
+//	go run ./examples/mobilenet
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+	"albireo/internal/perf"
+	"albireo/internal/tensor"
+)
+
+func rms(got, want *tensor.Volume) float64 {
+	var num, den float64
+	for i := range want.Data {
+		d := got.Data[i] - want.Data[i]
+		num += d * d
+		den += want.Data[i] * want.Data[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+func main() {
+	chip := core.NewChip(core.DefaultConfig())
+
+	// One depthwise-separable block on a small volume: a 3x3 depthwise
+	// filter per channel (no cross-channel aggregation), then a 1x1
+	// pointwise convolution (each MZM applies one channel of the 1x1
+	// kernel - the remapped inputs of Section III-C).
+	input := tensor.RandomVolume(16, 12, 12, 21)
+	dwKernels := tensor.RandomKernels(16, 1, 3, 3, 22)
+	pwKernels := tensor.RandomKernels(32, 16, 1, 1, 23)
+
+	dwAnalog := chip.Conv(input, dwKernels, tensor.ConvConfig{Pad: 1, Depthwise: true}, true)
+	dwExact := tensor.ReLU(tensor.Conv(input, dwKernels, tensor.ConvConfig{Pad: 1, Depthwise: true}))
+	fmt.Printf("depthwise stage: %v, relative RMS error %.2f%%\n", dwAnalog, 100*rms(dwAnalog, dwExact))
+
+	// Per-stage error: run the pointwise stage on the same input as the
+	// reference so the depthwise error does not compound.
+	pwAnalog := chip.Pointwise(dwExact, pwKernels, true)
+	pwExact := tensor.ReLU(tensor.Conv(dwExact, pwKernels, tensor.ConvConfig{}))
+	fmt.Printf("pointwise stage: %v, relative RMS error %.2f%%\n", pwAnalog, 100*rms(pwAnalog, pwExact))
+
+	// End-to-end block error, impairments compounding across stages.
+	e2e := chip.Pointwise(dwAnalog, pwKernels, true)
+	fmt.Printf("end-to-end block relative RMS error %.2f%%\n", 100*rms(e2e, pwExact))
+
+	// The same block with crosstalk and noise disabled isolates the
+	// 8-bit converter floor: the gap is the analog impairment cost.
+	// The pointwise mapping drives all 27 taps at once, so crosstalk
+	// accumulates over more wavelengths than the receptive-field
+	// mapping - exactly the Section II-C trade.
+	idealCfg := core.DefaultConfig()
+	idealCfg.DisableNoise = true
+	idealCfg.DisableCrosstalk = true
+	ideal := core.NewChip(idealCfg).Pointwise(dwExact, pwKernels, true)
+	fmt.Printf("pointwise stage (ideal devices): %.2f%% - the converter floor\n", 100*rms(ideal, pwExact))
+
+	// Full-network analysis: where do MobileNet's cycles go?
+	model := nn.MobileNet()
+	cfg := core.DefaultConfig()
+	var dwCycles, pwCycles, otherCycles int64
+	for _, l := range model.Layers {
+		lm := cfg.MapLayer(l)
+		switch l.Kind {
+		case nn.Depthwise:
+			dwCycles += lm.Cycles
+		case nn.Pointwise:
+			pwCycles += lm.Cycles
+		default:
+			otherCycles += lm.Cycles
+		}
+	}
+	total := dwCycles + pwCycles + otherCycles
+	fmt.Printf("\nMobileNet on Albireo-C: %d cycles total\n", total)
+	fmt.Printf("  depthwise layers: %5.1f%% of cycles (%4.1f%% of MACs)\n",
+		100*float64(dwCycles)/float64(total), dwMACPct(model))
+	fmt.Printf("  pointwise layers: %5.1f%% of cycles\n", 100*float64(pwCycles)/float64(total))
+	fmt.Printf("  other layers:     %5.1f%% of cycles\n", 100*float64(otherCycles)/float64(total))
+
+	r := perf.Evaluate(cfg, model)
+	fmt.Printf("\ninference: %.4f ms, %.3f mJ, EDP %.5f mJ*ms\n",
+		r.Latency*1e3, r.Energy*1e3, r.EDP*1e6)
+}
+
+func dwMACPct(m nn.Model) float64 {
+	var dw, total int64
+	for _, l := range m.Layers {
+		if l.Kind == nn.Depthwise {
+			dw += l.MACs()
+		}
+		total += l.MACs()
+	}
+	return 100 * float64(dw) / float64(total)
+}

@@ -1,0 +1,61 @@
+// ResNet18 case study: the per-layer analysis of Section IV-A applied
+// to the residual network, across all three device estimates, plus the
+// photonic-baseline comparison of Figure 8.
+//
+//	go run ./examples/resnet18
+package main
+
+import (
+	"fmt"
+
+	"albireo/internal/baseline"
+	"albireo/internal/core"
+	"albireo/internal/device"
+	"albireo/internal/nn"
+	"albireo/internal/perf"
+)
+
+func main() {
+	model := nn.ResNet18()
+	fmt.Printf("%s: %.2f GMACs, %.1f M parameters\n\n",
+		model.Name, float64(model.TotalMACs())/1e9, float64(model.TotalParams())/1e6)
+
+	// The ten most expensive layers on Albireo-C.
+	cfg := core.DefaultConfig()
+	layers := perf.EvaluateLayers(cfg, model)
+	fmt.Println("busiest layers on Albireo-C:")
+	fmt.Println("layer          cycles      latency(us)  MACs(M)")
+	shown := 0
+	for _, lr := range layers {
+		if lr.Cycles < 100000 {
+			continue
+		}
+		fmt.Printf("%-12s  %-10d  %11.1f  %7.1f\n",
+			lr.Layer.Name, lr.Cycles, lr.Latency*1e6, float64(lr.MACs)/1e6)
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+
+	// Whole-network results for the three estimates.
+	fmt.Println("\nestimate   latency(ms)  energy(mJ)  EDP(mJ*ms)  power(W)")
+	for _, est := range device.Estimates {
+		c := core.DefaultConfig()
+		c.Estimate = est
+		r := perf.Evaluate(c, model)
+		fmt.Printf("Albireo-%s  %11.4f  %10.3f  %10.4f  %8.2f\n",
+			est, r.Latency*1e3, r.Energy*1e3, r.EDP*1e6, r.Power)
+	}
+
+	// Photonic baselines at the 60 W budget.
+	fmt.Println("\nvs photonic baselines (60 W, conservative devices):")
+	deap := baseline.NewDEAPCNN().Evaluate(model)
+	pixel := baseline.NewPIXEL().Evaluate(model)
+	a27 := perf.Evaluate(core.Albireo27(), model)
+	fmt.Printf("PIXEL:      %9.3f ms  %9.2f mJ\n", pixel.Latency*1e3, pixel.Energy*1e3)
+	fmt.Printf("DEAP-CNN:   %9.3f ms  %9.2f mJ\n", deap.Latency*1e3, deap.Energy*1e3)
+	fmt.Printf("Albireo-27: %9.3f ms  %9.2f mJ  (%.0fx faster than PIXEL, %.1fx than DEAP)\n",
+		a27.Latency*1e3, a27.Energy*1e3,
+		pixel.Latency/a27.Latency, deap.Latency/a27.Latency)
+}

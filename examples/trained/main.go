@@ -1,0 +1,63 @@
+// Trained-model deployment: train a small CNN with the pure-Go SGD
+// stack on a synthetic task, then deploy it to the Albireo analog chip
+// and measure the real accuracy cost of 8-bit converters, MRR
+// crosstalk, and photodetection noise - the end-to-end version of the
+// paper's precision argument (Section II-C).
+//
+//	go run ./examples/trained
+package main
+
+import (
+	"fmt"
+
+	"albireo/internal/core"
+	"albireo/internal/device"
+	"albireo/internal/inference"
+	"albireo/internal/train"
+)
+
+func main() {
+	// Train on 150 synthetic stripe/checker images.
+	xs, labels := train.SyntheticDataset(150, 12, 8)
+	net := train.NewSmallNet(12, 3, 9)
+	h := train.DefaultHyper()
+	h.BatchLog = true
+	trainAcc := net.Train(xs, labels, h)
+	fmt.Printf("\ntraining accuracy: %.1f%%\n", trainAcc*100)
+
+	// Fresh test set.
+	testX, testY := train.SyntheticDataset(90, 12, 777)
+	fmt.Printf("exact test accuracy: %.1f%%\n\n",
+		train.AnalogAccuracy(net, inference.Exact{}, testX, testY)*100)
+
+	// Deploy on the analog chip under increasing impairment realism.
+	fmt.Println("analog deployment:")
+	deploy := func(name string, cfg core.Config) {
+		acc := train.AnalogAccuracy(net, inference.NewAnalog(cfg), testX, testY)
+		fmt.Printf("  %-36s %.1f%%\n", name, acc*100)
+	}
+	ideal := core.DefaultConfig()
+	ideal.DisableNoise = true
+	ideal.DisableCrosstalk = true
+	deploy("ideal devices (8-bit converters only)", ideal)
+
+	xtOnly := core.DefaultConfig()
+	xtOnly.DisableNoise = true
+	deploy("with MRR crosstalk", xtOnly)
+
+	deploy("full impairments (Albireo-C)", core.DefaultConfig())
+
+	agg := core.DefaultConfig()
+	agg.Estimate = device.Aggressive
+	deploy("full impairments (Albireo-A, 8 GHz)", agg)
+
+	// Laser power ablation: starved optical power raises the noise
+	// floor and costs accuracy.
+	fmt.Println("\nlaser power ablation (full impairments):")
+	for _, mw := range []float64{2.0, 0.5, 0.1, 0.02} {
+		cfg := core.DefaultConfig()
+		cfg.LaserPower = mw * 1e-3
+		acc := train.AnalogAccuracy(net, inference.NewAnalog(cfg), testX, testY)
+		fmt.Printf("  %5.2f mW per laser: %.1f%%\n", mw, acc*100)
+	}
+}

@@ -1,0 +1,3 @@
+module albireo
+
+go 1.22

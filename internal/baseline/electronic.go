@@ -1,0 +1,43 @@
+package baseline
+
+// Electronic accelerator comparison points. The paper takes these
+// latency/energy numbers directly from the accelerators' publications
+// (Table IV): Eyeriss (65 nm), ENVISION (28 nm), UNPU (65 nm). The
+// published results cover AlexNet and VGG16.
+
+// ElectronicResult is one reported row of Table IV.
+type ElectronicResult struct {
+	Accelerator string
+	Technology  string
+	Model       string
+	Latency     float64 // seconds
+	Energy      float64 // joules
+	EDP         float64 // joule-seconds
+	// GOPSPerMM2 and GOPSPerWattPerMM2 are the reported area
+	// efficiencies.
+	GOPSPerMM2        float64
+	GOPSPerWattPerMM2 float64
+}
+
+// Reported returns the Table IV electronic rows.
+func Reported() []ElectronicResult {
+	return []ElectronicResult{
+		{"Eyeriss", "65nm", "AlexNet", 25.9e-3, 7.19e-3, 186.1e-6, 1.75, 6.29},
+		{"ENVISION", "28nm", "AlexNet", 21.3e-3, 0.94e-3, 20.0e-6, 18.2, 411.9},
+		{"UNPU", "65nm", "AlexNet", 2.89e-3, 0.84e-3, 2.42e-6, 15.7, 53.9},
+		{"Eyeriss", "65nm", "VGG16", 1252e-3, 295.4e-3, 370e-3, 0.77, 3.3},
+		{"ENVISION", "28nm", "VGG16", 598.8e-3, 15.6e-3, 9341e-6, 13.8, 531.3},
+		{"UNPU", "65nm", "VGG16", 54.6e-3, 16.2e-3, 886.9e-6, 17.7, 59.1},
+	}
+}
+
+// ReportedFor returns the reported rows for one model.
+func ReportedFor(model string) []ElectronicResult {
+	var out []ElectronicResult
+	for _, r := range Reported() {
+		if r.Model == model {
+			out = append(out, r)
+		}
+	}
+	return out
+}

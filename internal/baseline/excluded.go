@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"albireo/internal/device"
+	"albireo/internal/nn"
+)
+
+// The paper (Section V) forgoes comparison with HolyLight and DNNARA
+// "because holding them to a 60 W power budget using realistic
+// photonic device parameters renders them impractical for competitive
+// CNN inference". These rough models substantiate that claim with the
+// same Table I device pricing used for PIXEL and DEAP-CNN. The
+// inventories are deliberately coarse (the architectures are complex);
+// the conclusion only needs an order of magnitude.
+
+// HolyLight models the microdisk-based matrix-vector design
+// (Liu et al., DATE 2019): per lane, bit-parallel microdisk arrays
+// with per-bit converters. Priced with Table I conservative devices, a
+// single 16x16 8-bit tile's converter population dominates.
+type HolyLight struct {
+	// TileDim is the matrix-vector tile dimension.
+	TileDim int
+	// Bits is the operand precision.
+	Bits int
+	// ClockHz is the optical clock.
+	ClockHz float64
+	// PowerBudget caps the scaled design.
+	PowerBudget float64
+}
+
+// NewHolyLight returns the 60 W configuration.
+func NewHolyLight() HolyLight {
+	return HolyLight{TileDim: 16, Bits: 8, ClockHz: 5e9, PowerBudget: 60}
+}
+
+// TilePower prices one tile: TileDim input DACs per bit-plane,
+// TileDim^2 microdisks (priced as MRRs), TileDim ADCs, TileDim TIAs.
+// Bit-parallel operation replicates the disk array per bit.
+func (h HolyLight) TilePower() float64 {
+	p := device.Powers(device.Conservative)
+	disks := float64(h.TileDim*h.TileDim*h.Bits) * p.MRR
+	dacs := float64(h.TileDim*h.Bits) * p.DAC
+	adcs := float64(h.TileDim) * p.ADC
+	tias := float64(h.TileDim) * p.TIA
+	return disks + dacs + adcs + tias
+}
+
+// Tiles returns how many tiles fit the budget (at least 1 - the claim
+// is about what that one tile can do).
+func (h HolyLight) Tiles() int {
+	n := int(h.PowerBudget / h.TilePower())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Throughput returns MACs per second at the budget: each tile computes
+// TileDim^2 MACs per cycle.
+func (h HolyLight) Throughput() float64 {
+	return float64(h.Tiles()) * float64(h.TileDim*h.TileDim) * h.ClockHz
+}
+
+// Evaluate maps a network by raw MAC count.
+func (h HolyLight) Evaluate(m nn.Model) Result {
+	lat := float64(m.TotalMACs()) / h.Throughput()
+	pw := float64(h.Tiles()) * h.TilePower()
+	return Result{
+		Model:   m.Name,
+		Design:  "HolyLight (60 W, rough)",
+		Latency: lat,
+		Energy:  pw * lat,
+		EDP:     pw * lat * lat,
+		Power:   pw,
+	}
+}
+
+// DNNARA models the residue-number-system design (Peng et al., ICPP
+// 2020): one-hot RNS encoding routes each operand through 2x2 optical
+// switch meshes. A moduli set covering 8-bit dynamic range (e.g.
+// {5, 7, 8, 9} -> 2520 states) needs one-hot rails per modulus, each
+// rail with its own modulator and detector, plus converters per
+// residue channel - the device count per MAC is far beyond a weighted
+// WDM design.
+type DNNARA struct {
+	// Moduli is the RNS moduli set.
+	Moduli []int
+	// ClockHz is the mesh clock.
+	ClockHz float64
+	// PowerBudget caps the scaled design.
+	PowerBudget float64
+}
+
+// NewDNNARA returns the 60 W configuration with the {5,7,8,9} moduli.
+func NewDNNARA() DNNARA {
+	return DNNARA{Moduli: []int{5, 7, 8, 9}, ClockHz: 5e9, PowerBudget: 60}
+}
+
+// UnitPower prices one RNS MAC unit: per modulus m, a one-hot rail of
+// m modulator MRRs and m detector lanes (TIA), one DAC per operand per
+// modulus, and one ADC per modulus for the residue readout.
+func (d DNNARA) UnitPower() float64 {
+	p := device.Powers(device.Conservative)
+	var total float64
+	for _, m := range d.Moduli {
+		total += float64(m)*p.MRR + float64(m)*p.TIA + 2*p.DAC + p.ADC
+	}
+	return total
+}
+
+// Units returns the budgeted unit count.
+func (d DNNARA) Units() int {
+	n := int(d.PowerBudget / d.UnitPower())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Throughput returns MACs per second: one MAC per unit per cycle.
+func (d DNNARA) Throughput() float64 {
+	return float64(d.Units()) * d.ClockHz
+}
+
+// Evaluate maps a network by raw MAC count.
+func (d DNNARA) Evaluate(m nn.Model) Result {
+	lat := float64(m.TotalMACs()) / d.Throughput()
+	pw := float64(d.Units()) * d.UnitPower()
+	return Result{
+		Model:   m.Name,
+		Design:  "DNNARA (60 W, rough)",
+		Latency: lat,
+		Energy:  pw * lat,
+		EDP:     pw * lat * lat,
+		Power:   pw,
+	}
+}

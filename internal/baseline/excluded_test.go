@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+	"albireo/internal/perf"
+)
+
+func TestExcludedDesignsAreImpractical(t *testing.T) {
+	// Section V: the paper forgoes HolyLight and DNNARA because a
+	// 60 W budget with realistic devices "renders them impractical for
+	// competitive CNN inference". Our rough models - which are
+	// *favorable* to both (100% tile utilization, no dataflow
+	// overheads) - already place them behind Albireo-27 at the same
+	// budget: HolyLight by >2x latency and >5x EDP, DNNARA by >20x
+	// latency. Their real designs only do worse.
+	alb := perf.Evaluate(core.Albireo27(), nn.VGG16())
+	holy := NewHolyLight().Evaluate(nn.VGG16())
+	rns := NewDNNARA().Evaluate(nn.VGG16())
+	if holy.Latency < 2*alb.Latency {
+		t.Errorf("HolyLight at 60 W (%.2f ms) should trail Albireo-27 (%.2f ms) by >2x",
+			holy.Latency*1e3, alb.Latency*1e3)
+	}
+	if holy.EDP < 4*alb.EDP {
+		t.Errorf("HolyLight EDP should trail Albireo-27 by >4x")
+	}
+	if rns.Latency < 20*alb.Latency {
+		t.Errorf("DNNARA at 60 W (%.2f ms) should trail Albireo-27 (%.2f ms) by >20x",
+			rns.Latency*1e3, alb.Latency*1e3)
+	}
+}
+
+func TestHolyLightBudget(t *testing.T) {
+	h := NewHolyLight()
+	if h.TilePower() <= 0 {
+		t.Fatal("tile power must be positive")
+	}
+	if h.Tiles() < 1 {
+		t.Fatal("at least one tile")
+	}
+	if float64(h.Tiles())*h.TilePower() > h.PowerBudget+h.TilePower() {
+		t.Error("tile count should respect the budget")
+	}
+	// The claim's mechanism: per-bit converter replication makes a
+	// tile expensive - on the order of 10 W, so few tiles fit.
+	if h.TilePower() < 3 || h.TilePower() > 20 {
+		t.Errorf("tile power %.1f W outside expected window", h.TilePower())
+	}
+}
+
+func TestDNNARABudget(t *testing.T) {
+	d := NewDNNARA()
+	// One-hot RNS rails cost ~0.3 W per single-MAC unit: ~200 units at
+	// 60 W, i.e. ~1 TMAC/s - an order below DEAP and two-plus below
+	// Albireo-27's effective rate.
+	if d.UnitPower() < 0.1 || d.UnitPower() > 1 {
+		t.Errorf("unit power %.2f W outside expected window", d.UnitPower())
+	}
+	if d.Units() < 50 || d.Units() > 600 {
+		t.Errorf("unit count %d outside expected window", d.Units())
+	}
+	deap := NewDEAPCNN().Evaluate(nn.VGG16())
+	rns := NewDNNARA().Evaluate(nn.VGG16())
+	if rns.Latency < deap.Latency {
+		t.Error("DNNARA should trail even DEAP-CNN at the same budget")
+	}
+}

@@ -1,0 +1,63 @@
+// Package circuit composes the device models of internal/photonics
+// into the WDM subsystems of the Albireo architecture: channel grids
+// within a ring FSR, the crosstalk analysis of an MRR accumulator
+// column (paper Figure 4c), the time-domain response of a modulated
+// ring (Figure 4b), and optical path loss budgets.
+//
+// Together with internal/noise this package replaces the "crosstalk,
+// noise, scattering, and temporal analysis from Lumerical
+// INTERCONNECT" the paper relies on (Section IV-A).
+package circuit
+
+import (
+	"fmt"
+
+	"albireo/internal/photonics"
+)
+
+// Grid is a set of equally spaced WDM channels packed into one ring
+// free spectral range. All of a PLCU's wavelengths must fit inside the
+// FSR of its accumulation rings (Section II-C.2).
+type Grid struct {
+	// Center is the band center wavelength in meters.
+	Center float64
+	// FSR is the free spectral range being filled, in meters.
+	FSR float64
+	// N is the number of channels.
+	N int
+}
+
+// NewGrid builds a channel grid of n channels inside the FSR of the
+// given reference ring, centered on the ring's resonance.
+func NewGrid(ring photonics.MRR, n int) Grid {
+	return Grid{Center: ring.ResonantWavelength, FSR: ring.FSR(), N: n}
+}
+
+// Spacing returns the channel pitch FSR/N in meters. A grid with no
+// channels has zero spacing.
+func (g Grid) Spacing() float64 {
+	if g.N <= 0 {
+		return 0
+	}
+	return g.FSR / float64(g.N)
+}
+
+// Wavelength returns the wavelength of channel i (0-based). Channels
+// are laid out symmetrically around the center.
+func (g Grid) Wavelength(i int) float64 {
+	return g.Center + (float64(i)-float64(g.N-1)/2)*g.Spacing()
+}
+
+// Wavelengths returns all channel wavelengths in ascending order.
+func (g Grid) Wavelengths() []float64 {
+	out := make([]float64, g.N)
+	for i := range out {
+		out[i] = g.Wavelength(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	return fmt.Sprintf("grid{%d ch, %.2f nm pitch}", g.N, g.Spacing()/1e-9)
+}

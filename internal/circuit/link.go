@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"albireo/internal/photonics"
+	"albireo/internal/units"
+)
+
+// Link simulates the complete WDM distribution of the Albireo chip
+// for all channels at once: laser bank -> signal-generation modulators
+// -> Y-branch broadcast to Ng PLCGs -> AWG demux (with adjacent-channel
+// leakage) -> star-coupler multicast -> weight MZM -> switching-ring
+// drop. It reports the per-channel power delivered to a PLCU
+// photodiode, the spread across channels, and the resulting worst-case
+// photocurrent for the noise analysis - a channel-resolved refinement
+// of the scalar AlbireoSignalPath budget.
+type Link struct {
+	// Ng is the PLCG broadcast fan-out; Wx the star-coupler output
+	// count.
+	Ng, Wx int
+	// LaserPower is the per-wavelength launch power in watts.
+	LaserPower float64
+	// Grid is the channel plan.
+	Grid Grid
+	// AWG is the demultiplexer.
+	AWG photonics.AWG
+}
+
+// NewLink builds the default 9-PLCG, 63-channel link at 2 mW per
+// laser.
+func NewLink(ng int, channels int, laserPower float64) Link {
+	ring := photonics.NewMRR(1550 * units.Nano)
+	return Link{
+		Ng:         ng,
+		Wx:         3,
+		LaserPower: laserPower,
+		Grid:       NewGrid(ring, channels),
+		AWG:        photonics.NewAWG(),
+	}
+}
+
+// DeliveredPowers returns the optical power each channel delivers to a
+// PLCU photodiode, including AWG adjacent-channel leakage (which adds
+// a small amount of foreign power to each channel).
+func (l Link) DeliveredPowers() []float64 {
+	n := l.Grid.N
+	if n == 0 {
+		return nil
+	}
+	y := photonics.NewYBranch()
+	star := photonics.NewStarCoupler(l.Grid.N/l.Wx+l.Wx-1, l.Wx)
+	mzm := photonics.NewMZM()
+	ring := photonics.NewMRR(l.Grid.Center)
+
+	// Stage 1: modulation (signal-generation ring insertion loss) at
+	// full scale.
+	launch := make([]float64, n)
+	modIL := units.LossDBToTransmission(0.39)
+	for i := range launch {
+		launch[i] = l.LaserPower * modIL
+	}
+	// Stage 2: broadcast tree to Ng PLCGs.
+	for i := range launch {
+		launch[i] = y.BroadcastTree(launch[i], l.Ng)
+	}
+	// Stage 3: AWG demux with neighbor leakage.
+	launch = l.AWG.Demux(launch)
+	// Stage 4: star-coupler multicast, weight MZM at w=1, switching
+	// ring drop at its own resonance.
+	dropIL := ring.DropTransfer(ring.ResonantWavelength)
+	for i := range launch {
+		launch[i] = star.PerOutputPower(launch[i])
+		launch[i] = mzm.Multiply(launch[i], 1)
+		launch[i] *= dropIL
+	}
+	return launch
+}
+
+// Budget summarizes the link.
+type Budget struct {
+	// WorstPower and BestPower bound the per-channel delivery.
+	WorstPower, BestPower float64
+	// SpreadDB is the best/worst imbalance.
+	SpreadDB float64
+	// WorstCurrent is the photocurrent of the worst channel at the
+	// Table II responsivity.
+	WorstCurrent float64
+	// TotalLaserPower is the wall-plug optical launch power.
+	TotalLaserPower float64
+	// EndToEndLossDB is the worst-channel loss.
+	EndToEndLossDB float64
+}
+
+// Analyze computes the link budget.
+func (l Link) Analyze() Budget {
+	powers := l.DeliveredPowers()
+	if len(powers) == 0 {
+		return Budget{}
+	}
+	worst, best := math.Inf(1), math.Inf(-1)
+	for _, p := range powers {
+		if p < worst {
+			worst = p
+		}
+		if p > best {
+			best = p
+		}
+	}
+	pd := photonics.NewPhotodiode()
+	return Budget{
+		WorstPower:      worst,
+		BestPower:       best,
+		SpreadDB:        units.LinearToDB(best / worst),
+		WorstCurrent:    pd.Responsivity * worst,
+		TotalLaserPower: l.LaserPower * float64(l.Grid.N),
+		EndToEndLossDB:  units.LinearToDB(l.LaserPower / worst),
+	}
+}
+
+// String implements fmt.Stringer.
+func (b Budget) String() string {
+	return fmt.Sprintf("link{worst %.2f uW, spread %.2f dB, loss %.1f dB}",
+		b.WorstPower*1e6, b.SpreadDB, b.EndToEndLossDB)
+}

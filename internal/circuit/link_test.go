@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/units"
+)
+
+func TestLinkDelivery(t *testing.T) {
+	l := NewLink(9, 63, 2e-3)
+	powers := l.DeliveredPowers()
+	if len(powers) != 63 {
+		t.Fatalf("expected 63 channels, got %d", len(powers))
+	}
+	for i, p := range powers {
+		if p <= 0 {
+			t.Fatalf("channel %d delivers no power", i)
+		}
+	}
+}
+
+func TestLinkBudgetAgainstScalarPath(t *testing.T) {
+	// The channel-resolved link should land within ~2 dB of the scalar
+	// AlbireoSignalPath budget (the scalar model adds a waveguide
+	// routing allowance the link omits; AWG leakage adds power back).
+	l := NewLink(9, 63, 2e-3)
+	b := l.Analyze()
+	scalar := AlbireoSignalPath(9, 3).TotalDB()
+	if math.Abs(b.EndToEndLossDB-scalar) > 4 {
+		t.Errorf("link loss %.1f dB too far from scalar budget %.1f dB", b.EndToEndLossDB, scalar)
+	}
+}
+
+func TestLinkChannelSpreadSmall(t *testing.T) {
+	// All channels see nearly identical paths; the only spread comes
+	// from AWG edge channels missing one leakage neighbor. It must be
+	// well under 1 dB.
+	b := NewLink(9, 63, 2e-3).Analyze()
+	if b.SpreadDB < 0 || b.SpreadDB > 1 {
+		t.Errorf("channel spread %.3f dB outside [0, 1]", b.SpreadDB)
+	}
+	if b.BestPower < b.WorstPower {
+		t.Error("best must be >= worst")
+	}
+}
+
+func TestLinkScalesWithBroadcast(t *testing.T) {
+	// Tripling the PLCG fan-out costs broadcast splits: a 27-group
+	// link delivers less per channel.
+	b9 := NewLink(9, 63, 2e-3).Analyze()
+	b27 := NewLink(27, 63, 2e-3).Analyze()
+	if b27.WorstPower >= b9.WorstPower {
+		t.Error("wider broadcast must deliver less per channel")
+	}
+	// 9 -> 27 groups needs one more Y-branch level (16 -> 32 way):
+	// ~3.3 dB extra.
+	extra := b9.EndToEndLossDB - b27.EndToEndLossDB
+	if math.Abs(extra+3.3) > 0.5 {
+		t.Errorf("27-group link should cost ~3.3 dB more, got %.2f", -extra)
+	}
+}
+
+func TestLinkTotalLaserPower(t *testing.T) {
+	b := NewLink(9, 63, 2e-3).Analyze()
+	if math.Abs(b.TotalLaserPower-126e-3) > 1e-9 {
+		t.Errorf("63 lasers at 2 mW should launch 126 mW, got %g", b.TotalLaserPower)
+	}
+}
+
+func TestLinkWorstCurrentUsableForNoise(t *testing.T) {
+	// The worst-channel photocurrent should sit in the uA range where
+	// the Figure 3 analysis operates.
+	b := NewLink(9, 63, 2e-3).Analyze()
+	if b.WorstCurrent < 0.1e-6 || b.WorstCurrent > 100e-6 {
+		t.Errorf("worst current %.3g A outside the expected range", b.WorstCurrent)
+	}
+	if b.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestLinkDegenerate(t *testing.T) {
+	l := NewLink(9, 0, 2e-3)
+	if got := l.DeliveredPowers(); got != nil {
+		t.Error("zero-channel link should return nil")
+	}
+	if (Budget{}) != l.Analyze() {
+		t.Error("zero-channel budget should be zero")
+	}
+	_ = units.Nano
+}

@@ -1,0 +1,86 @@
+package circuit
+
+import (
+	"albireo/internal/units"
+)
+
+// PathLoss composes the insertion losses along an optical route into a
+// single transmission factor. It is used to budget the power a
+// wavelength delivers from its laser to a PLCU photodiode, which sets
+// the photocurrent entering the noise analysis.
+type PathLoss struct {
+	stagesDB []float64
+	splits   float64 // accumulated power division factor (>= 1)
+}
+
+// NewPathLoss returns an empty (lossless) path.
+func NewPathLoss() *PathLoss {
+	return &PathLoss{splits: 1}
+}
+
+// AddDB appends an insertion-loss stage in dB.
+func (p *PathLoss) AddDB(db float64) *PathLoss {
+	p.stagesDB = append(p.stagesDB, db)
+	return p
+}
+
+// AddSplit appends an ideal 1:n power split (in addition to any excess
+// loss added separately).
+func (p *PathLoss) AddSplit(n int) *PathLoss {
+	if n > 1 {
+		p.splits *= float64(n)
+	}
+	return p
+}
+
+// TotalDB returns the total path loss in dB including splits.
+func (p *PathLoss) TotalDB() float64 {
+	var sum float64
+	for _, s := range p.stagesDB {
+		sum += s
+	}
+	return sum + units.LinearToDB(p.splits)
+}
+
+// Transmission returns the end-to-end power transmission fraction.
+func (p *PathLoss) Transmission() float64 {
+	t := 1.0 / p.splits
+	for _, s := range p.stagesDB {
+		t *= units.LossDBToTransmission(s)
+	}
+	return t
+}
+
+// Deliver returns the power arriving at the end of the path for the
+// given launch power.
+func (p *PathLoss) Deliver(launch float64) float64 {
+	return launch * p.Transmission()
+}
+
+// AlbireoSignalPath returns the loss budget of one input wavelength
+// from its signal-generation modulator to a PLCU accumulation
+// photodiode, following the Section III dataflow: modulation MRR ->
+// broadcast tree to Ng PLCGs (Y-branches) -> AWG demux -> star coupler
+// multicast (1:Wx) -> weight MZM -> switching MRR drop -> on-chip
+// waveguide runs.
+func AlbireoSignalPath(ng, wx int) *PathLoss {
+	p := NewPathLoss()
+	p.AddDB(0.39) // signal-generation MRR insertion (Table II ring loss)
+	// Broadcast tree: ceil(log2(ng)) Y-branch levels, each 3 dB split
+	// plus 0.3 dB excess.
+	levels := 0
+	for c := 1; c < ng; c *= 2 {
+		levels++
+	}
+	for i := 0; i < levels; i++ {
+		p.AddDB(0.3)
+		p.AddSplit(2)
+	}
+	p.AddDB(2.0)     // AWG insertion
+	p.AddDB(1.3)     // star coupler excess
+	p.AddSplit(wx)   // star coupler physical broadcast to Wx outputs
+	p.AddDB(1.2)     // weight MZM insertion
+	p.AddDB(0.39)    // switching MRR drop insertion
+	p.AddDB(1.5 * 2) // ~2 cm of straight waveguide routing at 1.5 dB/cm
+	return p
+}

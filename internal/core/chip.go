@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"albireo/internal/tensor"
+)
+
+// Chip is the functional model of the full Albireo accelerator
+// (Figure 6a): Ng PLCGs fed by a broadcast of the same input signals,
+// each applying a different kernel. Conv, Depthwise, Pointwise, and
+// FullyConnected execute real layers through the analog pipeline,
+// following the partitioning of Algorithm 2.
+type Chip struct {
+	cfg    Config
+	groups []*PLCG
+}
+
+// NewChip builds a functional chip.
+func NewChip(cfg Config) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid config: %v", err))
+	}
+	groups := make([]*PLCG, cfg.Ng)
+	for gi := range groups {
+		gcfg := cfg
+		gcfg.Seed = cfg.Seed*7919 + int64(gi)
+		groups[gi] = NewPLCG(gcfg)
+	}
+	return &Chip{cfg: cfg, groups: groups}
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Groups exposes the PLCGs (read-only use).
+func (c *Chip) Groups() []*PLCG { return c.groups }
+
+// tapChunk is one pass worth of kernel taps: at most Nm positions.
+type tapChunk struct {
+	ky, kx []int
+}
+
+// tapChunks splits a KY x KX kernel footprint into row-major chunks of
+// at most Nm taps, the "additional cycles" a kernel larger than the
+// PLCU requires (Section III-A).
+func (c *Chip) tapChunks(ky, kx int) []tapChunk {
+	var chunks []tapChunk
+	cur := tapChunk{}
+	for y := 0; y < ky; y++ {
+		for x := 0; x < kx; x++ {
+			cur.ky = append(cur.ky, y)
+			cur.kx = append(cur.kx, x)
+			if len(cur.ky) == c.cfg.Nm {
+				chunks = append(chunks, cur)
+				cur = tapChunk{}
+			}
+		}
+	}
+	if len(cur.ky) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// normalizeInput returns the activation volume scaled into [0, 1] and
+// the scale. Negative activations are invalid: Albireo encodes
+// activations as optical power (Section II-B), so inputs must be
+// non-negative (post-ReLU, or pre-shifted images).
+func normalizeInput(a *tensor.Volume) (*tensor.Volume, float64) {
+	for _, v := range a.Data {
+		if v < 0 {
+			panic("core: activations must be non-negative (optical power encoding)")
+		}
+	}
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return a.Clone(), 0
+	}
+	n := a.Clone()
+	for i := range n.Data {
+		n.Data[i] /= scale
+	}
+	return n, scale
+}
+
+// normalizeKernels returns kernels scaled into [-1, 1] and the scale.
+func normalizeKernels(w *tensor.Kernels) (*tensor.Kernels, float64) {
+	scale := w.MaxAbs()
+	if scale == 0 {
+		return w, 0
+	}
+	n := tensor.NewKernels(w.M, w.Z, w.Y, w.X)
+	for i := range w.Data {
+		n.Data[i] = w.Data[i] / scale
+	}
+	return n, scale
+}
+
+// Conv executes a convolution layer through the analog pipeline
+// (Algorithm 2) and returns the output volume in the caller's value
+// domain. Kernels are distributed round-robin over the PLCGs; output
+// columns are produced Nd at a time; channels are aggregated Nu at a
+// time; kernels larger than Nm take multiple tap chunks per channel
+// group. If relu is true the activation is applied during aggregation
+// write-back, as the hardware does.
+func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	if cfg.Depthwise {
+		return c.depthwiseConv(a, w, cfg, relu)
+	}
+	if cfg.Groups != 0 && cfg.Groups != 1 {
+		return c.groupedConv(a, w, cfg, relu)
+	}
+	if w.Z != a.Z {
+		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z))
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	na, aScale := normalizeInput(a)
+	nw, wScale := normalizeKernels(w)
+	outScale := aScale * wScale
+
+	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
+	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
+	out := tensor.NewVolume(w.M, by, bx)
+	if outScale == 0 {
+		return out
+	}
+	chunks := c.tapChunks(w.Y, w.X)
+
+	for m := 0; m < w.M; m++ {
+		g := c.groups[m%c.cfg.Ng]
+		for oy := 0; oy < by; oy++ {
+			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
+				acc := make([]float64, c.cfg.Nd)
+				for z0 := 0; z0 < w.Z; z0 += c.cfg.Nu {
+					for _, ch := range chunks {
+						nu := min(c.cfg.Nu, w.Z-z0)
+						weights := make([][]float64, nu)
+						avals := make([][][]float64, nu)
+						for u := 0; u < nu; u++ {
+							weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
+						}
+						part := g.Step(weights, avals)
+						for d := range acc {
+							acc[d] += part[d]
+						}
+					}
+				}
+				for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
+					v := acc[d] * outScale
+					if relu && v < 0 {
+						v = 0
+					}
+					out.Set(m, oy, ox0+d, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildSlot assembles the weight vector and activation matrix for one
+// PLCU slot: kernel m at kernel depth wz, reading activation channel
+// az, output row oy, output column base ox0, for the taps of chunk ch.
+// Dense convolutions use wz == az; depthwise uses wz = 0 with az the
+// filtered channel. Unused taps (chunk shorter than Nm) carry zero
+// weight; out-of-range output columns carry zero activations.
+func (c *Chip) buildSlot(a *tensor.Volume, w *tensor.Kernels, m, wz, az, oy, ox0, stride, pad int, ch tapChunk) ([]float64, [][]float64) {
+	weights := make([]float64, c.cfg.Nm)
+	avals := make([][]float64, c.cfg.Nm)
+	ay0 := oy*stride - pad
+	for t := 0; t < c.cfg.Nm; t++ {
+		row := make([]float64, c.cfg.Nd)
+		if t < len(ch.ky) {
+			ky, kx := ch.ky[t], ch.kx[t]
+			weights[t] = w.At(m, wz, ky, kx)
+			for d := 0; d < c.cfg.Nd; d++ {
+				ax := (ox0+d)*stride - pad + kx
+				row[d] = a.AtPadded(az, ay0+ky, ax)
+			}
+		}
+		avals[t] = row
+	}
+	return weights, avals
+}
+
+// groupedConv runs a grouped convolution as independent dense
+// convolutions over channel slices.
+func (c *Chip) groupedConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	groups := cfg.Groups
+	if a.Z%groups != 0 || w.M%groups != 0 {
+		panic(fmt.Sprintf("core: groups %d do not divide channels %d/%d", groups, a.Z, w.M))
+	}
+	zPer, mPer := a.Z/groups, w.M/groups
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
+	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
+	out := tensor.NewVolume(w.M, by, bx)
+	for gi := 0; gi < groups; gi++ {
+		sub := tensor.NewVolume(zPer, a.Y, a.X)
+		for z := 0; z < zPer; z++ {
+			for y := 0; y < a.Y; y++ {
+				for x := 0; x < a.X; x++ {
+					sub.Set(z, y, x, a.At(gi*zPer+z, y, x))
+				}
+			}
+		}
+		subW := tensor.NewKernels(mPer, w.Z, w.Y, w.X)
+		copy(subW.Data, w.Data[gi*mPer*w.Z*w.Y*w.X:(gi+1)*mPer*w.Z*w.Y*w.X])
+		subOut := c.Conv(sub, subW, tensor.ConvConfig{Stride: stride, Pad: cfg.Pad}, relu)
+		for m := 0; m < mPer; m++ {
+			for y := 0; y < by; y++ {
+				for x := 0; x < bx; x++ {
+					out.Set(gi*mPer+m, y, x, subOut.At(m, y, x))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// depthwiseConv applies one single-channel kernel per input channel
+// without cross-channel aggregation (Section III-C: "aggregation is
+// not performed across channels for depthwise kernels").
+func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	if w.M != a.Z || w.Z != 1 {
+		panic("core: depthwise wants one depth-1 kernel per input channel")
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	na, aScale := normalizeInput(a)
+	nw, wScale := normalizeKernels(w)
+	outScale := aScale * wScale
+	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
+	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
+	out := tensor.NewVolume(a.Z, by, bx)
+	if outScale == 0 {
+		return out
+	}
+	chunks := c.tapChunks(w.Y, w.X)
+	for z := 0; z < a.Z; z++ {
+		g := c.groups[z%c.cfg.Ng]
+		for oy := 0; oy < by; oy++ {
+			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
+				acc := make([]float64, c.cfg.Nd)
+				for _, ch := range chunks {
+					weights, avals := c.buildSlot(na, nw, z, 0, z, oy, ox0, stride, cfg.Pad, ch)
+					part := g.Step([][]float64{weights}, [][][]float64{avals})
+					for d := range acc {
+						acc[d] += part[d]
+					}
+				}
+				for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
+					v := acc[d] * outScale
+					if relu && v < 0 {
+						v = 0
+					}
+					out.Set(z, oy, ox0+d, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pointwise executes a 1x1 convolution with the Section III-C
+// pointwise mapping: each PLCU tap carries one input channel, each PD
+// column one output pixel, and channel aggregation happens across taps
+// and PLCUs.
+func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor.Volume {
+	if w.Y != 1 || w.X != 1 || w.Z != a.Z {
+		panic("core: pointwise wants 1x1 kernels of full depth")
+	}
+	na, aScale := normalizeInput(a)
+	nw, wScale := normalizeKernels(w)
+	outScale := aScale * wScale
+	out := tensor.NewVolume(w.M, a.Y, a.X)
+	if outScale == 0 {
+		return out
+	}
+	npix := a.Y * a.X
+	chPerCycle := c.cfg.Nu * c.cfg.Nm
+	for m := 0; m < w.M; m++ {
+		g := c.groups[m%c.cfg.Ng]
+		for p0 := 0; p0 < npix; p0 += c.cfg.Nd {
+			acc := make([]float64, c.cfg.Nd)
+			for z0 := 0; z0 < a.Z; z0 += chPerCycle {
+				nu := (min(chPerCycle, a.Z-z0) + c.cfg.Nm - 1) / c.cfg.Nm
+				weights := make([][]float64, nu)
+				avals := make([][][]float64, nu)
+				for u := 0; u < nu; u++ {
+					wv := make([]float64, c.cfg.Nm)
+					av := make([][]float64, c.cfg.Nm)
+					for t := 0; t < c.cfg.Nm; t++ {
+						row := make([]float64, c.cfg.Nd)
+						z := z0 + u*c.cfg.Nm + t
+						if z < a.Z {
+							wv[t] = nw.At(m, z, 0, 0)
+							for d := 0; d < c.cfg.Nd; d++ {
+								if p := p0 + d; p < npix {
+									row[d] = na.Data[z*npix+p]
+								}
+							}
+						}
+						av[t] = row
+					}
+					weights[u], avals[u] = wv, av
+				}
+				part := g.Step(weights, avals)
+				for d := range acc {
+					acc[d] += part[d]
+				}
+			}
+			for d := 0; d < c.cfg.Nd && p0+d < npix; d++ {
+				v := acc[d] * outScale
+				if relu && v < 0 {
+					v = 0
+				}
+				out.Data[m*npix+p0+d] = v
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected executes an FC layer: each output neuron's kernel
+// covers the whole input volume (Section III-C). Only one PD column
+// does useful work per PLCU (no parameter sharing); the others carry
+// zero activations.
+func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
+	if w.Z != a.Z || w.Y != a.Y || w.X != a.X {
+		panic("core: FC kernel shape must match the input volume")
+	}
+	na, aScale := normalizeInput(a)
+	nw, wScale := normalizeKernels(w)
+	outScale := aScale * wScale
+	out := make([]float64, w.M)
+	if outScale == 0 {
+		return out
+	}
+	n := a.Z * a.Y * a.X
+	elemsPerCycle := c.cfg.Nu * c.cfg.Nm
+	for m := 0; m < w.M; m++ {
+		g := c.groups[m%c.cfg.Ng]
+		var acc float64
+		for e0 := 0; e0 < n; e0 += elemsPerCycle {
+			nu := (min(elemsPerCycle, n-e0) + c.cfg.Nm - 1) / c.cfg.Nm
+			weights := make([][]float64, nu)
+			avals := make([][][]float64, nu)
+			for u := 0; u < nu; u++ {
+				wv := make([]float64, c.cfg.Nm)
+				av := make([][]float64, c.cfg.Nm)
+				for t := 0; t < c.cfg.Nm; t++ {
+					row := make([]float64, c.cfg.Nd)
+					e := e0 + u*c.cfg.Nm + t
+					if e < n {
+						wv[t] = nw.Data[m*n+e]
+						row[0] = na.Data[e]
+					}
+					av[t] = row
+				}
+				weights[u], avals[u] = wv, av
+			}
+			part := g.Step(weights, avals)
+			acc += part[0]
+		}
+		v := acc * outScale
+		if relu && v < 0 {
+			v = 0
+		}
+		out[m] = v
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ConvConcurrent is Conv with the PLCGs driven by parallel goroutines.
+// PLCGs are independent hardware blocks with private noise streams, so
+// partitioning kernels by their owning group preserves every group's
+// sequential draw order: the result is bit-identical to Conv for the
+// dense stride/pad path. Grouped and depthwise layers fall back to the
+// sequential implementation.
+func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	if cfg.Depthwise || (cfg.Groups != 0 && cfg.Groups != 1) {
+		return c.Conv(a, w, cfg, relu)
+	}
+	if w.Z != a.Z {
+		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z))
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	na, aScale := normalizeInput(a)
+	nw, wScale := normalizeKernels(w)
+	outScale := aScale * wScale
+	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
+	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
+	out := tensor.NewVolume(w.M, by, bx)
+	if outScale == 0 {
+		return out
+	}
+	chunks := c.tapChunks(w.Y, w.X)
+
+	var wg sync.WaitGroup
+	for gi := range c.groups {
+		gi := gi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := c.groups[gi]
+			for m := gi; m < w.M; m += c.cfg.Ng {
+				for oy := 0; oy < by; oy++ {
+					for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
+						acc := make([]float64, c.cfg.Nd)
+						for z0 := 0; z0 < w.Z; z0 += c.cfg.Nu {
+							for _, ch := range chunks {
+								nu := min(c.cfg.Nu, w.Z-z0)
+								weights := make([][]float64, nu)
+								avals := make([][][]float64, nu)
+								for u := 0; u < nu; u++ {
+									weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
+								}
+								part := g.Step(weights, avals)
+								for d := range acc {
+									acc[d] += part[d]
+								}
+							}
+						}
+						for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
+							v := acc[d] * outScale
+							if relu && v < 0 {
+								v = 0
+							}
+							out.Set(m, oy, ox0+d, v)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,157 @@
+// Package core implements the Albireo architecture (paper Section
+// III): the photonic locally-connected unit (PLCU), the photonic
+// locally-connected group (PLCG), and the full chip, in two
+// complementary forms:
+//
+//   - a functional analog simulator that actually computes convolutions
+//     through the optical signal chain (DAC quantization -> MZM
+//     multiplication -> MRR switching with crosstalk -> balanced
+//     photodetection with noise -> ADC), validated against the exact
+//     references in internal/tensor; and
+//   - a cycle-level mapping model (Algorithm 2) that yields the latency
+//     numbers behind the paper's evaluation.
+package core
+
+import (
+	"fmt"
+
+	"albireo/internal/circuit"
+	"albireo/internal/device"
+	"albireo/internal/units"
+)
+
+// Config holds the architecture parameters of an Albireo design. The
+// zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// Nm is the number of input waveguides (and weight MZMs) per PLCU.
+	// The paper uses 9 to hold one 3x3 kernel channel.
+	Nm int
+	// Nd is the number of balanced-PD output columns per PLCU: the
+	// receptive fields computed concurrently. The paper uses 5.
+	Nd int
+	// Nu is the number of PLCUs per PLCG: input channels processed in
+	// parallel. The paper uses 3 (3 x 21 wavelengths within the 64
+	// channel distribution budget).
+	Nu int
+	// Ng is the number of PLCGs on the chip: kernels processed in
+	// parallel. The paper's default design uses 9; the power-scaled
+	// Albireo-27 uses 27.
+	Ng int
+	// KernelH, KernelW are the native kernel footprint (Wy, Wx = 3, 3);
+	// Nm = KernelH*KernelW holds one channel of such a kernel.
+	KernelH, KernelW int
+	// Estimate selects the Table I device generation.
+	Estimate device.Estimate
+	// K2 is the accumulator ring power cross-coupling coefficient
+	// (Table II: 0.03).
+	K2 float64
+	// LaserPower is the per-wavelength laser output in watts.
+	LaserPower float64
+	// ADCBits and DACBits are the converter resolutions (8 in the
+	// paper).
+	ADCBits, DACBits int
+	// FCWide selects the wide fully-connected mapping, which feeds all
+	// Nd PD columns during FC layers. The paper's prose describes a
+	// single active column, but its reported AlexNet latency is only
+	// consistent with the wide mapping (see DESIGN.md); wide is the
+	// default.
+	FCWide bool
+	// DisableNoise and DisableCrosstalk switch off the respective
+	// impairments in the functional simulator, for ablation.
+	DisableNoise, DisableCrosstalk bool
+	// VoltageDomainWeights quantizes MZM weights on a linear *voltage*
+	// grid instead of a linear value grid: the raw behaviour of a
+	// linear DAC driving the Eq. 2 raised-cosine transfer without
+	// controller pre-distortion. Weight steps become coarse around
+	// mid-scale, costing accuracy - the ablation that justifies
+	// pre-distorted weight codes (see photonics.MZMDrive).
+	VoltageDomainWeights bool
+	// Seed seeds the noise sampler.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's 9-PLCG Albireo design with
+// conservative devices.
+func DefaultConfig() Config {
+	return Config{
+		Nm:         9,
+		Nd:         5,
+		Nu:         3,
+		Ng:         9,
+		KernelH:    3,
+		KernelW:    3,
+		Estimate:   device.Conservative,
+		K2:         0.03,
+		LaserPower: 2 * units.Milli,
+		ADCBits:    8,
+		DACBits:    8,
+		FCWide:     true,
+		Seed:       1,
+	}
+}
+
+// Albireo27 returns the 27-PLCG power-scaled design the paper compares
+// at the 60 W budget.
+func Albireo27() Config {
+	c := DefaultConfig()
+	c.Ng = 27
+	return c
+}
+
+// Validate reports structural problems with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nm <= 0 || c.Nd <= 0 || c.Nu <= 0 || c.Ng <= 0:
+		return fmt.Errorf("core: dimensions must be positive: Nm=%d Nd=%d Nu=%d Ng=%d", c.Nm, c.Nd, c.Nu, c.Ng)
+	case c.KernelH <= 0 || c.KernelW <= 0:
+		return fmt.Errorf("core: kernel footprint must be positive: %dx%d", c.KernelH, c.KernelW)
+	case c.KernelH*c.KernelW != c.Nm:
+		return fmt.Errorf("core: Nm=%d must equal KernelH*KernelW=%d", c.Nm, c.KernelH*c.KernelW)
+	case c.K2 <= 0 || c.K2 >= 1:
+		return fmt.Errorf("core: k^2=%g out of (0,1)", c.K2)
+	case c.LaserPower <= 0:
+		return fmt.Errorf("core: laser power must be positive")
+	case c.ADCBits < 2 || c.DACBits < 2:
+		return fmt.Errorf("core: converter resolution too low")
+	}
+	return nil
+}
+
+// WavelengthsPerPLCU returns Wy*(Nd + Wx - 1), the WDM channel count
+// each PLCU consumes (Section III-A; 21 for the default design).
+func (c Config) WavelengthsPerPLCU() int {
+	return c.KernelH * (c.Nd + c.KernelW - 1)
+}
+
+// TotalWavelengths returns the distribution wavelength count,
+// Nu * WavelengthsPerPLCU (63 of the 64-channel budget).
+func (c Config) TotalWavelengths() int {
+	return c.Nu * c.WavelengthsPerPLCU()
+}
+
+// ModulationRate returns the photonic symbol rate, set by the
+// converter sample rate of the selected estimate (Section IV-A).
+func (c Config) ModulationRate() float64 {
+	return device.Powers(c.Estimate).SampleRate
+}
+
+// SignalPath returns the optical loss budget from signal generation to
+// a PLCU photodiode for this design.
+func (c Config) SignalPath() *circuit.PathLoss {
+	return circuit.AlbireoSignalPath(c.Ng, c.KernelW)
+}
+
+// gridChannel maps a PLCU tap (kernel position t in row-major order)
+// and output column d to its canonical WDM grid channel index,
+// following the Figure 5 layout: channel = row*(Nd+Wx-1) + col + d.
+func (c Config) gridChannel(t, d int) int {
+	row := t / c.KernelW
+	col := t % c.KernelW
+	return row*(c.Nd+c.KernelW-1) + col + d
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	return fmt.Sprintf("albireo-%s{Ng=%d Nu=%d Nm=%d Nd=%d k2=%.3f}",
+		c.Estimate, c.Ng, c.Nu, c.Nm, c.Nd, c.K2)
+}

@@ -1,0 +1,117 @@
+package core
+
+import "fmt"
+
+// Fault models a hardware defect in a PLCU, for reliability studies of
+// the analog fabric. Analog photonic accelerators cannot detect most
+// of these faults architecturally - the computation silently degrades -
+// so the functional simulator exposes them for failure-injection
+// testing and for sizing redundancy.
+type FaultKind int
+
+const (
+	// StuckMZM pins a weight modulator at a fixed transfer value
+	// (e.g. a failed phase-shifter junction): every wavelength on that
+	// tap is multiplied by Value instead of |w|.
+	StuckMZM FaultKind = iota
+	// DeadRing disables a switching MRR: the (Tap, Column) signal
+	// never reaches its accumulation waveguide.
+	DeadRing
+	// DetunedRing leaves a switching MRR partially off-resonance
+	// (e.g. a failed thermal tuner): only Value (0..1) of the signal
+	// couples, and the ring's crosstalk behaviour is unchanged.
+	DetunedRing
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case StuckMZM:
+		return "stuck-mzm"
+	case DeadRing:
+		return "dead-ring"
+	case DetunedRing:
+		return "detuned-ring"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected defect.
+type Fault struct {
+	Kind FaultKind
+	// Tap is the MZM / kernel position (0..Nm-1).
+	Tap int
+	// Column is the PD column for ring faults (ignored for StuckMZM).
+	Column int
+	// Value is the stuck transfer (StuckMZM) or residual coupling
+	// (DetunedRing).
+	Value float64
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s{tap=%d col=%d v=%.2f}", f.Kind, f.Tap, f.Column, f.Value)
+}
+
+// InjectFault adds a defect to the PLCU. Faults apply to every
+// subsequent Currents call until ClearFaults.
+func (p *PLCU) InjectFault(f Fault) {
+	if f.Tap < 0 || f.Tap >= p.cfg.Nm {
+		panic(fmt.Sprintf("core: fault tap %d out of range", f.Tap))
+	}
+	if f.Kind != StuckMZM && (f.Column < 0 || f.Column >= p.cfg.Nd) {
+		panic(fmt.Sprintf("core: fault column %d out of range", f.Column))
+	}
+	p.faults = append(p.faults, f)
+}
+
+// ClearFaults removes all injected defects.
+func (p *PLCU) ClearFaults() { p.faults = nil }
+
+// Faults returns the injected defects.
+func (p *PLCU) Faults() []Fault { return p.faults }
+
+// effectiveWeight applies StuckMZM faults to the quantized weight of a
+// tap: the sign routing is set by the programmed weight (the rings are
+// still switched by the controller), but the magnitude is pinned.
+func (p *PLCU) effectiveWeight(tap int, w float64) float64 {
+	for _, f := range p.faults {
+		if f.Kind == StuckMZM && f.Tap == tap {
+			if w < 0 {
+				return -f.Value
+			}
+			return f.Value
+		}
+	}
+	return w
+}
+
+// ringGain returns the drop efficiency multiplier for the switching
+// ring at (tap, column): 1 when healthy, 0 for DeadRing, the residual
+// coupling for DetunedRing.
+func (p *PLCU) ringGain(tap, column int) float64 {
+	g := 1.0
+	for _, f := range p.faults {
+		if f.Tap != tap || f.Column != column {
+			continue
+		}
+		switch f.Kind {
+		case DeadRing:
+			g = 0
+		case DetunedRing:
+			g *= clampUnit(f.Value)
+		}
+	}
+	return g
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/tensor"
+)
+
+// faultField returns a uniform all-ones input field and a simple
+// weight vector for fault experiments.
+func faultFixture(p *PLCU) ([]float64, [][]float64) {
+	field := make([][]float64, 3)
+	for i := range field {
+		field[i] = []float64{1, 1, 1, 1, 1, 1, 1}
+	}
+	weights := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	return weights, p.ReceptiveFieldAVals(field)
+}
+
+func TestStuckMZMPinsTap(t *testing.T) {
+	p := NewPLCU(idealConfig())
+	weights, avals := faultFixture(p)
+	healthy := p.Dot(weights, avals)
+
+	// Stick tap 0 at full transmission: every column gains the
+	// difference between 1.0 and 0.5 on that tap.
+	p.InjectFault(Fault{Kind: StuckMZM, Tap: 0, Value: 1.0})
+	faulty := p.Dot(weights, avals)
+	for d := range healthy {
+		want := healthy[d] + 0.5
+		if math.Abs(faulty[d]-want) > 0.05 {
+			t.Errorf("column %d: stuck MZM should add 0.5: healthy %.3f faulty %.3f", d, healthy[d], faulty[d])
+		}
+	}
+
+	// A stuck-at-zero modulator silences the tap.
+	p.ClearFaults()
+	p.InjectFault(Fault{Kind: StuckMZM, Tap: 0, Value: 0})
+	dark := p.Dot(weights, avals)
+	for d := range healthy {
+		want := healthy[d] - 0.5
+		if math.Abs(dark[d]-want) > 0.05 {
+			t.Errorf("column %d: stuck-at-zero should remove the tap", d)
+		}
+	}
+}
+
+func TestStuckMZMPreservesSignRouting(t *testing.T) {
+	// The rings still route by the programmed sign, so a negative
+	// weight with a stuck magnitude stays on the negative waveguide.
+	p := NewPLCU(idealConfig())
+	weights := []float64{-0.25, 0, 0, 0, 0, 0, 0, 0, 0}
+	avals := make([][]float64, 9)
+	for i := range avals {
+		avals[i] = []float64{1, 1, 1, 1, 1}
+	}
+	p.InjectFault(Fault{Kind: StuckMZM, Tap: 0, Value: 1.0})
+	out := p.Dot(weights, avals)
+	if out[0] > -0.9 {
+		t.Errorf("stuck negative tap should contribute -1.0, got %.3f", out[0])
+	}
+}
+
+func TestDeadRingKillsOneColumn(t *testing.T) {
+	p := NewPLCU(idealConfig())
+	weights, avals := faultFixture(p)
+	healthy := p.Dot(weights, avals)
+
+	p.InjectFault(Fault{Kind: DeadRing, Tap: 4, Column: 2})
+	faulty := p.Dot(weights, avals)
+	// Column 2 loses tap 4's contribution (0.5); others unchanged.
+	for d := range healthy {
+		if d == 2 {
+			if math.Abs(faulty[d]-(healthy[d]-0.5)) > 0.05 {
+				t.Errorf("dead ring should drop 0.5 from column 2, got %.3f vs %.3f", faulty[d], healthy[d])
+			}
+			continue
+		}
+		if math.Abs(faulty[d]-healthy[d]) > 1e-9 {
+			t.Errorf("column %d should be unaffected by a column-2 ring fault", d)
+		}
+	}
+}
+
+func TestDetunedRingPartialLoss(t *testing.T) {
+	p := NewPLCU(idealConfig())
+	weights, avals := faultFixture(p)
+	healthy := p.Dot(weights, avals)
+
+	p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 0.5})
+	faulty := p.Dot(weights, avals)
+	// Column 0 loses half of tap 0's 0.5 contribution.
+	if math.Abs(faulty[0]-(healthy[0]-0.25)) > 0.05 {
+		t.Errorf("detuned ring should drop 0.25, got %.3f vs %.3f", faulty[0], healthy[0])
+	}
+	// A detune value outside [0,1] clamps.
+	p.ClearFaults()
+	p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 2})
+	if got := p.Dot(weights, avals)[0]; math.Abs(got-healthy[0]) > 0.05 {
+		t.Error("over-unity detune should clamp to healthy behaviour")
+	}
+}
+
+func TestFaultAccounting(t *testing.T) {
+	p := NewPLCU(idealConfig())
+	p.InjectFault(Fault{Kind: DeadRing, Tap: 1, Column: 1})
+	p.InjectFault(Fault{Kind: StuckMZM, Tap: 2, Value: 0.7})
+	if len(p.Faults()) != 2 {
+		t.Error("fault list should accumulate")
+	}
+	p.ClearFaults()
+	if len(p.Faults()) != 0 {
+		t.Error("ClearFaults should empty the list")
+	}
+	if (Fault{Kind: DeadRing}).String() == "" || FaultKind(99).String() != "unknown" {
+		t.Error("fault display")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	p := NewPLCU(idealConfig())
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad tap", func() { p.InjectFault(Fault{Kind: StuckMZM, Tap: 99}) })
+	expectPanic("bad column", func() { p.InjectFault(Fault{Kind: DeadRing, Tap: 0, Column: 9}) })
+}
+
+func TestFaultImpactOnConvolution(t *testing.T) {
+	// Chip-level failure injection: kill one ring in one PLCU of one
+	// PLCG and verify that only that group's kernels degrade.
+	cfg := idealConfig()
+	chip := NewChip(cfg)
+	chip.Groups()[0].Units()[0].InjectFault(Fault{Kind: DeadRing, Tap: 4, Column: 0})
+
+	// Kernel 0 maps to group 0 (round robin); kernel 1 to group 1.
+	a := tensor.NewVolume(3, 8, 8)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	w := tensor.NewKernels(2, 3, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	cc := tensor.ConvConfig{Stride: 1, Pad: 1}
+	out := chip.Conv(a, w, cc, false)
+	ref := NewChip(cfg).Conv(a, w, cc, false)
+
+	var worst0, worst1 float64
+	for y := 0; y < out.Y; y++ {
+		for x := 0; x < out.X; x++ {
+			if d := math.Abs(out.At(0, y, x) - ref.At(0, y, x)); d > worst0 {
+				worst0 = d
+			}
+			if d := math.Abs(out.At(1, y, x) - ref.At(1, y, x)); d > worst1 {
+				worst1 = d
+			}
+		}
+	}
+	if worst0 < 0.1 {
+		t.Errorf("kernel 0 should be visibly degraded by the fault, worst delta %.4f", worst0)
+	}
+	if worst1 > 1e-9 {
+		t.Errorf("kernel 1 should be untouched (different PLCG), worst delta %.4f", worst1)
+	}
+}

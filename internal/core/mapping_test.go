@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/device"
+	"albireo/internal/nn"
+)
+
+func TestMapLayerConv(t *testing.T) {
+	c := DefaultConfig()
+	// VGG conv3_1: 256 kernels, 56x56 output, 128 input channels, 3x3.
+	l := nn.Layer{Kind: nn.Conv, InZ: 128, InY: 56, InX: 56, OutZ: 256, KY: 3, KX: 3, Stride: 1, Pad: 1}
+	m := c.MapLayer(l)
+	if m.KernelPasses != 29 { // ceil(256/9)
+		t.Errorf("kernel passes = %d, want 29", m.KernelPasses)
+	}
+	if m.ColumnTiles != 56*12 { // 56 rows x ceil(56/5)
+		t.Errorf("column tiles = %d, want %d", m.ColumnTiles, 56*12)
+	}
+	if m.ChannelGroups != 43 { // ceil(128/3)
+		t.Errorf("channel groups = %d, want 43", m.ChannelGroups)
+	}
+	if m.TapChunks != 1 {
+		t.Errorf("tap chunks = %d, want 1", m.TapChunks)
+	}
+	want := int64(29) * int64(56*12) * 43
+	if m.Cycles != want {
+		t.Errorf("cycles = %d, want %d", m.Cycles, want)
+	}
+}
+
+func TestMapLayerBigKernel(t *testing.T) {
+	c := DefaultConfig()
+	// AlexNet conv1: 11x11 kernel -> 14 tap chunks.
+	l := nn.Layer{Kind: nn.Conv, InZ: 3, InY: 224, InX: 224, OutZ: 96, KY: 11, KX: 11, Stride: 4, Pad: 2}
+	m := c.MapLayer(l)
+	if m.TapChunks != 14 {
+		t.Errorf("11x11 tap chunks = %d, want 14", m.TapChunks)
+	}
+}
+
+func TestMapLayerGrouped(t *testing.T) {
+	c := DefaultConfig()
+	l := nn.Layer{Kind: nn.Conv, InZ: 96, InY: 27, InX: 27, OutZ: 256, KY: 5, KX: 5, Stride: 1, Pad: 2, Groups: 2}
+	m := c.MapLayer(l)
+	// Channels per group: 48 -> 16 channel groups, not 32.
+	if m.ChannelGroups != 16 {
+		t.Errorf("grouped channel groups = %d, want 16", m.ChannelGroups)
+	}
+	if m.TapChunks != 3 { // ceil(25/9)
+		t.Errorf("5x5 tap chunks = %d, want 3", m.TapChunks)
+	}
+}
+
+func TestMapLayerDepthwise(t *testing.T) {
+	c := DefaultConfig()
+	l := nn.Layer{Kind: nn.Depthwise, InZ: 512, InY: 14, InX: 14, OutZ: 512, KY: 3, KX: 3, Stride: 1, Pad: 1}
+	m := c.MapLayer(l)
+	// 512 channels over Ng*Nu = 27 parallel units.
+	if m.KernelPasses != 19 { // ceil(512/27)
+		t.Errorf("depthwise passes = %d, want 19", m.KernelPasses)
+	}
+	if m.ChannelGroups != 1 {
+		t.Error("depthwise has no cross-channel aggregation")
+	}
+}
+
+func TestMapLayerPointwise(t *testing.T) {
+	c := DefaultConfig()
+	l := nn.Layer{Kind: nn.Pointwise, InZ: 512, InY: 14, InX: 14, OutZ: 512, KY: 1, KX: 1}
+	m := c.MapLayer(l)
+	if m.KernelPasses != 57 { // ceil(512/9)
+		t.Errorf("pointwise kernel passes = %d, want 57", m.KernelPasses)
+	}
+	if m.ColumnTiles != 40 { // ceil(196/5)
+		t.Errorf("pointwise tiles = %d, want 40", m.ColumnTiles)
+	}
+	if m.ChannelGroups != 19 { // ceil(512/27)
+		t.Errorf("pointwise channel groups = %d, want 19", m.ChannelGroups)
+	}
+}
+
+func TestMapLayerFC(t *testing.T) {
+	wide := DefaultConfig()
+	narrow := DefaultConfig()
+	narrow.FCWide = false
+	l := nn.Layer{Kind: nn.FC, InZ: 256, InY: 6, InX: 6, OutZ: 4096, KY: 1, KX: 1}
+	mw := wide.MapLayer(l)
+	mn := narrow.MapLayer(l)
+	// 9216 elements: wide consumes 135/cycle, narrow 27/cycle.
+	if mw.ChannelGroups != 69 { // ceil(9216/135)
+		t.Errorf("wide FC groups = %d, want 69", mw.ChannelGroups)
+	}
+	if mn.ChannelGroups != 342 { // ceil(9216/27)
+		t.Errorf("narrow FC groups = %d, want 342", mn.ChannelGroups)
+	}
+	if mw.Cycles >= mn.Cycles {
+		t.Error("wide FC mapping must be faster")
+	}
+}
+
+func TestMapLayerPooling(t *testing.T) {
+	c := DefaultConfig()
+	l := nn.Layer{Kind: nn.MaxPoolKind, InZ: 64, InY: 112, InX: 112, OutZ: 64, KY: 3, KX: 3, Stride: 2}
+	if got := c.MapLayer(l).Cycles; got != 0 {
+		t.Errorf("pooling cycles = %d, want 0", got)
+	}
+}
+
+func TestVGG16LatencyMatchesPaper(t *testing.T) {
+	// Paper Table IV: VGG16 on Albireo-C takes 2.55 ms. Our mapping
+	// should land within ~15% (the paper's exact tiling is not fully
+	// specified; see DESIGN.md).
+	mm := DefaultConfig().MapModel(nn.VGG16())
+	lat := mm.Latency() * 1e3 // ms
+	if lat < 2.2 || lat > 3.0 {
+		t.Errorf("VGG16 Albireo-C latency = %.3f ms, want ~2.55 ms", lat)
+	}
+}
+
+func TestAlexNetLatencyMatchesPaper(t *testing.T) {
+	// Paper Table IV: AlexNet on Albireo-C takes 0.13 ms (with the
+	// wide FC mapping and grouped convolutions; see DESIGN.md).
+	mm := DefaultConfig().MapModel(nn.AlexNet())
+	lat := mm.Latency() * 1e3
+	if lat < 0.10 || lat > 0.18 {
+		t.Errorf("AlexNet Albireo-C latency = %.3f ms, want ~0.13 ms", lat)
+	}
+}
+
+func TestAggressiveLatencyScalesWithRate(t *testing.T) {
+	// Albireo-A runs at 8 GHz: latency should be exactly 5/8 of the
+	// conservative latency (same mapping).
+	c := DefaultConfig()
+	a := DefaultConfig()
+	a.Estimate = device.Aggressive
+	lc := c.MapModel(nn.VGG16()).Latency()
+	la := a.MapModel(nn.VGG16()).Latency()
+	if math.Abs(la/lc-5.0/8.0) > 1e-9 {
+		t.Errorf("aggressive/conservative latency ratio = %g, want 0.625", la/lc)
+	}
+}
+
+func TestAlbireo27Scaling(t *testing.T) {
+	// Tripling the PLCGs should cut conv-dominated latency roughly 3x
+	// (within ceiling effects).
+	l9 := DefaultConfig().MapModel(nn.VGG16()).Latency()
+	l27 := Albireo27().MapModel(nn.VGG16()).Latency()
+	ratio := l9 / l27
+	if ratio < 2.2 || ratio > 3.2 {
+		t.Errorf("Albireo-27 speedup on VGG16 = %.2f, want ~3", ratio)
+	}
+}
+
+func TestModelMappingAccounting(t *testing.T) {
+	mm := DefaultConfig().MapModel(nn.MobileNet())
+	var sum int64
+	for _, lm := range mm.Layers {
+		sum += lm.Cycles
+		if lm.Cycles <= 0 {
+			t.Errorf("%s: compute layer with no cycles", lm.Layer.Name)
+		}
+	}
+	if sum != mm.TotalCycles {
+		t.Error("per-layer cycles must sum to the total")
+	}
+	if mm.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+	u := mm.Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %g out of (0,1]", u)
+	}
+	if mm.String() == "" || mm.LatencyDuration() <= 0 {
+		t.Error("mapping display helpers")
+	}
+}
+
+func TestAllBenchmarksMap(t *testing.T) {
+	for _, m := range nn.Benchmarks() {
+		mm := DefaultConfig().MapModel(m)
+		if mm.TotalCycles <= 0 {
+			t.Errorf("%s: no cycles mapped", m.Name)
+		}
+		// Latency sanity: between 10 us and 10 ms for these networks.
+		lat := mm.Latency()
+		if lat < 10e-6 || lat > 10e-3 {
+			t.Errorf("%s latency %.3g s out of plausible range", m.Name, lat)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"albireo/internal/photonics"
+)
+
+// PLCG is the functional model of one photonic locally-connected group
+// (paper Figure 6b): Nu PLCUs processing Nu consecutive input channels
+// in parallel, an analog reduction that sums corresponding photodiode
+// currents across the PLCUs, and an aggregation unit (TIA -> ADC ->
+// digital adder) that accumulates partials depth-first over
+// ceil(Wz/Nu) cycles before applying the activation (Section III-B).
+type PLCG struct {
+	cfg   Config
+	units []*PLCU
+	adc   photonics.ADC
+	// fullScaleCurrent is the ADC input full scale: all Nu*Nm products
+	// at full amplitude on one polarity.
+	fullScaleCurrent float64
+}
+
+// NewPLCG builds a functional PLCG. Each PLCU gets a distinct noise
+// stream derived from cfg.Seed.
+func NewPLCG(cfg Config) *PLCG {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid config: %v", err))
+	}
+	units := make([]*PLCU, cfg.Nu)
+	for u := range units {
+		ucfg := cfg
+		ucfg.Seed = cfg.Seed*1000003 + int64(u)
+		units[u] = NewPLCU(ucfg)
+	}
+	return &PLCG{
+		cfg:              cfg,
+		units:            units,
+		adc:              photonics.ADC{Bits: cfg.ADCBits, SampleRate: cfg.ModulationRate()},
+		fullScaleCurrent: float64(cfg.Nu*cfg.Nm) * units[0].UnitCurrent(),
+	}
+}
+
+// Units exposes the PLCUs (read-only use).
+func (g *PLCG) Units() []*PLCU { return g.units }
+
+// Step performs one cycle: each PLCU u processes weights[u] against
+// avals[u] (shapes as in PLCU.Currents), the Nd per-column currents
+// are summed across units in the analog domain, digitized by the
+// shared ADC, and returned in the value domain (units of full-scale
+// products). Fewer than Nu entries are allowed for tail channel
+// groups; missing units idle.
+func (g *PLCG) Step(weights [][]float64, avals [][][]float64) []float64 {
+	if len(weights) > g.cfg.Nu || len(weights) != len(avals) {
+		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d",
+			g.cfg.Nu, len(weights), len(avals)))
+	}
+	sum := make([]float64, g.cfg.Nd)
+	for u := range weights {
+		cur := g.units[u].Currents(weights[u], avals[u])
+		for d, c := range cur {
+			sum[d] += c
+		}
+	}
+	unit := g.units[0].UnitCurrent()
+	// The TIA gain is programmed per layer so the ADC full scale
+	// matches the active PLCU population: a depthwise layer driving a
+	// single PLCU digitizes against a 3x smaller range than a dense
+	// layer driving all Nu units.
+	fs := float64(len(weights)*g.cfg.Nm) * unit
+	if fs <= 0 {
+		fs = g.fullScaleCurrent
+	}
+	out := make([]float64, g.cfg.Nd)
+	for d, c := range sum {
+		out[d] = g.adc.Quantize(c, fs) / unit
+	}
+	return out
+}
+
+// ValueLSB returns the aggregation-unit quantization step in the value
+// domain: the smallest dot-product increment the ADC resolves. Useful
+// for error budgeting in tests.
+func (g *PLCG) ValueLSB() float64 {
+	return g.adc.LSB(g.fullScaleCurrent) / g.units[0].UnitCurrent()
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"albireo/internal/circuit"
+	"albireo/internal/noise"
+	"albireo/internal/photonics"
+	"albireo/internal/quant"
+)
+
+// PLCU is the functional model of one photonic locally-connected unit
+// (paper Figure 5): Nm weight MZMs fed by star-coupler multicast, a
+// 2*Nm*Nd grid of switching MRRs, and Nd balanced photodiode columns.
+// In one cycle it computes Nd concurrent dot products between one
+// kernel channel and Nd overlapping receptive fields.
+//
+// The simulation carries values through the physical chain:
+//
+//  1. weights and activations are quantized by the 8-bit DACs,
+//  2. each MZM scales all of its wavelengths by |w| (Eq. 2),
+//  3. each switching MRR drops its wavelength onto the positive or
+//     negative accumulation waveguide according to sign(w), coupling in
+//     leakage from the other wavelengths sharing its bus per the
+//     crosstalk matrix of the 21-channel grid,
+//  4. the balanced PD subtracts the two accumulated powers (Eq. 4) and
+//     RIN/shot/thermal noise perturbs the output current.
+type PLCU struct {
+	cfg Config
+	// unitCurrent is the photocurrent of one full-scale product
+	// (weight 1 x activation 1) after the complete optical path.
+	unitCurrent float64
+	// xtalk[i][j] is the fractional leakage of grid channel j into a
+	// ring tuned to channel i.
+	xtalk [][]float64
+	// busChannels[t] lists, for the MZM bus of tap t, the (column d,
+	// grid channel) pairs riding that bus.
+	busChannels [][]int
+	np          noise.Params
+	wq, aq      quant.Quantizer
+	rng         *rand.Rand
+	// faults holds injected hardware defects (see faults.go).
+	faults []Fault
+}
+
+// NewPLCU builds a functional PLCU for the given configuration. The
+// configuration must validate.
+func NewPLCU(cfg Config) *PLCU {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid config: %v", err))
+	}
+	delivered := cfg.SignalPath().Deliver(cfg.LaserPower)
+	pd := photonics.NewPhotodiode()
+
+	nw := cfg.WavelengthsPerPLCU()
+	xa := circuit.NewCrosstalkAnalysis(cfg.K2, nw)
+	var xt [][]float64
+	if !cfg.DisableCrosstalk {
+		xt = xa.CrosstalkMatrix()
+	}
+
+	bus := make([][]int, cfg.Nm)
+	for t := 0; t < cfg.Nm; t++ {
+		cols := make([]int, cfg.Nd)
+		for d := 0; d < cfg.Nd; d++ {
+			cols[d] = cfg.gridChannel(t, d)
+		}
+		bus[t] = cols
+	}
+
+	np := noise.DefaultParams()
+	np.Bandwidth = cfg.ModulationRate()
+
+	return &PLCU{
+		cfg:         cfg,
+		unitCurrent: pd.Responsivity * delivered,
+		xtalk:       xt,
+		busChannels: bus,
+		np:          np,
+		wq:          quant.NewWeight(cfg.DACBits, 1),
+		aq:          quant.NewActivation(cfg.DACBits, 1),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// UnitCurrent returns the photocurrent of a full-scale product, the
+// calibration constant relating current to value domain.
+func (p *PLCU) UnitCurrent() float64 { return p.unitCurrent }
+
+// quantizeWeight snaps a weight in [-1, 1] onto the DAC grid. The
+// default grid is uniform in value (a pre-distorted controller); with
+// Config.VoltageDomainWeights the grid is uniform in MZM drive voltage
+// and the Eq. 2 raised-cosine transfer warps it.
+func (p *PLCU) quantizeWeight(w float64) float64 {
+	if !p.cfg.VoltageDomainWeights {
+		return p.wq.Quantize(w)
+	}
+	mag := math.Abs(w)
+	if mag > 1 {
+		mag = 1
+	}
+	// Voltage fraction for this magnitude: v/Vpi = dphi/pi.
+	m := photonics.MZM{}
+	frac := m.PhaseForWeight(mag) / math.Pi
+	steps := float64(int(1)<<uint(p.cfg.DACBits-1) - 1)
+	frac = math.Round(frac*steps) / steps
+	qmag := m.Transfer(frac * math.Pi)
+	if w < 0 {
+		return -qmag
+	}
+	return qmag
+}
+
+// Currents computes the Nd differential output currents for one cycle.
+//
+// weights has length Nm: the kernel channel in row-major order,
+// normalized to [-1, 1]. avals is indexed [tap][column]: avals[t][d]
+// is the activation (in [0, 1]) that output column d multiplies with
+// weight t. For the native 3x3 stride-1 mapping, avals[t][d] =
+// field[t/Wx][t%Wx + d], the overlapping receptive fields of Figure 5.
+func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
+	cfg := p.cfg
+	if len(weights) != cfg.Nm {
+		panic(fmt.Sprintf("core: want %d weights, got %d", cfg.Nm, len(weights)))
+	}
+	if len(avals) != cfg.Nm {
+		panic(fmt.Sprintf("core: want %d activation rows, got %d", cfg.Nm, len(avals)))
+	}
+
+	// DAC quantization at the electrical/optical boundary, then any
+	// stuck-modulator faults.
+	qw := make([]float64, cfg.Nm)
+	for t, w := range weights {
+		qw[t] = p.effectiveWeight(t, p.quantizeWeight(w))
+	}
+	qa := make([][]float64, cfg.Nm)
+	for t := range avals {
+		if len(avals[t]) != cfg.Nd {
+			panic(fmt.Sprintf("core: tap %d wants %d activations, got %d", t, cfg.Nd, len(avals[t])))
+		}
+		row := make([]float64, cfg.Nd)
+		for d, a := range avals[t] {
+			row[d] = p.aq.Quantize(a)
+		}
+		qa[t] = row
+	}
+
+	out := make([]float64, cfg.Nd)
+	for d := 0; d < cfg.Nd; d++ {
+		var pos, neg float64
+		for t := 0; t < cfg.Nm; t++ {
+			w := qw[t]
+			if w == 0 {
+				continue
+			}
+			mag := math.Abs(w)
+			// Intended signal: the ring for (t, d) drops its own
+			// wavelength carrying |w| * a.
+			sig := mag * qa[t][d]
+			// Crosstalk: the same ring couples a fraction of the other
+			// columns' wavelengths riding tap t's bus.
+			if p.xtalk != nil {
+				own := p.busChannels[t][d]
+				for dp := 0; dp < cfg.Nd; dp++ {
+					if dp == d {
+						continue
+					}
+					sig += p.xtalk[own][p.busChannels[t][dp]] * mag * qa[t][dp]
+				}
+			}
+			// Switching-ring faults attenuate whatever this ring
+			// couples (signal and leakage alike).
+			if p.faults != nil {
+				sig *= p.ringGain(t, d)
+			}
+			if w > 0 {
+				pos += sig
+			} else {
+				neg += sig
+			}
+		}
+		i := (pos - neg) * p.unitCurrent
+		if !cfg.DisableNoise {
+			i += p.np.Sample(p.rng, p.unitCurrent, cfg.Nm)
+		}
+		out[d] = i
+	}
+	return out
+}
+
+// Dot computes the Nd dot products in the value domain (no ADC): the
+// differential currents divided by the unit current. Used by tests and
+// by the PLCG, which applies the shared ADC after the analog
+// cross-unit reduction.
+func (p *PLCU) Dot(weights []float64, avals [][]float64) []float64 {
+	cur := p.Currents(weights, avals)
+	for i := range cur {
+		cur[i] /= p.unitCurrent
+	}
+	return cur
+}
+
+// ReceptiveFieldAVals lays out a KernelH x (Nd+KernelW-1) input field
+// into the [tap][column] activation matrix of the native stride-1
+// mapping: avals[t][d] = field[t/Wx][t%Wx + d].
+func (p *PLCU) ReceptiveFieldAVals(field [][]float64) [][]float64 {
+	cfg := p.cfg
+	width := cfg.Nd + cfg.KernelW - 1
+	if len(field) != cfg.KernelH {
+		panic(fmt.Sprintf("core: field wants %d rows, got %d", cfg.KernelH, len(field)))
+	}
+	out := make([][]float64, cfg.Nm)
+	for t := 0; t < cfg.Nm; t++ {
+		r, c := t/cfg.KernelW, t%cfg.KernelW
+		if len(field[r]) != width {
+			panic(fmt.Sprintf("core: field row %d wants %d cols, got %d", r, width, len(field[r])))
+		}
+		row := make([]float64, cfg.Nd)
+		for d := 0; d < cfg.Nd; d++ {
+			row[d] = field[r][c+d]
+		}
+		out[t] = row
+	}
+	return out
+}

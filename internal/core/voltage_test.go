@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/tensor"
+)
+
+func voltageConfig() Config {
+	c := idealConfig()
+	c.VoltageDomainWeights = true
+	return c
+}
+
+func TestVoltageDomainEndpointsExact(t *testing.T) {
+	// 0, +-1 are exactly representable on both grids.
+	p := NewPLCU(voltageConfig())
+	for _, w := range []float64{0, 1, -1} {
+		if got := p.quantizeWeight(w); got != w {
+			t.Errorf("quantizeWeight(%g) = %g", w, got)
+		}
+	}
+}
+
+func TestVoltageDomainGridIsWarped(t *testing.T) {
+	// The voltage grid is coarse near mid-scale (where dw/dv peaks)
+	// and fine near the rails: the step around w = 0.5 is larger than
+	// the step near w = 0.97.
+	p := NewPLCU(voltageConfig())
+	stepAt := func(w float64) float64 {
+		q := p.quantizeWeight(w)
+		// Find the adjacent representable value by nudging.
+		for d := 1e-4; d < 0.2; d += 1e-4 {
+			if q2 := p.quantizeWeight(w + d); q2 != q {
+				return math.Abs(q2 - q)
+			}
+		}
+		return 0
+	}
+	mid := stepAt(0.5)
+	rail := stepAt(0.97)
+	if mid <= rail {
+		t.Errorf("voltage-domain step at mid-scale (%g) should exceed the rail step (%g)", mid, rail)
+	}
+	// The value-domain grid is uniform: steps match.
+	ideal := NewPLCU(idealConfig())
+	vstep := func(w float64) float64 {
+		q := ideal.quantizeWeight(w)
+		for d := 1e-4; d < 0.2; d += 1e-4 {
+			if q2 := ideal.quantizeWeight(w + d); q2 != q {
+				return math.Abs(q2 - q)
+			}
+		}
+		return 0
+	}
+	if math.Abs(vstep(0.5)-vstep(0.9)) > 1e-9 {
+		t.Error("value-domain grid should be uniform")
+	}
+}
+
+func TestVoltageDomainSignSymmetry(t *testing.T) {
+	p := NewPLCU(voltageConfig())
+	for w := -1.0; w <= 1.0; w += 0.05 {
+		if math.Abs(p.quantizeWeight(w)+p.quantizeWeight(-w)) > 1e-12 {
+			t.Fatalf("voltage-domain quantizer must be odd at %g", w)
+		}
+	}
+}
+
+func TestVoltageDomainCostsAccuracy(t *testing.T) {
+	// The ablation's conclusion: without pre-distortion, conv error
+	// grows versus the value-domain grid (same everything else).
+	a := tensor.RandomVolume(6, 10, 10, 501)
+	w := tensor.RandomKernels(4, 6, 3, 3, 502)
+	cc := tensor.ConvConfig{Stride: 1, Pad: 1}
+	want := tensor.Conv(a, w, cc)
+
+	value := NewChip(idealConfig()).Conv(a, w, cc, false)
+	voltage := NewChip(voltageConfig()).Conv(a, w, cc, false)
+	ev := rmsError(value, want)
+	eu := rmsError(voltage, want)
+	if eu <= ev {
+		t.Errorf("voltage-domain error (%.4f) should exceed value-domain (%.4f)", eu, ev)
+	}
+	// But it is not catastrophic at 8 bits: within ~2x.
+	if eu > 3*ev+0.05 {
+		t.Errorf("voltage-domain error %.4f implausibly large vs %.4f", eu, ev)
+	}
+}

@@ -1,0 +1,217 @@
+// Package device holds the photonic and electronic device parameters
+// used by the Albireo architecture, taken directly from the paper's
+// Table I (device power estimates for the conservative, moderate, and
+// aggressive configurations) and Table II (optical device parameters).
+//
+// These are deliberately plain data: the physics lives in
+// internal/photonics, the accounting in internal/perf. Keeping the
+// constants in one package makes every reproduced table traceable to a
+// single source of truth.
+package device
+
+import "albireo/internal/units"
+
+// Estimate selects one of the paper's three technology projections.
+type Estimate int
+
+const (
+	// Conservative uses photonic devices demonstrated to date
+	// (Albireo-C, Table I column 1).
+	Conservative Estimate = iota
+	// Moderate uses device targets that match current electronic
+	// accelerator energy (Albireo-M).
+	Moderate
+	// Aggressive uses future projections that make Albireo a
+	// high-performance successor (Albireo-A).
+	Aggressive
+)
+
+// String returns the paper's suffix for the estimate (C, M, A).
+func (e Estimate) String() string {
+	switch e {
+	case Conservative:
+		return "C"
+	case Moderate:
+		return "M"
+	case Aggressive:
+		return "A"
+	default:
+		return "?"
+	}
+}
+
+// Estimates lists all three projections in paper order.
+var Estimates = []Estimate{Conservative, Moderate, Aggressive}
+
+// PowerParams is one column of Table I: per-device power draw in watts,
+// plus the converter sample rate the column assumes.
+type PowerParams struct {
+	// MRR is the microring resonator power (tuning + modulation).
+	MRR float64
+	// MZM is the Mach-Zehnder modulator drive power.
+	MZM float64
+	// Laser is the per-wavelength laser source power.
+	Laser float64
+	// TIA is the transimpedance amplifier power.
+	TIA float64
+	// ADC is the analog-to-digital converter power at SampleRate.
+	ADC float64
+	// DAC is the digital-to-analog converter power at SampleRate.
+	DAC float64
+	// SampleRate is the converter rate in samples per second; it also
+	// sets the photonic modulation rate (5 GHz for C and M, 8 GHz for
+	// A per Section IV-A).
+	SampleRate float64
+}
+
+// Powers returns the Table I column for the given estimate.
+func Powers(e Estimate) PowerParams {
+	switch e {
+	case Conservative:
+		return PowerParams{
+			MRR:        3.1 * units.Milli,
+			MZM:        11.3 * units.Milli,
+			Laser:      37.5 * units.Milli,
+			TIA:        3.0 * units.Milli,
+			ADC:        29 * units.Milli,
+			DAC:        26 * units.Milli,
+			SampleRate: 5 * units.Giga,
+		}
+	case Moderate:
+		return PowerParams{
+			MRR:        388 * units.Micro,
+			MZM:        1.41 * units.Milli,
+			Laser:      1.38 * units.Milli,
+			TIA:        1.5 * units.Milli,
+			ADC:        14.5 * units.Milli,
+			DAC:        13 * units.Milli,
+			SampleRate: 5 * units.Giga,
+		}
+	case Aggressive:
+		return PowerParams{
+			MRR:        155 * units.Micro,
+			MZM:        565 * units.Micro,
+			Laser:      1.38 * units.Milli,
+			TIA:        300 * units.Micro,
+			ADC:        2.9 * units.Milli,
+			DAC:        2.6 * units.Milli,
+			SampleRate: 8 * units.Giga,
+		}
+	default:
+		return PowerParams{}
+	}
+}
+
+// OpticalParams is Table II: the optical device parameters shared by
+// all three Albireo estimates. Lengths are meters, areas m^2, losses dB.
+type OpticalParams struct {
+	// Waveguide geometry and optics.
+	WaveguideWidth  float64 // 500 nm
+	WaveguideHeight float64 // 220 nm
+	NEff            float64 // effective index at 1550 nm
+	NGroup          float64 // group index at 1550 nm
+	StraightLossDB  float64 // dB/cm converted to dB/m
+	BentLossDB      float64 // dB/m
+
+	// Y-branch splitter.
+	YBranchLossDB float64
+	YBranchArea   float64
+
+	// Microring resonator.
+	RingRadius float64 // 5 um
+	RingLossDB float64 // insertion loss
+	RingK2     float64 // power cross-coupling coefficient
+	RingFSR    float64 // free spectral range, meters of wavelength
+	RingArea   float64
+
+	// Mach-Zehnder modulator.
+	MZMLossDB float64
+	MZMArea   float64
+
+	// Star coupler.
+	StarLossDB float64
+	StarArea   float64
+
+	// Arrayed waveguide grating.
+	AWGChannels    int
+	AWGLossDB      float64
+	AWGCrosstalkDB float64 // -34 dB
+	AWGFSR         float64 // 70 nm
+	AWGArea        float64
+
+	// Laser.
+	LaserRINdBcHz float64 // -140 dBc/Hz
+	LaserArea     float64
+
+	// PIN photodiode.
+	PDResponsivity float64 // A/W
+	PDDarkCurrent  float64 // A @ 1V
+	PDArea         float64
+
+	// CenterWavelength anchors the WDM grid (1550 nm C-band).
+	CenterWavelength float64
+}
+
+// Optics returns the Table II parameter set.
+func Optics() OpticalParams {
+	return OpticalParams{
+		WaveguideWidth:  500 * units.Nano,
+		WaveguideHeight: 220 * units.Nano,
+		NEff:            2.33,
+		NGroup:          4.68,
+		StraightLossDB:  1.5 * 100, // 1.5 dB/cm -> dB/m
+		BentLossDB:      3.8 * 100, // 3.8 dB/cm -> dB/m
+
+		YBranchLossDB: 0.3,
+		YBranchArea:   1.2 * units.Micro * 2.2 * units.Micro,
+
+		RingRadius: 5 * units.Micro,
+		RingLossDB: 0.39,
+		RingK2:     0.03,
+		RingFSR:    16.1 * units.Nano,
+		RingArea:   20 * units.Micro * 20 * units.Micro,
+
+		MZMLossDB: 1.2,
+		MZMArea:   300 * units.Micro * 50 * units.Micro,
+
+		StarLossDB: 1.3,
+		StarArea:   750 * units.Micro * 350 * units.Micro,
+
+		AWGChannels:    64,
+		AWGLossDB:      2.0,
+		AWGCrosstalkDB: -34,
+		AWGFSR:         70 * units.Nano,
+		AWGArea:        5 * units.Milli * 2 * units.Milli,
+
+		LaserRINdBcHz: -140,
+		LaserArea:     400 * units.Micro * 300 * units.Micro,
+
+		PDResponsivity: 1.1,
+		PDDarkCurrent:  25 * units.Pico,
+		PDArea:         40 * units.Micro * 40 * units.Micro,
+
+		CenterWavelength: 1550 * units.Nano,
+	}
+}
+
+// MemoryParams describes the 7 nm SRAM subsystems of Section IV-A.
+type MemoryParams struct {
+	GlobalBufferBytes int
+	GlobalBufferArea  float64 // 0.59 x 0.34 mm^2
+	KernelCacheBytes  int
+	KernelCacheArea   float64 // 0.092 x 0.085 mm^2
+	// CachePower is the total cache power budget from Table III
+	// (0.03 W for every estimate).
+	CachePower float64
+}
+
+// Memory returns the paper's memory subsystem parameters.
+func Memory() MemoryParams {
+	return MemoryParams{
+		GlobalBufferBytes: 256 << 10,
+		GlobalBufferArea:  0.59 * units.Milli * 0.34 * units.Milli,
+		KernelCacheBytes:  16 << 10,
+		KernelCacheArea:   0.092 * units.Milli * 0.085 * units.Milli,
+		CachePower:        0.03,
+	}
+}

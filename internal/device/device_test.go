@@ -1,0 +1,144 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/units"
+)
+
+func TestEstimateString(t *testing.T) {
+	if Conservative.String() != "C" || Moderate.String() != "M" || Aggressive.String() != "A" {
+		t.Error("estimate suffixes do not match paper naming")
+	}
+	if Estimate(99).String() != "?" {
+		t.Error("unknown estimate should stringify to ?")
+	}
+}
+
+func TestPowersTableI(t *testing.T) {
+	c := Powers(Conservative)
+	if c.MRR != 3.1e-3 || c.MZM != 11.3e-3 || c.Laser != 37.5e-3 {
+		t.Errorf("conservative optical powers mismatch Table I: %+v", c)
+	}
+	if c.TIA != 3e-3 || c.ADC != 29e-3 || c.DAC != 26e-3 {
+		t.Errorf("conservative electronic powers mismatch Table I: %+v", c)
+	}
+	if c.SampleRate != 5e9 {
+		t.Errorf("conservative sample rate should be 5 GS/s, got %g", c.SampleRate)
+	}
+
+	m := Powers(Moderate)
+	if m.MRR != 388e-6 || m.MZM != 1.41e-3 || m.Laser != 1.38e-3 {
+		t.Errorf("moderate powers mismatch Table I: %+v", m)
+	}
+	if m.SampleRate != 5e9 {
+		t.Errorf("moderate sample rate should be 5 GS/s, got %g", m.SampleRate)
+	}
+
+	a := Powers(Aggressive)
+	if a.MRR != 155e-6 || a.MZM != 565e-6 || a.TIA != 300e-6 {
+		t.Errorf("aggressive powers mismatch Table I: %+v", a)
+	}
+	if a.SampleRate != 8e9 {
+		t.Errorf("aggressive sample rate should be 8 GS/s, got %g", a.SampleRate)
+	}
+
+	if (Powers(Estimate(42)) != PowerParams{}) {
+		t.Error("unknown estimate should return zero params")
+	}
+}
+
+func TestPowersMonotoneAcrossEstimates(t *testing.T) {
+	// Each device gets cheaper (or no more expensive) from C to M to A.
+	c, m, a := Powers(Conservative), Powers(Moderate), Powers(Aggressive)
+	type row struct {
+		name    string
+		c, m, a float64
+	}
+	rows := []row{
+		{"MRR", c.MRR, m.MRR, a.MRR},
+		{"MZM", c.MZM, m.MZM, a.MZM},
+		{"Laser", c.Laser, m.Laser, a.Laser},
+		{"TIA", c.TIA, m.TIA, a.TIA},
+		{"ADC", c.ADC, m.ADC, a.ADC},
+		{"DAC", c.DAC, m.DAC, a.DAC},
+	}
+	for _, r := range rows {
+		if !(r.c >= r.m && r.m >= r.a) {
+			t.Errorf("%s power should be non-increasing C>=M>=A: %g %g %g", r.name, r.c, r.m, r.a)
+		}
+	}
+}
+
+func TestOpticsTableII(t *testing.T) {
+	o := Optics()
+	if o.NEff != 2.33 || o.NGroup != 4.68 {
+		t.Error("waveguide indices mismatch Table II")
+	}
+	if math.Abs(o.RingRadius-5e-6) > 1e-18 {
+		t.Error("ring radius should be 5 um")
+	}
+	if o.RingK2 != 0.03 {
+		t.Error("ring k^2 should be 0.03")
+	}
+	if math.Abs(o.RingFSR-16.1e-9) > 1e-18 {
+		t.Error("ring FSR should be 16.1 nm")
+	}
+	if o.AWGChannels != 64 {
+		t.Error("AWG should have 64 channels")
+	}
+	if o.PDResponsivity != 1.1 {
+		t.Error("PD responsivity should be 1.1 A/W")
+	}
+	if o.LaserRINdBcHz != -140 {
+		t.Error("laser RIN should be -140 dBc/Hz")
+	}
+	if math.Abs(o.CenterWavelength-1550e-9) > 1e-18 {
+		t.Error("center wavelength should be 1550 nm")
+	}
+}
+
+func TestOpticsDerivedFSRConsistency(t *testing.T) {
+	// Table II self-consistency: FSR = lambda^2 / (ng * L) for the
+	// 5 um ring should land near the quoted 16.1 nm.
+	o := Optics()
+	circumference := 2 * math.Pi * o.RingRadius
+	fsr := o.CenterWavelength * o.CenterWavelength / (o.NGroup * circumference)
+	if math.Abs(fsr-o.RingFSR) > 0.5*units.Nano {
+		t.Errorf("derived FSR %.3g nm too far from Table II 16.1 nm", fsr/units.Nano)
+	}
+}
+
+func TestOpticsAreas(t *testing.T) {
+	o := Optics()
+	// AWG dominates at 10 mm^2 (72% of chip area per Fig. 9).
+	if math.Abs(o.AWGArea-10e-6) > 1e-12 {
+		t.Errorf("AWG area should be 10 mm^2, got %g m^2", o.AWGArea)
+	}
+	// Star coupler is 0.2625 mm^2.
+	if math.Abs(o.StarArea-0.2625e-6) > 1e-12 {
+		t.Errorf("star coupler area should be 0.2625 mm^2, got %g m^2", o.StarArea)
+	}
+	// MZM is 0.015 mm^2.
+	if math.Abs(o.MZMArea-0.015e-6) > 1e-15 {
+		t.Errorf("MZM area should be 0.015 mm^2, got %g m^2", o.MZMArea)
+	}
+}
+
+func TestMemoryParams(t *testing.T) {
+	m := Memory()
+	if m.GlobalBufferBytes != 262144 {
+		t.Error("global buffer should be 256 kB")
+	}
+	if m.KernelCacheBytes != 16384 {
+		t.Error("kernel cache should be 16 kB")
+	}
+	if m.CachePower != 0.03 {
+		t.Error("cache power budget should be 0.03 W (Table III)")
+	}
+	wantGlobal := 0.59e-3 * 0.34e-3
+	if math.Abs(m.GlobalBufferArea-wantGlobal) > 1e-15 {
+		t.Error("global buffer footprint mismatch")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"albireo/internal/core"
+	"albireo/internal/inference"
+	"albireo/internal/train"
+)
+
+// BitwidthRow is one point of the converter-resolution sweep: the
+// end-to-end accuracy of a trained model deployed on the analog chip
+// with b-bit DACs/ADCs.
+type BitwidthRow struct {
+	Bits        int
+	AccuracyPct float64
+}
+
+// BitwidthSweep trains the small CNN once and deploys it across
+// converter resolutions with full impairments - the end-to-end version
+// of the paper's "8-bit integer quantization is common ... yields
+// competitive accuracy" argument (Section II-C.2), and the reason the
+// 7-bit crosstalk budget of Figure 4c matters.
+func BitwidthSweep(bits []int, testN int) []BitwidthRow {
+	xs, labels := train.SyntheticDataset(150, 12, 8)
+	net := train.NewSmallNet(12, 3, 9)
+	net.Train(xs, labels, train.DefaultHyper())
+	testX, testY := train.SyntheticDataset(testN, 12, 4242)
+
+	rows := make([]BitwidthRow, 0, len(bits))
+	for _, b := range bits {
+		cfg := core.DefaultConfig()
+		cfg.DACBits = b
+		cfg.ADCBits = b
+		acc := train.AnalogAccuracy(net, inference.NewAnalog(cfg), testX, testY)
+		rows = append(rows, BitwidthRow{Bits: b, AccuracyPct: acc * 100})
+	}
+	return rows
+}
+
+// FormatBitwidth renders the sweep.
+func FormatBitwidth(rows []BitwidthRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Converter bit-width vs trained-model analog accuracy (full impairments)")
+	fmt.Fprintln(&b, "bits  accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d  %7.1f%%\n", r.Bits, r.AccuracyPct)
+	}
+	return b.String()
+}

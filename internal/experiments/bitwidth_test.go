@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBitwidthSweepShape(t *testing.T) {
+	rows := BitwidthSweep([]int{3, 4, 6, 8}, 30)
+	if len(rows) != 4 {
+		t.Fatal("row count")
+	}
+	// 8-bit deployment keeps high accuracy; 3-bit collapses toward
+	// chance - the end-to-end justification of the paper's 8-bit
+	// converters and the >= 7-bit crosstalk budget.
+	by := map[int]float64{}
+	for _, r := range rows {
+		by[r.Bits] = r.AccuracyPct
+	}
+	if by[8] < 90 {
+		t.Errorf("8-bit accuracy = %.1f%%, want >= 90%%", by[8])
+	}
+	if by[3] > by[8]-10 {
+		t.Errorf("3-bit accuracy %.1f%% should fall well below 8-bit %.1f%%", by[3], by[8])
+	}
+	if by[6] < by[3] {
+		t.Error("accuracy should not fall with more bits (3 -> 6)")
+	}
+	if !strings.Contains(FormatBitwidth(rows), "bits") {
+		t.Error("format")
+	}
+}

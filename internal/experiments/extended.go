@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"albireo/internal/circuit"
+	"albireo/internal/core"
+	"albireo/internal/nn"
+	"albireo/internal/perf"
+	"albireo/internal/sim"
+)
+
+// Extended experiments: analyses this repository adds beyond the
+// paper's figures (see EXPERIMENTS.md "Beyond-the-paper analyses").
+
+// DataflowRow compares the two PLCG dataflows on one network.
+type DataflowRow struct {
+	Model     string
+	Dataflow  string
+	Cycles    int64
+	TrafficMB float64
+	EnergyUJ  float64
+}
+
+// DataflowComparison runs the Section III-B ablation on every
+// benchmark.
+func DataflowComparison() []DataflowRow {
+	var rows []DataflowRow
+	for _, m := range nn.Benchmarks() {
+		df, ws := sim.Compare(core.DefaultConfig(), m)
+		rows = append(rows,
+			DataflowRow{m.Name, sim.DepthFirst.String(), df.Cycles, float64(df.Traffic) / 1e6, df.SRAMEnergy * 1e6},
+			DataflowRow{m.Name, sim.WeightStationary.String(), ws.Cycles, float64(ws.Traffic) / 1e6, ws.SRAMEnergy * 1e6},
+		)
+	}
+	return rows
+}
+
+// FormatDataflow renders the comparison.
+func FormatDataflow(rows []DataflowRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Dataflow ablation (Section III-B): depth-first vs weight-stationary")
+	fmt.Fprintln(&b, "model       dataflow           cycles       traffic(MB)  movement(uJ)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %-17s  %-11d  %11.2f  %12.2f\n",
+			r.Model, r.Dataflow, r.Cycles, r.TrafficMB, r.EnergyUJ)
+	}
+	return b.String()
+}
+
+// EnergyRow is the refined-energy comparison for one network.
+type EnergyRow struct {
+	Model      string
+	FlatMJ     float64
+	GatedMJ    float64
+	SRAMMJ     float64
+	SavingsPct float64
+}
+
+// EnergyRefinement computes the gating + traffic refinement for every
+// benchmark on Albireo-C.
+func EnergyRefinement() []EnergyRow {
+	var rows []EnergyRow
+	for _, m := range nn.Benchmarks() {
+		eb := perf.EvaluateEnergy(core.DefaultConfig(), m)
+		rows = append(rows, EnergyRow{
+			Model:      m.Name,
+			FlatMJ:     eb.Flat * 1e3,
+			GatedMJ:    eb.Gated * 1e3,
+			SRAMMJ:     eb.SRAM * 1e3,
+			SavingsPct: eb.Savings() * 100,
+		})
+	}
+	return rows
+}
+
+// FormatEnergy renders the refinement.
+func FormatEnergy(rows []EnergyRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Energy accounting refinement (idle-PLCG gating + explicit SRAM traffic)")
+	fmt.Fprintln(&b, "model       flat(mJ)  gated(mJ)  sram(mJ)  savings")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %8.3f  %9.3f  %8.4f  %6.1f%%\n",
+			r.Model, r.FlatMJ, r.GatedMJ, r.SRAMMJ, r.SavingsPct)
+	}
+	return b.String()
+}
+
+// FormatLink renders the channel-resolved distribution budget.
+func FormatLink() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "WDM link budget (63 channels, 2 mW lasers)")
+	fmt.Fprintln(&b, "design  worst(uW)  best(uW)  spread(dB)  loss(dB)  worst-I(uA)")
+	for _, ng := range []int{9, 27} {
+		bb := circuit.NewLink(ng, 63, 2e-3).Analyze()
+		fmt.Fprintf(&b, "Ng=%-3d  %9.3f  %8.3f  %10.3f  %8.1f  %11.3f\n",
+			ng, bb.WorstPower*1e6, bb.BestPower*1e6, bb.SpreadDB,
+			bb.EndToEndLossDB, bb.WorstCurrent*1e6)
+	}
+	plan := circuit.NewChannelPlan(21, 3)
+	fmt.Fprintf(&b, "channel plan: %v (fits AWG FSR: %v, inter-unit leakage %.2g)\n",
+		plan, plan.Fits(), plan.InterUnitIsolation(1))
+	return b.String()
+}
+
+// FeasibilityRow summarizes one network's memory-system fit.
+type FeasibilityRow struct {
+	Model         string
+	Layers        int
+	CacheMisfits  int
+	BufferMisfits int
+}
+
+// FeasibilityReport checks every benchmark against the memory
+// subsystems.
+func FeasibilityReport() []FeasibilityRow {
+	var rows []FeasibilityRow
+	for _, m := range nn.Benchmarks() {
+		mf := sim.CheckModel(core.DefaultConfig(), m)
+		rows = append(rows, FeasibilityRow{
+			Model:         m.Name,
+			Layers:        len(mf.Layers),
+			CacheMisfits:  mf.CacheMisfits,
+			BufferMisfits: mf.BufferMisfits,
+		})
+	}
+	return rows
+}
+
+// FormatFeasibility renders the report.
+func FormatFeasibility(rows []FeasibilityRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Memory-system feasibility (16 kB kernel caches, 256 kB buffer)")
+	fmt.Fprintln(&b, "model       layers  kernel-cache-misfits  buffer-misfits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s  %6d  %20d  %14d\n", r.Model, r.Layers, r.CacheMisfits, r.BufferMisfits)
+	}
+	fmt.Fprintln(&b, "cache misfits stream weights from the buffer (FC layers);")
+	fmt.Fprintln(&b, "buffer misfits tile activations through off-chip memory.")
+	return b.String()
+}

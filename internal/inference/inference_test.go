@@ -1,0 +1,193 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/tensor"
+)
+
+func idealBackend() Analog {
+	cfg := core.DefaultConfig()
+	cfg.DisableNoise = true
+	cfg.DisableCrosstalk = true
+	return NewAnalog(cfg)
+}
+
+func batch(n, z, size int, seed int64) []*tensor.Volume {
+	out := make([]*tensor.Volume, n)
+	for i := range out {
+		out[i] = tensor.RandomVolume(z, size, size, seed+int64(i))
+	}
+	return out
+}
+
+func TestTinyCNNEndToEndIdeal(t *testing.T) {
+	// With ideal devices, the analog chip should agree with the exact
+	// backend on most classifications. Random-weight networks produce
+	// nearly-tied logits, so top-1 flips on tiny converter-floor
+	// errors; the correlation is the robust fidelity signal.
+	net := TinyCNN(3, 16, 42)
+	inputs := batch(20, 3, 16, 1000)
+	top1, corr := Agreement(net, Exact{}, idealBackend(), inputs)
+	if top1 < 0.75 {
+		t.Errorf("ideal top-1 agreement = %.2f, want >= 0.75", top1)
+	}
+	if corr < 0.97 {
+		t.Errorf("ideal logit correlation = %.3f, want >= 0.97", corr)
+	}
+}
+
+func TestTinyCNNEndToEndRealistic(t *testing.T) {
+	// With crosstalk and noise, agreement degrades but stays high -
+	// the end-to-end counterpart of the paper's 7-bit precision
+	// argument.
+	net := TinyCNN(3, 16, 42)
+	inputs := batch(20, 3, 16, 2000)
+	top1, corr := Agreement(net, Exact{}, NewAnalog(core.DefaultConfig()), inputs)
+	if top1 < 0.6 {
+		t.Errorf("realistic top-1 agreement = %.2f, want >= 0.6", top1)
+	}
+	if corr < 0.9 {
+		t.Errorf("realistic logit correlation = %.3f, want >= 0.9", corr)
+	}
+}
+
+func TestTinyMobileEndToEnd(t *testing.T) {
+	net := TinyMobile(3, 16, 43)
+	inputs := batch(12, 3, 16, 3000)
+	top1, corr := Agreement(net, Exact{}, idealBackend(), inputs)
+	if top1 < 0.7 {
+		t.Errorf("tiny-mobile ideal agreement = %.2f, want >= 0.7", top1)
+	}
+	if corr < 0.95 {
+		t.Errorf("tiny-mobile logit correlation = %.3f, want >= 0.95", corr)
+	}
+}
+
+func TestTinyResNetEndToEnd(t *testing.T) {
+	net := TinyResNet(3, 16, 44)
+	inputs := batch(12, 3, 16, 4000)
+	top1, corr := Agreement(net, Exact{}, idealBackend(), inputs)
+	if top1 < 0.65 {
+		t.Errorf("tiny-resnet ideal agreement = %.2f, want >= 0.65", top1)
+	}
+	if corr < 0.93 {
+		t.Errorf("tiny-resnet logit correlation = %.3f, want >= 0.93", corr)
+	}
+}
+
+func TestExactBackendMatchesTensorOps(t *testing.T) {
+	// The exact backend is a thin veneer over internal/tensor.
+	a := tensor.RandomVolume(3, 8, 8, 50)
+	w := tensor.RandomKernels(4, 3, 3, 3, 51)
+	got := Exact{}.Conv(a, w, tensor.ConvConfig{Pad: 1}, true)
+	want := tensor.ReLU(tensor.Conv(a, w, tensor.ConvConfig{Pad: 1}))
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("exact backend must match tensor ops bit-for-bit")
+		}
+	}
+	if (Exact{}).Name() != "exact" {
+		t.Error("backend name")
+	}
+}
+
+func TestAnalogBackendRoutesPointwise(t *testing.T) {
+	// 1x1 stride-1 dense kernels go through the pointwise mapping;
+	// this must produce the same shape and close values as Conv.
+	b := idealBackend()
+	a := tensor.RandomVolume(12, 6, 6, 52)
+	w := tensor.RandomKernels(4, 12, 1, 1, 53)
+	got := b.Conv(a, w, tensor.ConvConfig{}, false)
+	want := tensor.Conv(a, w, tensor.ConvConfig{})
+	if got.Z != want.Z || got.Y != want.Y || got.X != want.X {
+		t.Fatal("pointwise routing changed the output shape")
+	}
+	var num, den float64
+	for i := range want.Data {
+		d := got.Data[i] - want.Data[i]
+		num += d * d
+		den += want.Data[i] * want.Data[i]
+	}
+	if e := math.Sqrt(num / den); e > 0.12 {
+		t.Errorf("pointwise-routed conv RMS error %.3f", e)
+	}
+}
+
+func TestResidualOpIdentity(t *testing.T) {
+	// A residual block whose body outputs zero reproduces ReLU(input).
+	zero := tensor.NewKernels(4, 4, 3, 3)
+	block := ResidualOp{Body: []Op{ConvOp{Kernels: zero, Cfg: tensor.ConvConfig{Pad: 1}}}}
+	x := tensor.RandomVolume(4, 5, 5, 60)
+	out := block.apply(Exact{}, x)
+	for i := range x.Data {
+		want := x.Data[i]
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(out.Data[i]-want) > 1e-12 {
+			t.Fatal("zero-body residual should be ReLU(identity)")
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("argmax")
+	}
+	if Argmax([]float64{5}) != 0 {
+		t.Error("singleton argmax")
+	}
+	if Argmax(nil) != -1 {
+		t.Error("empty argmax should be -1")
+	}
+	if Argmax([]float64{2, 2}) != 0 {
+		t.Error("tie should pick the first")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if math.Abs(pearson(a, a)-1) > 1e-12 {
+		t.Error("self correlation should be 1")
+	}
+	b := []float64{4, 3, 2, 1}
+	if math.Abs(pearson(a, b)+1) > 1e-12 {
+		t.Error("reversed correlation should be -1")
+	}
+	if pearson(a, []float64{1, 1, 1, 1}) != 0 {
+		t.Error("constant vector correlation is degenerate (0)")
+	}
+	if pearson(a, a[:2]) != 0 {
+		t.Error("length mismatch is degenerate (0)")
+	}
+}
+
+func TestAgreementDegenerate(t *testing.T) {
+	net := TinyCNN(3, 16, 42)
+	top1, corr := Agreement(net, Exact{}, Exact{}, nil)
+	if top1 != 0 || corr != 0 {
+		t.Error("empty batch should return zeros")
+	}
+}
+
+func TestRunWithoutClassifierPanics(t *testing.T) {
+	n := &Network{Name: "headless"}
+	defer func() {
+		if recover() == nil {
+			t.Error("Run without classifier should panic")
+		}
+	}()
+	n.Run(Exact{}, tensor.RandomVolume(1, 4, 4, 70))
+}
+
+func TestNetworkString(t *testing.T) {
+	if TinyCNN(3, 16, 1).String() == "" {
+		t.Error("String")
+	}
+	if NewAnalog(core.DefaultConfig()).Name() != "albireo-C" {
+		t.Error("analog backend name")
+	}
+}

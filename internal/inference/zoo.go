@@ -1,0 +1,84 @@
+package inference
+
+import "albireo/internal/tensor"
+
+// Small synthetic networks for end-to-end validation. Weights follow
+// the bell-shaped distribution the paper cites for trained CNNs; the
+// networks are deterministic for a seed, so exact and analog runs see
+// identical parameters.
+
+// TinyCNN returns a LeNet-scale network for inZ x size x size inputs:
+// two conv+pool stages and a 10-class head. It exercises the
+// receptive-field mapping, pooling, and the FC mapping.
+func TinyCNN(inZ, size int, seed int64) *Network {
+	c1 := tensor.RandomKernels(8, inZ, 3, 3, seed)
+	c2 := tensor.RandomKernels(16, 8, 3, 3, seed+1)
+	s2 := size / 2 / 2
+	head := tensor.RandomKernels(10, 16, s2, s2, seed+2)
+	return &Network{
+		Name: "tiny-cnn",
+		Ops: []Op{
+			ConvOp{Kernels: c1, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+			PoolOp{Max: true, Window: 2, Stride: 2},
+			ConvOp{Kernels: c2, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+			PoolOp{Max: true, Window: 2, Stride: 2},
+		},
+		Classifier: head,
+	}
+}
+
+// TinyMobile returns a depthwise-separable network (MobileNet-style):
+// stem conv, two dw+pw blocks, average pool, classifier. It exercises
+// the depthwise and pointwise mappings of Section III-C.
+func TinyMobile(inZ, size int, seed int64) *Network {
+	stem := tensor.RandomKernels(8, inZ, 3, 3, seed)
+	dw1 := tensor.RandomKernels(8, 1, 3, 3, seed+1)
+	pw1 := tensor.RandomKernels(16, 8, 1, 1, seed+2)
+	dw2 := tensor.RandomKernels(16, 1, 3, 3, seed+3)
+	pw2 := tensor.RandomKernels(24, 16, 1, 1, seed+4)
+	s := size / 2
+	head := tensor.RandomKernels(10, 24, s/2, s/2, seed+5)
+	return &Network{
+		Name: "tiny-mobile",
+		Ops: []Op{
+			ConvOp{Kernels: stem, Cfg: tensor.ConvConfig{Stride: 2, Pad: 1}, ReLU: true},
+			ConvOp{Kernels: dw1, Cfg: tensor.ConvConfig{Pad: 1, Depthwise: true}, ReLU: true},
+			ConvOp{Kernels: pw1, ReLU: true},
+			ConvOp{Kernels: dw2, Cfg: tensor.ConvConfig{Stride: 2, Pad: 1, Depthwise: true}, ReLU: true},
+			ConvOp{Kernels: pw2, ReLU: true},
+		},
+		Classifier: head,
+	}
+}
+
+// TinyResNet returns a residual network: stem, one identity basic
+// block, one strided block with a projection shortcut, classifier. It
+// exercises the Branch/residual pattern of ResNet18.
+func TinyResNet(inZ, size int, seed int64) *Network {
+	stem := tensor.RandomKernels(8, inZ, 3, 3, seed)
+	b1a := tensor.RandomKernels(8, 8, 3, 3, seed+1)
+	b1b := tensor.RandomKernels(8, 8, 3, 3, seed+2)
+	b2a := tensor.RandomKernels(16, 8, 3, 3, seed+3)
+	b2b := tensor.RandomKernels(16, 16, 3, 3, seed+4)
+	proj := tensor.RandomKernels(16, 8, 1, 1, seed+5)
+	s := size / 2
+	head := tensor.RandomKernels(10, 16, s, s, seed+6)
+	return &Network{
+		Name: "tiny-resnet",
+		Ops: []Op{
+			ConvOp{Kernels: stem, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+			ResidualOp{Body: []Op{
+				ConvOp{Kernels: b1a, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+				ConvOp{Kernels: b1b, Cfg: tensor.ConvConfig{Pad: 1}},
+			}},
+			ResidualOp{
+				Body: []Op{
+					ConvOp{Kernels: b2a, Cfg: tensor.ConvConfig{Stride: 2, Pad: 1}, ReLU: true},
+					ConvOp{Kernels: b2b, Cfg: tensor.ConvConfig{Pad: 1}},
+				},
+				Shortcut: ConvOp{Kernels: proj, Cfg: tensor.ConvConfig{Stride: 2}},
+			},
+		},
+		Classifier: head,
+	}
+}

@@ -1,0 +1,173 @@
+package nn
+
+import "fmt"
+
+// The model zoo: the four CNNs of the paper's evaluation (Section
+// IV-A), all with 224x224x3 image inputs. Layer geometries follow the
+// canonical publications the paper cites: AlexNet (Krizhevsky et al.),
+// VGG16 configuration D (Simonyan & Zisserman), ResNet18 (He et al.),
+// and MobileNet v1 at width 1.0 (Howard et al.).
+
+// AlexNet returns the canonical grouped AlexNet. conv2, conv4, and
+// conv5 use 2 groups as in the original two-GPU training split.
+func AlexNet() Model {
+	return Model{Name: "AlexNet", Layers: []Layer{
+		{Name: "conv1", Kind: Conv, InZ: 3, InY: 224, InX: 224, OutZ: 96, KY: 11, KX: 11, Stride: 4, Pad: 2},
+		{Name: "pool1", Kind: MaxPoolKind, InZ: 96, InY: 55, InX: 55, OutZ: 96, KY: 3, KX: 3, Stride: 2},
+		{Name: "conv2", Kind: Conv, InZ: 96, InY: 27, InX: 27, OutZ: 256, KY: 5, KX: 5, Stride: 1, Pad: 2, Groups: 2},
+		{Name: "pool2", Kind: MaxPoolKind, InZ: 256, InY: 27, InX: 27, OutZ: 256, KY: 3, KX: 3, Stride: 2},
+		{Name: "conv3", Kind: Conv, InZ: 256, InY: 13, InX: 13, OutZ: 384, KY: 3, KX: 3, Stride: 1, Pad: 1},
+		{Name: "conv4", Kind: Conv, InZ: 384, InY: 13, InX: 13, OutZ: 384, KY: 3, KX: 3, Stride: 1, Pad: 1, Groups: 2},
+		{Name: "conv5", Kind: Conv, InZ: 384, InY: 13, InX: 13, OutZ: 256, KY: 3, KX: 3, Stride: 1, Pad: 1, Groups: 2},
+		{Name: "pool5", Kind: MaxPoolKind, InZ: 256, InY: 13, InX: 13, OutZ: 256, KY: 3, KX: 3, Stride: 2},
+		{Name: "fc6", Kind: FC, InZ: 256, InY: 6, InX: 6, OutZ: 4096, KY: 1, KX: 1},
+		{Name: "fc7", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 4096, KY: 1, KX: 1},
+		{Name: "fc8", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1},
+	}}
+}
+
+// VGG16 returns configuration D: 13 3x3 convolutions and 3 FC layers.
+func VGG16() Model {
+	var layers []Layer
+	addConv := func(name string, inZ, size, outZ int) {
+		layers = append(layers, Layer{
+			Name: name, Kind: Conv, InZ: inZ, InY: size, InX: size,
+			OutZ: outZ, KY: 3, KX: 3, Stride: 1, Pad: 1,
+		})
+	}
+	addPool := func(name string, z, size int) {
+		layers = append(layers, Layer{
+			Name: name, Kind: MaxPoolKind, InZ: z, InY: size, InX: size,
+			OutZ: z, KY: 2, KX: 2, Stride: 2,
+		})
+	}
+	addConv("conv1_1", 3, 224, 64)
+	addConv("conv1_2", 64, 224, 64)
+	addPool("pool1", 64, 224)
+	addConv("conv2_1", 64, 112, 128)
+	addConv("conv2_2", 128, 112, 128)
+	addPool("pool2", 128, 112)
+	addConv("conv3_1", 128, 56, 256)
+	addConv("conv3_2", 256, 56, 256)
+	addConv("conv3_3", 256, 56, 256)
+	addPool("pool3", 256, 56)
+	addConv("conv4_1", 256, 28, 512)
+	addConv("conv4_2", 512, 28, 512)
+	addConv("conv4_3", 512, 28, 512)
+	addPool("pool4", 512, 28)
+	addConv("conv5_1", 512, 14, 512)
+	addConv("conv5_2", 512, 14, 512)
+	addConv("conv5_3", 512, 14, 512)
+	addPool("pool5", 512, 14)
+	layers = append(layers,
+		Layer{Name: "fc1", Kind: FC, InZ: 512, InY: 7, InX: 7, OutZ: 4096, KY: 1, KX: 1},
+		Layer{Name: "fc2", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 4096, KY: 1, KX: 1},
+		Layer{Name: "fc3", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1},
+	)
+	return Model{Name: "VGG16", Layers: layers}
+}
+
+// ResNet18 returns the 18-layer residual network: a 7x7 stem, four
+// stages of two basic blocks each, and the classifier. Downsample
+// shortcuts are Branch layers.
+func ResNet18() Model {
+	var layers []Layer
+	conv := func(name string, inZ, size, outZ, k, stride, pad int, branch bool) {
+		layers = append(layers, Layer{
+			Name: name, Kind: Conv, InZ: inZ, InY: size, InX: size,
+			OutZ: outZ, KY: k, KX: k, Stride: stride, Pad: pad, Branch: branch,
+		})
+	}
+	conv("conv1", 3, 224, 64, 7, 2, 3, false)
+	layers = append(layers, Layer{
+		Name: "pool1", Kind: MaxPoolKind, InZ: 64, InY: 112, InX: 112,
+		OutZ: 64, KY: 3, KX: 3, Stride: 2, Pad: 1,
+	})
+	stage := func(idx, inZ, inSize, outZ int, downsample bool) {
+		size := inSize
+		stride := 1
+		if downsample {
+			stride = 2
+			size = inSize // first conv consumes inSize at stride 2
+		}
+		outSize := inSize / stride
+		// Block 1.
+		conv(fmt.Sprintf("s%d_b1_conv1", idx), inZ, size, outZ, 3, stride, 1, false)
+		conv(fmt.Sprintf("s%d_b1_conv2", idx), outZ, outSize, outZ, 3, 1, 1, false)
+		if downsample {
+			conv(fmt.Sprintf("s%d_b1_ds", idx), inZ, inSize, outZ, 1, 2, 0, true)
+		}
+		// Block 2.
+		conv(fmt.Sprintf("s%d_b2_conv1", idx), outZ, outSize, outZ, 3, 1, 1, false)
+		conv(fmt.Sprintf("s%d_b2_conv2", idx), outZ, outSize, outZ, 3, 1, 1, false)
+	}
+	stage(1, 64, 56, 64, false)
+	stage(2, 64, 56, 128, true)
+	stage(3, 128, 28, 256, true)
+	stage(4, 256, 14, 512, true)
+	layers = append(layers,
+		Layer{Name: "avgpool", Kind: AvgPoolKind, InZ: 512, InY: 7, InX: 7, OutZ: 512, KY: 7, KX: 7, Stride: 1},
+		Layer{Name: "fc", Kind: FC, InZ: 512, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1},
+	)
+	return Model{Name: "ResNet18", Layers: layers}
+}
+
+// MobileNet returns MobileNet v1 (width multiplier 1.0): a strided
+// stem followed by 13 depthwise-separable blocks, average pooling, and
+// the classifier. These are the depthwise and pointwise layers the
+// paper's Section III-C mapping discussion targets.
+func MobileNet() Model {
+	var layers []Layer
+	size := 224
+	layers = append(layers, Layer{
+		Name: "conv1", Kind: Conv, InZ: 3, InY: size, InX: size,
+		OutZ: 32, KY: 3, KX: 3, Stride: 2, Pad: 1,
+	})
+	size = 112
+	ch := 32
+	block := func(idx, outZ, stride int) {
+		layers = append(layers, Layer{
+			Name: fmt.Sprintf("dw%d", idx), Kind: Depthwise, InZ: ch, InY: size, InX: size,
+			OutZ: ch, KY: 3, KX: 3, Stride: stride, Pad: 1,
+		})
+		size /= stride
+		layers = append(layers, Layer{
+			Name: fmt.Sprintf("pw%d", idx), Kind: Pointwise, InZ: ch, InY: size, InX: size,
+			OutZ: outZ, KY: 1, KX: 1, Stride: 1,
+		})
+		ch = outZ
+	}
+	block(1, 64, 1)
+	block(2, 128, 2)
+	block(3, 128, 1)
+	block(4, 256, 2)
+	block(5, 256, 1)
+	block(6, 512, 2)
+	for i := 7; i <= 11; i++ {
+		block(i, 512, 1)
+	}
+	block(12, 1024, 2)
+	block(13, 1024, 1)
+	layers = append(layers,
+		Layer{Name: "avgpool", Kind: AvgPoolKind, InZ: 1024, InY: 7, InX: 7, OutZ: 1024, KY: 7, KX: 7, Stride: 1},
+		Layer{Name: "fc", Kind: FC, InZ: 1024, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1},
+	)
+	return Model{Name: "MobileNet", Layers: layers}
+}
+
+// Benchmarks returns the four evaluation networks in the paper's
+// Figure 8 order.
+func Benchmarks() []Model {
+	return []Model{AlexNet(), VGG16(), ResNet18(), MobileNet()}
+}
+
+// ByName looks a benchmark model up case-sensitively, returning false
+// if unknown.
+func ByName(name string) (Model, bool) {
+	for _, m := range Benchmarks() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}

@@ -1,0 +1,113 @@
+package nn
+
+import "fmt"
+
+// Extended model zoo: networks beyond the paper's four benchmarks,
+// exercising the same layer kinds (VGG19's deeper plain stack,
+// MobileNetV2's inverted residual bottlenecks). They feed the
+// design-space tools and broaden the mapping model's coverage.
+
+// VGG19 returns configuration E: 16 3x3 convolutions and 3 FC layers.
+func VGG19() Model {
+	var layers []Layer
+	size := 224
+	ch := 3
+	addConv := func(name string, outZ int) {
+		layers = append(layers, Layer{
+			Name: name, Kind: Conv, InZ: ch, InY: size, InX: size,
+			OutZ: outZ, KY: 3, KX: 3, Stride: 1, Pad: 1,
+		})
+		ch = outZ
+	}
+	addPool := func(name string) {
+		layers = append(layers, Layer{
+			Name: name, Kind: MaxPoolKind, InZ: ch, InY: size, InX: size,
+			OutZ: ch, KY: 2, KX: 2, Stride: 2,
+		})
+		size /= 2
+	}
+	stage := func(idx, convs, outZ int) {
+		for c := 1; c <= convs; c++ {
+			addConv(fmt.Sprintf("conv%d_%d", idx, c), outZ)
+		}
+		addPool(fmt.Sprintf("pool%d", idx))
+	}
+	stage(1, 2, 64)
+	stage(2, 2, 128)
+	stage(3, 4, 256)
+	stage(4, 4, 512)
+	stage(5, 4, 512)
+	layers = append(layers,
+		Layer{Name: "fc1", Kind: FC, InZ: 512, InY: 7, InX: 7, OutZ: 4096, KY: 1, KX: 1},
+		Layer{Name: "fc2", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 4096, KY: 1, KX: 1},
+		Layer{Name: "fc3", Kind: FC, InZ: 4096, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1},
+	)
+	return Model{Name: "VGG19", Layers: layers}
+}
+
+// MobileNetV2 returns the width-1.0 MobileNetV2: a strided stem,
+// seventeen inverted-residual bottlenecks, the 1280-channel head,
+// pooling, and the classifier. Each bottleneck expands with a 1x1
+// pointwise conv (factor t), filters depthwise, and projects back with
+// a linear 1x1 - all layer kinds the Section III-C mappings cover.
+func MobileNetV2() Model {
+	var layers []Layer
+	size := 224
+	ch := 0
+	add := func(l Layer) { layers = append(layers, l) }
+
+	// Stem.
+	add(Layer{Name: "conv1", Kind: Conv, InZ: 3, InY: size, InX: size,
+		OutZ: 32, KY: 3, KX: 3, Stride: 2, Pad: 1})
+	size = 112
+	ch = 32
+
+	block := 0
+	bottleneck := func(t, c, n, s int) {
+		for i := 0; i < n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s
+			}
+			block++
+			hidden := ch * t
+			if t != 1 {
+				add(Layer{Name: fmt.Sprintf("b%d_expand", block), Kind: Pointwise,
+					InZ: ch, InY: size, InX: size, OutZ: hidden, KY: 1, KX: 1})
+			} else {
+				hidden = ch
+			}
+			add(Layer{Name: fmt.Sprintf("b%d_dw", block), Kind: Depthwise,
+				InZ: hidden, InY: size, InX: size, OutZ: hidden,
+				KY: 3, KX: 3, Stride: stride, Pad: 1})
+			size /= stride
+			add(Layer{Name: fmt.Sprintf("b%d_project", block), Kind: Pointwise,
+				InZ: hidden, InY: size, InX: size, OutZ: c, KY: 1, KX: 1})
+			ch = c
+		}
+	}
+	bottleneck(1, 16, 1, 1)
+	bottleneck(6, 24, 2, 2)
+	bottleneck(6, 32, 3, 2)
+	bottleneck(6, 64, 4, 2)
+	bottleneck(6, 96, 3, 1)
+	bottleneck(6, 160, 3, 2)
+	bottleneck(6, 320, 1, 1)
+
+	add(Layer{Name: "conv_head", Kind: Pointwise, InZ: ch, InY: size, InX: size,
+		OutZ: 1280, KY: 1, KX: 1})
+	add(Layer{Name: "avgpool", Kind: AvgPoolKind, InZ: 1280, InY: size, InX: size,
+		OutZ: 1280, KY: size, KX: size, Stride: 1})
+	add(Layer{Name: "fc", Kind: FC, InZ: 1280, InY: 1, InX: 1, OutZ: 1000, KY: 1, KX: 1})
+	return Model{Name: "MobileNetV2", Layers: layers}
+}
+
+// Extended returns the additional networks beyond the paper's four.
+func Extended() []Model {
+	return []Model{VGG19(), MobileNetV2()}
+}
+
+// AllModels returns the paper benchmarks plus the extended zoo.
+func AllModels() []Model {
+	return append(Benchmarks(), Extended()...)
+}

@@ -1,0 +1,78 @@
+package nn
+
+import "testing"
+
+func TestVGG19Validates(t *testing.T) {
+	m := VGG19()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical ~19.6 GMACs and ~144M params.
+	macs := m.TotalMACs()
+	if macs < 19.4e9 || macs > 19.8e9 {
+		t.Errorf("VGG19 MACs = %d, want ~19.6G", macs)
+	}
+	if p := m.TotalParams(); p < 138e6 || p > 148e6 {
+		t.Errorf("VGG19 params = %d, want ~144M", p)
+	}
+	// 16 conv + 3 FC compute layers.
+	if got := len(m.ComputeLayers()); got != 19 {
+		t.Errorf("VGG19 compute layers = %d, want 19", got)
+	}
+}
+
+func TestMobileNetV2Validates(t *testing.T) {
+	m := MobileNetV2()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical ~300M MACs (BN-free accounting) and ~3.4M params.
+	macs := m.TotalMACs()
+	if macs < 280e6 || macs > 330e6 {
+		t.Errorf("MobileNetV2 MACs = %d, want ~300M", macs)
+	}
+	if p := m.TotalParams(); p < 3.0e6 || p > 3.8e6 {
+		t.Errorf("MobileNetV2 params = %d, want ~3.4M", p)
+	}
+}
+
+func TestMobileNetV2Structure(t *testing.T) {
+	m := MobileNetV2()
+	// 17 bottlenecks: 16 with expansion (3 layers) + 1 without
+	// (2 layers) = 50 block layers, plus stem, head, pool, fc.
+	var dw, pw int
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case Depthwise:
+			dw++
+		case Pointwise:
+			pw++
+		}
+	}
+	if dw != 17 {
+		t.Errorf("depthwise layers = %d, want 17", dw)
+	}
+	// 16 expands + 17 projects + head.
+	if pw != 34 {
+		t.Errorf("pointwise layers = %d, want 34", pw)
+	}
+	// The final feature map is 7x7x320 before the head.
+	var head Layer
+	for _, l := range m.Layers {
+		if l.Name == "conv_head" {
+			head = l
+		}
+	}
+	if head.InZ != 320 || head.InY != 7 {
+		t.Errorf("head input %dx%dx%d, want 320x7x7", head.InZ, head.InY, head.InX)
+	}
+}
+
+func TestExtendedLists(t *testing.T) {
+	if len(Extended()) != 2 {
+		t.Error("two extended models")
+	}
+	if len(AllModels()) != 6 {
+		t.Error("six total models")
+	}
+}

@@ -1,0 +1,50 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeparableLevelsEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	// A noiseless configuration supports unbounded levels.
+	silent := Params{
+		Bandwidth:       0, // kills shot and thermal
+		Temperature:     300,
+		FeedbackOhms:    1e4,
+		RINdBcHz:        -300, // effectively zero but Bandwidth=0 anyway
+		Responsivity:    1.1,
+		SeparationSigma: 1,
+	}
+	if !math.IsInf(silent.SeparableLevels(1e-3, 4), 1) {
+		t.Error("zero noise should support unbounded levels")
+	}
+	if silent.SupportedIntBits(1e-3, 4) != 64 {
+		t.Error("unbounded levels cap SupportedIntBits at 64")
+	}
+	// A sub-single-level operating point floors at one level, zero
+	// bits.
+	starved := p
+	starved.SeparationSigma = 1e12
+	if starved.SeparableLevels(1e-9, 2) != 1 {
+		t.Error("hopeless separation floors at one level")
+	}
+	if starved.SupportedIntBits(1e-9, 2) != 0 {
+		t.Error("one level supports zero bits")
+	}
+}
+
+func TestDominantSourceShotWindow(t *testing.T) {
+	// Between the thermal floor and the RIN ceiling there is a
+	// shot-dominated window (single channel keeps RIN low).
+	p := DefaultParams()
+	found := false
+	for _, i := range []float64{1e-6, 1e-5, 1e-4, 1e-3} {
+		if p.DominantSource(i, 1) == "shot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a shot-dominated operating window")
+	}
+}

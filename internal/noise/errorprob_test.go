@@ -1,0 +1,96 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErrorProbabilityLimits(t *testing.T) {
+	// Wide separation: vanishing error.
+	if p := ErrorProbability(1, 0.01); p > 1e-15 {
+		t.Errorf("100-sigma separation should be error free, got %g", p)
+	}
+	// Zero separation: certain error.
+	if ErrorProbability(0, 1) != 1 {
+		t.Error("zero separation should always err")
+	}
+	// Zero noise: never errs.
+	if ErrorProbability(1, 0) != 0 {
+		t.Error("noiseless reads never err")
+	}
+}
+
+func TestErrorProbabilityKnownValues(t *testing.T) {
+	// Separation of 2 sigma: erfc(1/sqrt(2)) = 0.3173 (the classic
+	// 1-sigma two-sided tail).
+	got := ErrorProbability(2, 1)
+	want := math.Erfc(1 / math.Sqrt2)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("2-sigma separation error = %g, want %g", got, want)
+	}
+	// 6-sigma separation: ~2.7e-3... erfc(3/sqrt2) = 0.0027.
+	got = ErrorProbability(6, 1)
+	if math.Abs(got-0.0026997960632601866) > 1e-12 {
+		t.Errorf("6-sigma separation error = %g", got)
+	}
+}
+
+func TestErrorProbabilityMonotone(t *testing.T) {
+	prev := 1.1
+	for sep := 0.5; sep <= 8; sep += 0.5 {
+		p := ErrorProbability(sep, 1)
+		if p >= prev {
+			t.Fatalf("error probability must fall with separation at %g", sep)
+		}
+		prev = p
+	}
+}
+
+func TestLevelErrorProbability(t *testing.T) {
+	p := DefaultParams()
+	iPer := 0.5e-3
+	// More bits, thinner levels, more errors.
+	prev := -1.0
+	for b := 4; b <= 12; b++ {
+		e := p.LevelErrorProbability(iPer, 20, b)
+		if e < prev {
+			t.Fatalf("error must grow with bit depth at %d bits", b)
+		}
+		prev = e
+	}
+	// Degenerate inputs are certain errors.
+	if p.LevelErrorProbability(0, 20, 8) != 1 || p.LevelErrorProbability(1e-3, 0, 8) != 1 {
+		t.Error("degenerate operating points cannot support any bits")
+	}
+}
+
+func TestMaxErrorFreeBitsConsistent(t *testing.T) {
+	p := DefaultParams()
+	iPer := 1.1 * 2e-3 * math.Pow(10, -0.5)
+	// At a 1e-9 error budget the supported width is close to (a bit
+	// below) the sigma-separation estimate with its default k=1.
+	bits := p.MaxErrorFreeBits(iPer, 20, 1e-9)
+	est := p.SupportedIntBits(iPer, 20)
+	if bits > est {
+		t.Errorf("1e-9-budget bits (%d) should not exceed the k=1 estimate (%d)", bits, est)
+	}
+	if bits < est-4 {
+		t.Errorf("error-budget bits (%d) implausibly far below estimate (%d)", bits, est)
+	}
+	// Looser budgets admit more bits.
+	if loose := p.MaxErrorFreeBits(iPer, 20, 1e-2); loose < bits {
+		t.Error("a looser error budget should admit at least as many bits")
+	}
+	if p.MaxErrorFreeBits(iPer, 20, 0) != 0 {
+		t.Error("zero budget supports zero bits")
+	}
+}
+
+func TestMACErrorsPerInference(t *testing.T) {
+	if got := MACErrorsPerInference(1e-6, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("expected errors = %g, want 1", got)
+	}
+	if MACErrorsPerInference(-1, 100) != 0 {
+		t.Error("negative probability should clamp")
+	}
+}

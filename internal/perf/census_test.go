@@ -1,0 +1,152 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/device"
+)
+
+func TestCensusMatchesPaperCounts(t *testing.T) {
+	c := NewCensus(core.DefaultConfig())
+	// Section V: "Albireo uses only 306 DACs" and "45 TIAs".
+	if c.DACs != 306 {
+		t.Errorf("DACs = %d, want 306", c.DACs)
+	}
+	if c.TIAs != 45 {
+		t.Errorf("TIAs = %d, want 45", c.TIAs)
+	}
+	if c.ADCs != 45 {
+		t.Errorf("ADCs = %d, want 45", c.ADCs)
+	}
+	// 2 * 9 * 5 switching rings per PLCU x 27 PLCUs.
+	if c.SwitchingMRRs != 2430 {
+		t.Errorf("switching MRRs = %d, want 2430", c.SwitchingMRRs)
+	}
+	if c.WeightMZMs != 243 {
+		t.Errorf("weight MZMs = %d, want 243", c.WeightMZMs)
+	}
+	if c.Lasers != 63 || c.SignalGenMods != 63 {
+		t.Errorf("lasers/siggen = %d/%d, want 63/63", c.Lasers, c.SignalGenMods)
+	}
+	// 3 star couplers per PLCU x 27; 9 AWGs.
+	if c.StarCouplers != 81 {
+		t.Errorf("star couplers = %d, want 81", c.StarCouplers)
+	}
+	if c.AWGs != 9 || c.KernelCaches != 9 {
+		t.Error("per-PLCG device counts")
+	}
+	if c.Photodiodes != 270 {
+		t.Errorf("photodiodes = %d, want 270", c.Photodiodes)
+	}
+}
+
+func TestPowerBreakdownTableIII(t *testing.T) {
+	// Table III, Albireo-C column: MRR 7.52, MZI 3.45, Laser 2.36,
+	// TIA 0.14, DAC 7.93, ADC 1.31, Cache 0.03, Total 22.7 W.
+	c := NewCensus(core.DefaultConfig())
+	p := c.Power(device.Conservative)
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("Albireo-C %s power = %.3f W, want %.2f W", name, got, want)
+		}
+	}
+	check("MRR", p.MRR, 7.52, 0.05)
+	check("MZI", p.MZM, 3.45, 0.05)
+	check("Laser", p.Laser, 2.36, 0.05)
+	check("TIA", p.TIA, 0.14, 0.01)
+	check("DAC", p.DAC, 7.93, 0.05)
+	check("ADC", p.ADC, 1.31, 0.01)
+	check("Cache", p.Cache, 0.03, 0.001)
+	check("Total", p.Total(), 22.7, 0.15)
+}
+
+func TestPowerBreakdownModerate(t *testing.T) {
+	// Table III, Albireo-M: MRR 0.94, MZI 0.43, Laser 0.09, TIA 0.07,
+	// DAC 3.98, ADC 0.65, Total 6.19 W.
+	p := NewCensus(core.DefaultConfig()).Power(device.Moderate)
+	if math.Abs(p.MRR-0.94) > 0.01 || math.Abs(p.MZM-0.43) > 0.01 {
+		t.Errorf("moderate optical power mismatch: MRR %.3f MZI %.3f", p.MRR, p.MZM)
+	}
+	if math.Abs(p.DAC-3.98) > 0.01 || math.Abs(p.ADC-0.65) > 0.01 {
+		t.Errorf("moderate converter power mismatch: DAC %.3f ADC %.3f", p.DAC, p.ADC)
+	}
+	if math.Abs(p.Total()-6.19) > 0.1 {
+		t.Errorf("Albireo-M total = %.3f W, want 6.19 W", p.Total())
+	}
+}
+
+func TestPowerBreakdownAggressive(t *testing.T) {
+	// Table III, Albireo-A: total 1.64 W. Our census lands at ~1.58 W;
+	// the paper's laser row (0.12 W) is ~0.03 W above 63 x 1.38 mW,
+	// an internal inconsistency documented in EXPERIMENTS.md.
+	p := NewCensus(core.DefaultConfig()).Power(device.Aggressive)
+	if math.Abs(p.MRR-0.38) > 0.01 || math.Abs(p.DAC-0.80) > 0.01 {
+		t.Errorf("aggressive row mismatch: MRR %.3f DAC %.3f", p.MRR, p.DAC)
+	}
+	if p.Total() < 1.5 || p.Total() > 1.7 {
+		t.Errorf("Albireo-A total = %.3f W, want ~1.6 W", p.Total())
+	}
+}
+
+func TestAlbireo27PowerNear60W(t *testing.T) {
+	// Section IV-A: the 27-PLCG design consumes 58.8 W, inside the
+	// 60 W comparison budget.
+	p := NewCensus(core.Albireo27()).Power(device.Conservative)
+	if p.Total() < 57 || p.Total() > 61 {
+		t.Errorf("Albireo-27 total = %.2f W, want ~58.8 W", p.Total())
+	}
+}
+
+func TestAreaBreakdownFigure9(t *testing.T) {
+	c := NewCensus(core.DefaultConfig())
+	a := c.Area()
+	total := a.Total()
+	// Section IV-B: ~124.6 mm^2 total.
+	if total < 120e-6 || total > 130e-6 {
+		t.Errorf("chip area = %.1f mm^2, want ~124.6", total*1e6)
+	}
+	// AWGs are ~72% of area, star couplers ~17%, MZMs ~3.7%.
+	if f := a.AWG / total; f < 0.68 || f > 0.76 {
+		t.Errorf("AWG fraction = %.2f, want ~0.72", f)
+	}
+	if f := a.StarCoupler / total; f < 0.14 || f > 0.20 {
+		t.Errorf("star coupler fraction = %.2f, want ~0.17", f)
+	}
+	if f := a.MZM / total; f < 0.030 || f > 0.045 {
+		t.Errorf("MZM fraction = %.3f, want ~0.037", f)
+	}
+	// A single AWG is 8% of total area (Section IV-B).
+	if f := a.AWG / 9 / total; f < 0.07 || f > 0.09 {
+		t.Errorf("single AWG fraction = %.3f, want ~0.08", f)
+	}
+}
+
+func TestActiveArea(t *testing.T) {
+	c := NewCensus(core.DefaultConfig())
+	active := c.ActiveArea()
+	// ~11% of the chip (~13-14 mm^2): everything but AWGs and star
+	// couplers.
+	if active < 11e-6 || active > 17e-6 {
+		t.Errorf("active area = %.1f mm^2, want ~13.7", active*1e6)
+	}
+	if active >= c.Area().Total() {
+		t.Error("active area must be smaller than total")
+	}
+}
+
+func TestCensusScalesWithNg(t *testing.T) {
+	c9 := NewCensus(core.DefaultConfig())
+	c27 := NewCensus(core.Albireo27())
+	if c27.SwitchingMRRs != 3*c9.SwitchingMRRs {
+		t.Error("switching MRRs should scale with Ng")
+	}
+	if c27.Lasers != c9.Lasers {
+		t.Error("laser count is set by the wavelength budget, not Ng")
+	}
+	if c27.DACs != 3*c9.WeightMZMs+c9.SignalGenMods {
+		t.Errorf("27-PLCG DACs = %d, want %d", c27.DACs, 3*c9.WeightMZMs+c9.SignalGenMods)
+	}
+}

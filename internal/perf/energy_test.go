@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+)
+
+func TestFlatEnergyMatchesEvaluate(t *testing.T) {
+	// The flat component must reproduce the Table IV accounting.
+	for _, m := range nn.Benchmarks() {
+		eb := EvaluateEnergy(core.DefaultConfig(), m)
+		r := Evaluate(core.DefaultConfig(), m)
+		if math.Abs(eb.Flat-r.Energy)/r.Energy > 1e-9 {
+			t.Errorf("%s: flat energy %g != Evaluate energy %g", m.Name, eb.Flat, r.Energy)
+		}
+		if math.Abs(eb.Latency-r.Latency)/r.Latency > 1e-9 {
+			t.Errorf("%s: latency mismatch", m.Name)
+		}
+	}
+}
+
+func TestGatedNeverExceedsFlat(t *testing.T) {
+	for _, m := range nn.Benchmarks() {
+		eb := EvaluateEnergy(core.DefaultConfig(), m)
+		if eb.Gated > eb.Flat*1.0001 {
+			t.Errorf("%s: gated energy %g exceeds flat %g", m.Name, eb.Gated, eb.Flat)
+		}
+		if eb.Gated <= 0 || eb.SRAM <= 0 {
+			t.Errorf("%s: breakdown components must be positive", m.Name)
+		}
+	}
+}
+
+func TestGatingSavesOnPartialPasses(t *testing.T) {
+	// A network whose layers never fill the 9 PLCGs must gate
+	// substantially: 4 kernels on 9 groups idles more than half the
+	// fabric.
+	tiny := nn.Model{Name: "tiny", Layers: []nn.Layer{
+		{Name: "c1", Kind: nn.Conv, InZ: 3, InY: 16, InX: 16, OutZ: 4, KY: 3, KX: 3, Stride: 1, Pad: 1},
+	}}
+	eb := EvaluateEnergy(core.DefaultConfig(), tiny)
+	if eb.Gated >= eb.Flat*0.8 {
+		t.Errorf("4-kernel layer should gate >20%% of flat energy: gated %g flat %g", eb.Gated, eb.Flat)
+	}
+	// Large nets keep the fabric mostly full: gating saves little.
+	vgg := EvaluateEnergy(core.DefaultConfig(), nn.VGG16())
+	if vgg.Gated < vgg.Flat*0.7 {
+		t.Errorf("VGG16 should keep the fabric busy: gated %g flat %g", vgg.Gated, vgg.Flat)
+	}
+}
+
+func TestSRAMEnergySmallVsCompute(t *testing.T) {
+	// With the depth-first dataflow, data movement is a small fraction
+	// of compute energy - the point of the PLCG's stationary
+	// aggregation (Section III-B).
+	eb := EvaluateEnergy(core.DefaultConfig(), nn.VGG16())
+	if eb.SRAM > 0.1*eb.Flat {
+		t.Errorf("SRAM energy %g should be <10%% of compute %g under depth-first", eb.SRAM, eb.Flat)
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	eb := EnergyBreakdown{Flat: 10, Gated: 8, SRAM: 1}
+	if eb.Total() != 9 {
+		t.Error("Total should be gated + SRAM")
+	}
+	if math.Abs(eb.Savings()-0.1) > 1e-12 {
+		t.Error("Savings should be 1 - total/flat")
+	}
+	var zero EnergyBreakdown
+	if zero.Savings() != 0 {
+		t.Error("degenerate savings should be 0")
+	}
+}
+
+func TestPerGroupPowerComposition(t *testing.T) {
+	cfg := core.DefaultConfig()
+	group, floor := perGroupPower(cfg, cfg.Estimate)
+	// Ng groups plus the floor should reconstruct the census total
+	// within rounding (the same devices, partitioned).
+	total := NewCensus(cfg).Power(cfg.Estimate).Total()
+	sum := float64(cfg.Ng)*group + floor
+	if math.Abs(sum-total)/total > 0.01 {
+		t.Errorf("partitioned power %g != census total %g", sum, total)
+	}
+}

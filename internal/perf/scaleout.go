@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"fmt"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+)
+
+// EvaluateMultiChip models a scale-out deployment: n identical Albireo
+// chips, each with its own laser bank and signal-generation path,
+// splitting a layer's kernels between them (the natural extension of
+// the paper's kernel-parallel broadcast - Section III-C notes more
+// PLCGs raise parallelism at proportional area and power). Inputs are
+// replicated to every chip electronically, so there is no cross-chip
+// optical path; each chip behaves exactly like the single-chip design
+// with its share of the kernels.
+func EvaluateMultiChip(cfg core.Config, model nn.Model, chips int) Result {
+	if chips < 1 {
+		chips = 1
+	}
+	// Latency: kernels split across chips*Ng PLCGs.
+	latCfg := cfg
+	latCfg.Ng = cfg.Ng * chips
+	lat := latCfg.MapModel(model).Latency()
+
+	// Power and area: n full chips (each keeps its own 63-laser bank
+	// and distribution fabric - the census does not dilute).
+	census := NewCensus(cfg)
+	power := census.Power(cfg.Estimate).Total() * float64(chips)
+	area := census.Area().Total() * float64(chips)
+	active := census.ActiveArea() * float64(chips)
+
+	energy := power * lat
+	return Result{
+		Model:      model.Name,
+		Design:     fmt.Sprintf("Albireo-%s x%d (Ng=%d each)", cfg.Estimate, chips, cfg.Ng),
+		Latency:    lat,
+		Energy:     energy,
+		EDP:        energy * lat,
+		Power:      power,
+		MACs:       model.TotalMACs(),
+		Area:       area,
+		ActiveArea: active,
+	}
+}
+
+// ScaleOutCurve evaluates 1..maxChips and returns the results, for
+// strong-scaling studies.
+func ScaleOutCurve(cfg core.Config, model nn.Model, maxChips int) []Result {
+	out := make([]Result, 0, maxChips)
+	for n := 1; n <= maxChips; n++ {
+		out = append(out, EvaluateMultiChip(cfg, model, n))
+	}
+	return out
+}
+
+// ScalingEfficiency returns the strong-scaling efficiency of the last
+// point of a curve: ideal speedup / achieved speedup ratio inverted,
+// i.e. achieved/(chips * base).
+func ScalingEfficiency(curve []Result) float64 {
+	if len(curve) < 2 {
+		return 1
+	}
+	base := curve[0].Latency
+	last := curve[len(curve)-1]
+	chips := float64(len(curve))
+	achieved := base / last.Latency
+	return achieved / chips
+}

@@ -1,0 +1,149 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhotodiodeCurrent(t *testing.T) {
+	pd := NewPhotodiode()
+	// 1 mW at 1.1 A/W gives 1.1 mA plus negligible dark current.
+	got := pd.Current(1e-3)
+	if math.Abs(got-1.1e-3) > 1e-9 {
+		t.Errorf("Current(1mW) = %g, want ~1.1 mA", got)
+	}
+	// Dark current alone for zero light.
+	if got := pd.Current(0); math.Abs(got-25e-12) > 1e-18 {
+		t.Errorf("dark current = %g, want 25 pA", got)
+	}
+	// Negative power is clamped (physically impossible input).
+	if pd.Current(-1) != pd.Current(0) {
+		t.Error("negative power should clamp to zero")
+	}
+}
+
+func TestBalancedPDSubtraction(t *testing.T) {
+	b := NewBalancedPD()
+	// Eq. 4: equal powers cancel exactly (matched responsivities and
+	// dark currents).
+	if got := b.Current(1e-3, 1e-3); math.Abs(got) > 1e-15 {
+		t.Errorf("balanced inputs should cancel, got %g", got)
+	}
+	// Positive-dominant input yields positive current and vice versa.
+	if b.Current(2e-3, 1e-3) <= 0 {
+		t.Error("P+ > P- should give positive current")
+	}
+	if b.Current(1e-3, 2e-3) >= 0 {
+		t.Error("P- > P+ should give negative current")
+	}
+}
+
+func TestBalancedPDLinearity(t *testing.T) {
+	b := NewBalancedPD()
+	f := func(p, n float64) bool {
+		p, n = math.Abs(math.Mod(p, 1e-2)), math.Abs(math.Mod(n, 1e-2))
+		want := 1.1 * (p - n)
+		return math.Abs(b.Current(p, n)-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTIAVoltage(t *testing.T) {
+	tia := NewTIA()
+	if got := tia.Voltage(1e-4); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("100 uA through 10 kOhm should be 1 V, got %g", got)
+	}
+	if tia.Temperature != 300 {
+		t.Error("default temperature should be the paper's 300 K")
+	}
+}
+
+func TestLaserRIN(t *testing.T) {
+	l := NewLaser(c1550, 2e-3)
+	// -140 dBc/Hz is 1e-14 /Hz linear.
+	if math.Abs(l.RINLinear()-1e-14) > 1e-20 {
+		t.Errorf("RIN linear = %g, want 1e-14", l.RINLinear())
+	}
+	if l.Power != 2e-3 || l.Wavelength != c1550 {
+		t.Error("laser constructor should carry power and wavelength")
+	}
+}
+
+func TestDACQuantize(t *testing.T) {
+	d := NewDAC(5e9)
+	if d.Levels() != 256 {
+		t.Fatal("8-bit DAC should have 256 levels")
+	}
+	// Endpoints are exact.
+	if d.Quantize(0) != 0 || d.Quantize(1) != 1 {
+		t.Error("endpoints should be representable")
+	}
+	// Out-of-range clips.
+	if d.Quantize(-0.5) != 0 || d.Quantize(1.5) != 1 {
+		t.Error("out-of-range inputs should clip")
+	}
+	// Quantization error is bounded by half an LSB.
+	lsb := 1.0 / 255
+	f := func(x float64) bool {
+		x = math.Abs(math.Mod(x, 1))
+		return math.Abs(d.Quantize(x)-x) <= lsb/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDACCode(t *testing.T) {
+	d := NewDAC(5e9)
+	if d.Code(0) != 0 || d.Code(1) != 255 {
+		t.Error("codes should span 0..255")
+	}
+	if d.Code(0.5) != 128 && d.Code(0.5) != 127 {
+		t.Errorf("mid-scale code = %d, want 127 or 128", d.Code(0.5))
+	}
+}
+
+func TestADCQuantize(t *testing.T) {
+	a := NewADC(5e9)
+	fs := 2.0
+	// Zero is exact; rails clip.
+	if a.Quantize(0, fs) != 0 {
+		t.Error("zero should be representable")
+	}
+	if a.Quantize(5, fs) != fs || a.Quantize(-5, fs) != -fs {
+		t.Error("inputs beyond full scale should clip to the rails")
+	}
+	// Quantization error bounded by half an LSB.
+	half := a.LSB(fs) / 2
+	f := func(x float64) bool {
+		x = math.Mod(x, fs)
+		return math.Abs(a.Quantize(x, fs)-x) <= half+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Degenerate full scale.
+	if a.Quantize(1, 0) != 0 {
+		t.Error("non-positive full scale should return 0")
+	}
+}
+
+func TestADCSymmetry(t *testing.T) {
+	a := NewADC(5e9)
+	f := func(x float64) bool {
+		x = math.Mod(x, 1)
+		return math.Abs(a.Quantize(x, 1)+a.Quantize(-x, 1)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConverterStrings(t *testing.T) {
+	if NewADC(5e9).String() == "" || NewDAC(5e9).String() == "" {
+		t.Error("converters should describe themselves")
+	}
+}

@@ -1,0 +1,87 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVPiFromDeviceGeometry(t *testing.T) {
+	// 0.29 V*cm over a 300 um arm: Vpi = 9.67 V.
+	d := NewMZMDrive()
+	if math.Abs(d.VPi()-9.666666666666666) > 1e-9 {
+		t.Errorf("Vpi = %.3f V, want 9.67 V", d.VPi())
+	}
+	if !d.Reachable() {
+		t.Error("the reference device must reach the full weight range within 12 V")
+	}
+	// A short arm needs more voltage than the driver has.
+	short := d
+	short.ArmLength = 100e-6
+	if short.Reachable() {
+		t.Error("a 100 um arm (Vpi = 29 V) should not be reachable")
+	}
+}
+
+func TestVoltagePhaseWeightChain(t *testing.T) {
+	d := NewMZMDrive()
+	// Zero volts: no phase shift, weight 1. Vpi: pi shift, weight 0.
+	if w := d.WeightForVoltage(0); math.Abs(w-1) > 1e-12 {
+		t.Errorf("0 V weight = %g, want 1", w)
+	}
+	if w := d.WeightForVoltage(d.VPi()); math.Abs(w) > 1e-12 {
+		t.Errorf("Vpi weight = %g, want 0", w)
+	}
+	// Half Vpi is the quadrature point: weight 0.5.
+	if w := d.WeightForVoltage(d.VPi() / 2); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("Vpi/2 weight = %g, want 0.5", w)
+	}
+	// Voltages beyond Vpi clamp.
+	if d.WeightForVoltage(100) != 0 {
+		t.Error("over-drive should clamp at full extinction")
+	}
+}
+
+func TestVoltageForWeightRoundTrip(t *testing.T) {
+	d := NewMZMDrive()
+	f := func(raw float64) bool {
+		w := math.Abs(math.Mod(raw, 1))
+		v := d.VoltageForWeight(w)
+		return v >= 0 && v <= d.VPi()+1e-9 &&
+			math.Abs(d.WeightForVoltage(v)-w) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeTransferCurve(t *testing.T) {
+	d := NewMZMDrive()
+	curve := d.CodeTransferCurve(8)
+	if len(curve) != 256 {
+		t.Fatal("8-bit curve length")
+	}
+	// Monotone decreasing from 1 to 0 (more voltage, more
+	// extinction).
+	if math.Abs(curve[0]-1) > 1e-12 || math.Abs(curve[255]) > 1e-12 {
+		t.Error("curve endpoints")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatal("code transfer curve must be monotone")
+		}
+	}
+	// The raised-cosine nonlinearity: the midpoint code lands at 0.5
+	// weight, but quarter-scale codes do not land at 0.75/0.25 (they
+	// follow cos^2) - this is why controllers pre-distort.
+	if math.Abs(curve[128]-0.5) > 0.01 {
+		t.Errorf("mid-code weight = %.3f, want ~0.5", curve[128])
+	}
+	quarter := curve[64]
+	if math.Abs(quarter-0.75) < 0.01 {
+		t.Error("a linear-voltage DAC should NOT give a linear weight grid")
+	}
+	if d.String() == "" {
+		t.Error("String")
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+)
+
+func TestVGGConvKernelsFitCache(t *testing.T) {
+	// VGG16's largest conv kernel is 3x3x512 = 4608 bytes: comfortably
+	// inside the 16 kB kernel cache, as the paper's sizing implies.
+	mf := CheckModel(core.DefaultConfig(), nn.VGG16())
+	for _, f := range mf.Layers {
+		if f.Layer.Kind != nn.Conv {
+			continue
+		}
+		if !f.KernelCacheFits {
+			t.Errorf("%s: conv kernel (%d B) should fit the 16 kB cache", f.Layer.Name, f.KernelBytes)
+		}
+	}
+}
+
+func TestFCKernelsExceedCache(t *testing.T) {
+	// VGG16 fc1 kernels cover the 25088-element input: they must
+	// stream (cache misfit).
+	mf := CheckModel(core.DefaultConfig(), nn.VGG16())
+	var fc1 *Feasibility
+	for i := range mf.Layers {
+		if mf.Layers[i].Layer.Name == "fc1" {
+			fc1 = &mf.Layers[i]
+		}
+	}
+	if fc1 == nil {
+		t.Fatal("missing fc1")
+	}
+	if fc1.KernelCacheFits {
+		t.Errorf("fc1 kernel (%d B) cannot fit a 16 kB cache", fc1.KernelBytes)
+	}
+	if mf.CacheMisfits == 0 {
+		t.Error("VGG16 should report FC cache misfits")
+	}
+}
+
+func TestEarlyLayersExceedGlobalBuffer(t *testing.T) {
+	// 224x224x64 activations are 3.2 MB: far beyond the 256 kB global
+	// buffer, so early VGG layers tile through off-chip memory.
+	mf := CheckModel(core.DefaultConfig(), nn.VGG16())
+	if mf.BufferMisfits == 0 {
+		t.Error("VGG16 early layers should exceed the 256 kB buffer")
+	}
+	// Late layers (14x14x512 = 100 kB) fit.
+	for _, f := range mf.Layers {
+		if f.Layer.Name == "conv5_1" && !f.GlobalBufferFits {
+			t.Error("conv5_1 activations should fit the global buffer")
+		}
+	}
+}
+
+func TestBandwidthWithinLimits(t *testing.T) {
+	// Receptive-field convolutions and FC layers stream within the
+	// banked SRAM bandwidth at the modulation rate. The paper's
+	// pointwise mapping (Section III-C) is the exception: it wants
+	// Nu*Nm*Nd fresh operands per PLCG per cycle, which exceeds both
+	// the buffer banks and the 64-wavelength distribution budget - a
+	// limitation this checker surfaces (see EXPERIMENTS.md).
+	for _, m := range nn.Benchmarks() {
+		mf := CheckModel(core.DefaultConfig(), m)
+		for _, f := range mf.Layers {
+			if f.Layer.Kind == nn.Pointwise {
+				if f.InputBandwidthOK {
+					t.Errorf("%s/%s: the pointwise mapping should flag input-bandwidth pressure",
+						m.Name, f.Layer.Name)
+				}
+				continue
+			}
+			if !f.InputBandwidthOK {
+				t.Errorf("%s/%s: input stream %.1f GB/s exceeds the buffer",
+					m.Name, f.Layer.Name, f.InputBandwidth/1e9)
+			}
+			if !f.WeightBandwidthOK {
+				t.Errorf("%s/%s: weight stream %.1f GB/s exceeds the cache",
+					m.Name, f.Layer.Name, f.WeightBandwidth/1e9)
+			}
+		}
+	}
+}
+
+func TestPoolingIsAlwaysFeasible(t *testing.T) {
+	f := CheckLayer(core.DefaultConfig(), nn.Layer{
+		Kind: nn.MaxPoolKind, InZ: 64, InY: 28, InX: 28, OutZ: 64, KY: 2, KX: 2, Stride: 2,
+	})
+	if !f.KernelCacheFits || !f.InputBandwidthOK || !f.GlobalBufferFits {
+		t.Error("pooling layers are trivially feasible")
+	}
+}
+
+func TestGroupedKernelBytes(t *testing.T) {
+	// AlexNet conv2 (grouped): kernel depth is 48, not 96.
+	f := CheckLayer(core.DefaultConfig(), nn.Layer{
+		Kind: nn.Conv, InZ: 96, InY: 27, InX: 27, OutZ: 256, KY: 5, KX: 5, Stride: 1, Pad: 2, Groups: 2,
+	})
+	if f.KernelBytes != 25*48 {
+		t.Errorf("grouped kernel bytes = %d, want %d", f.KernelBytes, 25*48)
+	}
+}
+
+func TestFeasibilityString(t *testing.T) {
+	if CheckModel(core.DefaultConfig(), nn.MobileNet()).String() == "" {
+		t.Error("String")
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim is a cycle-resolved dataflow simulator for the Albireo
+// chip. It walks the Algorithm 2 loop nest schedule step by step,
+// counting cycles and SRAM traffic, and quantifies the claim of paper
+// Section III-B: the PLCG's depth-first aggregation "creates no
+// partial sum writes back to memory", which matters because "data
+// movement can consume magnitudes more energy than computation".
+//
+// Two dataflows are modeled:
+//
+//   - DepthFirst (the paper's): for each output tile, all channel
+//     groups are aggregated in the PLCG register before write-back.
+//     Weights retarget every cycle (which the 5 GS/s DACs are specced
+//     for); no partial-sum traffic exists.
+//   - WeightStationary (the ablation): weights are held for a full
+//     sweep of output tiles, so each tile's partial sum must round-trip
+//     through the global buffer between channel groups.
+//
+// The simulator's cycle count is validated against the analytic
+// mapping model (core.Config.MapLayer) in the tests: with the paper's
+// schedule they agree exactly.
+package sim
+
+import (
+	"fmt"
+
+	"albireo/internal/core"
+	"albireo/internal/memory"
+	"albireo/internal/nn"
+)
+
+// Dataflow selects the loop order.
+type Dataflow int
+
+const (
+	// DepthFirst is the paper's schedule: channel groups inner,
+	// partials aggregated in the PLCG register.
+	DepthFirst Dataflow = iota
+	// WeightStationary holds weights across output tiles and spills
+	// partial sums to the global buffer.
+	WeightStationary
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case DepthFirst:
+		return "depth-first"
+	case WeightStationary:
+		return "weight-stationary"
+	default:
+		return "unknown"
+	}
+}
+
+// Params configures a simulation.
+type Params struct {
+	Config   core.Config
+	Dataflow Dataflow
+	// ActivationBytes and WeightBytes are operand widths (1 each for
+	// the 8-bit pipeline); PsumBytes is the partial-sum width held
+	// between channel groups (wider than an operand).
+	ActivationBytes, WeightBytes, PsumBytes int
+}
+
+// DefaultParams returns the paper's configuration: 8-bit operands,
+// 24-bit partial sums, depth-first dataflow.
+func DefaultParams() Params {
+	return Params{
+		Config:          core.DefaultConfig(),
+		Dataflow:        DepthFirst,
+		ActivationBytes: 1,
+		WeightBytes:     1,
+		PsumBytes:       3,
+	}
+}
+
+// LayerStats is the simulation result for one layer.
+type LayerStats struct {
+	Layer nn.Layer
+	// Cycles is the schedule length.
+	Cycles int64
+	// InputBytes counts global-buffer activation reads (one broadcast
+	// stream feeds all PLCGs).
+	InputBytes int64
+	// WeightBytes counts kernel-cache reads across all PLCGs.
+	WeightBytes int64
+	// PsumReadBytes and PsumWriteBytes count partial-sum round-trips
+	// through the global buffer (zero for DepthFirst).
+	PsumReadBytes, PsumWriteBytes int64
+	// OutputBytes counts finished-activation writes.
+	OutputBytes int64
+	// SRAMEnergy is the data-movement energy in joules.
+	SRAMEnergy float64
+}
+
+// TotalTraffic returns all SRAM bytes moved.
+func (s LayerStats) TotalTraffic() int64 {
+	return s.InputBytes + s.WeightBytes + s.PsumReadBytes + s.PsumWriteBytes + s.OutputBytes
+}
+
+// SimulateLayer walks one layer's schedule. Pooling layers return
+// zeroed stats (they ride the digital path).
+func SimulateLayer(p Params, l nn.Layer) LayerStats {
+	st := LayerStats{Layer: l}
+	if !l.HasMACs() {
+		return st
+	}
+	cfg := p.Config
+	m := cfg.MapLayer(l)
+
+	// Active PLCGs this layer: kernel passes spread OutZ over Ng; the
+	// last pass may not fill every group.
+	groupsActive := int64(cfg.Ng)
+	if int64(l.OutZ) < groupsActive {
+		groupsActive = int64(l.OutZ)
+	}
+
+	// Per-cycle operand footprints.
+	inputPerCycle := int64(cfg.Nu) * int64(cfg.WavelengthsPerPLCU()) * int64(p.ActivationBytes)
+	if l.Kind == nn.FC || l.Kind == nn.Pointwise {
+		// These mappings stream Nu*Nm fresh elements per cycle per
+		// slot (no receptive-field overlap).
+		inputPerCycle = int64(cfg.Nu) * int64(cfg.Nm) * int64(p.ActivationBytes)
+		if l.Kind == nn.Pointwise {
+			inputPerCycle *= int64(cfg.Nd)
+		}
+	}
+	weightsPerCycle := int64(cfg.Nu) * int64(cfg.Nm) * int64(p.WeightBytes) * groupsActive
+
+	st.Cycles = m.Cycles
+
+	// Output writes: one byte per produced activation.
+	outputs := int64(l.OutZ) * int64(l.OutY()) * int64(l.OutX())
+	if l.Kind == nn.FC {
+		outputs = int64(l.OutZ)
+	}
+	st.OutputBytes = outputs * int64(p.ActivationBytes)
+
+	// Input stream: one broadcast serves every PLCG, re-streamed for
+	// each kernel pass and tap chunk.
+	st.InputBytes = m.KernelPasses * m.ColumnTiles * m.ChannelGroups * m.TapChunks * inputPerCycle
+
+	switch p.Dataflow {
+	case DepthFirst:
+		// Weights retarget every cycle from the kernel caches.
+		st.WeightBytes = m.Cycles * weightsPerCycle
+		// No partial-sum traffic: aggregation lives in the PLCG
+		// register until the activation completes (Section III-B).
+	case WeightStationary:
+		// Weights fetched once per (pass, group, chunk); held across
+		// the tile sweep.
+		st.WeightBytes = m.KernelPasses * m.ChannelGroups * m.TapChunks * weightsPerCycle
+		// Every tile's Nd partials round-trip between channel groups:
+		// written after each group, read back before the next.
+		steps := m.ChannelGroups*m.TapChunks - 1
+		if steps < 0 {
+			steps = 0
+		}
+		perTile := int64(cfg.Nd) * int64(p.PsumBytes) * groupsActive
+		st.PsumWriteBytes = m.KernelPasses * m.ColumnTiles * steps * perTile
+		st.PsumReadBytes = st.PsumWriteBytes
+	}
+
+	st.SRAMEnergy = p.energy(st)
+	return st
+}
+
+// energy prices the traffic: activations and partial sums hit the
+// global buffer, weights the per-PLCG kernel caches.
+func (p Params) energy(st LayerStats) float64 {
+	gb := memory.GlobalBuffer()
+	kc := memory.KernelCache()
+	return gb.ReadEnergy(int(st.InputBytes)) +
+		kc.ReadEnergy(int(st.WeightBytes)) +
+		gb.ReadEnergy(int(st.PsumReadBytes)) +
+		gb.WriteEnergy(int(st.PsumWriteBytes)) +
+		gb.WriteEnergy(int(st.OutputBytes))
+}
+
+// ModelStats aggregates a whole network.
+type ModelStats struct {
+	Model  string
+	Layers []LayerStats
+	// Totals.
+	Cycles     int64
+	Traffic    int64
+	SRAMEnergy float64
+}
+
+// SimulateModel runs every compute layer.
+func SimulateModel(p Params, m nn.Model) ModelStats {
+	ms := ModelStats{Model: m.Name}
+	for _, l := range m.Layers {
+		if !l.HasMACs() {
+			continue
+		}
+		st := SimulateLayer(p, l)
+		ms.Layers = append(ms.Layers, st)
+		ms.Cycles += st.Cycles
+		ms.Traffic += st.TotalTraffic()
+		ms.SRAMEnergy += st.SRAMEnergy
+	}
+	return ms
+}
+
+// String implements fmt.Stringer.
+func (ms ModelStats) String() string {
+	return fmt.Sprintf("%s: %d cycles, %.1f MB SRAM traffic, %.3f mJ data movement",
+		ms.Model, ms.Cycles, float64(ms.Traffic)/1e6, ms.SRAMEnergy*1e3)
+}
+
+// Compare runs both dataflows on a model and returns (depth-first,
+// weight-stationary) stats - the Section III-B ablation.
+func Compare(cfg core.Config, m nn.Model) (df, ws ModelStats) {
+	p := DefaultParams()
+	p.Config = cfg
+	df = SimulateModel(p, m)
+	p.Dataflow = WeightStationary
+	ws = SimulateModel(p, m)
+	return df, ws
+}

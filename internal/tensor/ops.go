@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvOutputDim computes one spatial output dimension of a convolution
+// (paper Eq. 1): B = (A - W + 2P)/S + 1. The paper typesets the
+// division with a ceiling, but kernel placements must stay inside the
+// padded input, so the standard floor semantics is used here; the two
+// agree on every layer of the evaluated CNNs, where the division is
+// exact.
+func ConvOutputDim(a, w, p, s int) int {
+	if s <= 0 {
+		panic("tensor: stride must be positive")
+	}
+	num := a - w + 2*p
+	if num < 0 {
+		return 0
+	}
+	return num/s + 1
+}
+
+// ConvConfig describes a convolution layer's geometry.
+type ConvConfig struct {
+	// Stride and Pad apply symmetrically in x and y.
+	Stride, Pad int
+	// Groups partitions input and output channels (grouped
+	// convolution, as in AlexNet's split layers). 1 means dense.
+	Groups int
+	// Depthwise marks a depthwise convolution (MobileNet): each input
+	// channel is filtered independently; kernels have Z = 1 and
+	// M equals the input channel count.
+	Depthwise bool
+}
+
+// normalize fills defaulted fields.
+func (c ConvConfig) normalize() ConvConfig {
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	if c.Groups == 0 {
+		c.Groups = 1
+	}
+	return c
+}
+
+// Conv computes the exact convolution of Algorithm 1 (extended with
+// padding, stride, groups and depthwise support). It returns the
+// output volume of shape [M][By][Bx] where By/Bx follow Eq. 1. No
+// activation is applied; compose with ReLU explicitly.
+func Conv(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
+	cfg = cfg.normalize()
+	if cfg.Depthwise {
+		return convDepthwise(a, w, cfg)
+	}
+	if a.Z%cfg.Groups != 0 || w.M%cfg.Groups != 0 {
+		panic(fmt.Sprintf("tensor: groups %d do not divide channels %d/%d", cfg.Groups, a.Z, w.M))
+	}
+	if w.Z != a.Z/cfg.Groups {
+		panic(fmt.Sprintf("tensor: kernel depth %d != input channels per group %d", w.Z, a.Z/cfg.Groups))
+	}
+	by := ConvOutputDim(a.Y, w.Y, cfg.Pad, cfg.Stride)
+	bx := ConvOutputDim(a.X, w.X, cfg.Pad, cfg.Stride)
+	out := NewVolume(w.M, by, bx)
+	mPerGroup := w.M / cfg.Groups
+	zPerGroup := a.Z / cfg.Groups
+	for m := 0; m < w.M; m++ {
+		g := m / mPerGroup
+		zBase := g * zPerGroup
+		for oy := 0; oy < by; oy++ {
+			for ox := 0; ox < bx; ox++ {
+				var sum float64
+				ay0 := oy*cfg.Stride - cfg.Pad
+				ax0 := ox*cfg.Stride - cfg.Pad
+				for z := 0; z < w.Z; z++ {
+					for ky := 0; ky < w.Y; ky++ {
+						for kx := 0; kx < w.X; kx++ {
+							sum += a.AtPadded(zBase+z, ay0+ky, ax0+kx) * w.At(m, z, ky, kx)
+						}
+					}
+				}
+				out.Set(m, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// convDepthwise applies one single-channel kernel per input channel.
+func convDepthwise(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
+	if w.M != a.Z || w.Z != 1 {
+		panic(fmt.Sprintf("tensor: depthwise wants M=%d kernels of depth 1, got M=%d Z=%d", a.Z, w.M, w.Z))
+	}
+	by := ConvOutputDim(a.Y, w.Y, cfg.Pad, cfg.Stride)
+	bx := ConvOutputDim(a.X, w.X, cfg.Pad, cfg.Stride)
+	out := NewVolume(a.Z, by, bx)
+	for z := 0; z < a.Z; z++ {
+		for oy := 0; oy < by; oy++ {
+			for ox := 0; ox < bx; ox++ {
+				var sum float64
+				ay0 := oy*cfg.Stride - cfg.Pad
+				ax0 := ox*cfg.Stride - cfg.Pad
+				for ky := 0; ky < w.Y; ky++ {
+					for kx := 0; kx < w.X; kx++ {
+						sum += a.AtPadded(z, ay0+ky, ax0+kx) * w.At(z, 0, ky, kx)
+					}
+				}
+				out.Set(z, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected computes out[m] = sum over the whole input volume of
+// a * w[m], the FC mapping of Section III-C ("a kernel that has a
+// receptive field that is the size of the entire input volume"). The
+// kernel bank must match the input shape exactly.
+func FullyConnected(a *Volume, w *Kernels) []float64 {
+	if w.Z != a.Z || w.Y != a.Y || w.X != a.X {
+		panic(fmt.Sprintf("tensor: FC kernel shape %dx%dx%d != input %dx%dx%d",
+			w.Z, w.Y, w.X, a.Z, a.Y, a.X))
+	}
+	out := make([]float64, w.M)
+	n := a.Z * a.Y * a.X
+	for m := 0; m < w.M; m++ {
+		base := m * n
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += a.Data[i] * w.Data[base+i]
+		}
+		out[m] = sum
+	}
+	return out
+}
+
+// ReLU applies max(0, x) in place and returns the volume.
+func ReLU(v *Volume) *Volume {
+	for i, x := range v.Data {
+		if x < 0 {
+			v.Data[i] = 0
+		}
+	}
+	return v
+}
+
+// ReLUVec applies max(0, x) to a vector in place and returns it.
+func ReLUVec(v []float64) []float64 {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// MaxPool performs max pooling with the given window and stride.
+func MaxPool(a *Volume, window, stride int) *Volume {
+	by := ConvOutputDim(a.Y, window, 0, stride)
+	bx := ConvOutputDim(a.X, window, 0, stride)
+	out := NewVolume(a.Z, by, bx)
+	for z := 0; z < a.Z; z++ {
+		for oy := 0; oy < by; oy++ {
+			for ox := 0; ox < bx; ox++ {
+				m := math.Inf(-1)
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						y, x := oy*stride+ky, ox*stride+kx
+						if y < a.Y && x < a.X {
+							if v := a.At(z, y, x); v > m {
+								m = v
+							}
+						}
+					}
+				}
+				out.Set(z, oy, ox, m)
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool performs average pooling with the given window and stride.
+func AvgPool(a *Volume, window, stride int) *Volume {
+	by := ConvOutputDim(a.Y, window, 0, stride)
+	bx := ConvOutputDim(a.X, window, 0, stride)
+	out := NewVolume(a.Z, by, bx)
+	for z := 0; z < a.Z; z++ {
+		for oy := 0; oy < by; oy++ {
+			for ox := 0; ox < bx; ox++ {
+				var sum float64
+				var cnt int
+				for ky := 0; ky < window; ky++ {
+					for kx := 0; kx < window; kx++ {
+						y, x := oy*stride+ky, ox*stride+kx
+						if y < a.Y && x < a.X {
+							sum += a.At(z, y, x)
+							cnt++
+						}
+					}
+				}
+				out.Set(z, oy, ox, sum/float64(cnt))
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise (residual connections). Shapes must
+// match.
+func Add(a, b *Volume) *Volume {
+	if a.Z != b.Z || a.Y != b.Y || a.X != b.X {
+		panic("tensor: Add shape mismatch")
+	}
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}

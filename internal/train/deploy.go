@@ -1,0 +1,40 @@
+package train
+
+import (
+	"albireo/internal/inference"
+	"albireo/internal/tensor"
+)
+
+// ToInferenceNetwork converts a trained SmallNet into an
+// inference.Network so it can run on any backend - in particular the
+// Albireo analog chip. The layer structure maps one-to-one: the
+// backends handle quantization and impairments internally.
+func (n *SmallNet) ToInferenceNetwork() *inference.Network {
+	return &inference.Network{
+		Name: "trained-smallnet",
+		Ops: []inference.Op{
+			inference.ConvOp{Kernels: n.C1, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+			inference.PoolOp{Max: true, Window: 2, Stride: 2},
+			inference.ConvOp{Kernels: n.C2, Cfg: tensor.ConvConfig{Pad: 1}, ReLU: true},
+			inference.PoolOp{Max: true, Window: 2, Stride: 2},
+		},
+		Classifier: n.FC,
+	}
+}
+
+// AnalogAccuracy runs the trained network on a backend over a dataset
+// and returns its top-1 accuracy - the deployment metric for the
+// analog chip.
+func AnalogAccuracy(n *SmallNet, b inference.Backend, xs []*tensor.Volume, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	net := n.ToInferenceNetwork()
+	correct := 0
+	for i, x := range xs {
+		if net.Predict(b, x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

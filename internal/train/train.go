@@ -1,0 +1,315 @@
+// Package train provides a small, dependency-free CNN training stack:
+// manual backpropagation for convolution, ReLU, max-pooling, and
+// fully-connected layers, softmax cross-entropy, SGD with momentum,
+// and a procedural synthetic dataset. It exists so the Albireo analog
+// simulator can be evaluated on a *trained* network - the paper's
+// premise that reduced-precision analog inference preserves accuracy
+// (Section II-C.2) only means something relative to weights that
+// actually classify.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"albireo/internal/tensor"
+)
+
+// SmallNet is a two-stage CNN: conv(3x3) -> ReLU -> maxpool(2) ->
+// conv(3x3) -> ReLU -> maxpool(2) -> FC classifier. Input is a
+// single-channel Size x Size image.
+type SmallNet struct {
+	Size    int
+	Classes int
+	C1      *tensor.Kernels // 1 -> F1
+	C2      *tensor.Kernels // F1 -> F2
+	FC      *tensor.Kernels // F2 x (Size/4)^2 -> Classes
+	// Momentum buffers, lazily shaped like the parameters.
+	vC1, vC2, vFC []float64
+}
+
+// Hyper holds training hyperparameters.
+type Hyper struct {
+	Epochs   int
+	LR       float64
+	Momentum float64
+	// BatchLog enables per-epoch loss output (off in tests).
+	BatchLog bool
+}
+
+// DefaultHyper returns a configuration that converges on the synthetic
+// dataset in a few epochs.
+func DefaultHyper() Hyper {
+	return Hyper{Epochs: 12, LR: 0.01, Momentum: 0.9}
+}
+
+// NewSmallNet builds a randomly initialized network (He-style scaling).
+func NewSmallNet(size, classes int, seed int64) *SmallNet {
+	if size%4 != 0 {
+		panic(fmt.Sprintf("train: size %d must be divisible by 4", size))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const f1, f2 = 6, 12
+	init := func(k *tensor.Kernels, fanIn int) {
+		scale := math.Sqrt(2 / float64(fanIn))
+		for i := range k.Data {
+			k.Data[i] = rng.NormFloat64() * scale
+		}
+	}
+	n := &SmallNet{
+		Size:    size,
+		Classes: classes,
+		C1:      tensor.NewKernels(f1, 1, 3, 3),
+		C2:      tensor.NewKernels(f2, f1, 3, 3),
+		FC:      tensor.NewKernels(classes, f2, size/4, size/4),
+	}
+	init(n.C1, 9)
+	init(n.C2, 9*f1)
+	init(n.FC, f2*(size/4)*(size/4))
+	n.vC1 = make([]float64, len(n.C1.Data))
+	n.vC2 = make([]float64, len(n.C2.Data))
+	n.vFC = make([]float64, len(n.FC.Data))
+	return n
+}
+
+// forwardCache keeps the intermediates backprop needs.
+type forwardCache struct {
+	x        *tensor.Volume
+	conv1    *tensor.Volume // pre-ReLU
+	act1     *tensor.Volume
+	pool1    *tensor.Volume
+	pool1Idx []int
+	conv2    *tensor.Volume
+	act2     *tensor.Volume
+	pool2    *tensor.Volume
+	pool2Idx []int
+	logits   []float64
+}
+
+// Forward runs the network and returns logits plus the cache.
+func (n *SmallNet) Forward(x *tensor.Volume) ([]float64, *forwardCache) {
+	c := &forwardCache{x: x}
+	c.conv1 = tensor.Conv(x, n.C1, tensor.ConvConfig{Pad: 1})
+	c.act1 = reluForward(c.conv1)
+	c.pool1, c.pool1Idx = maxPoolForward(c.act1)
+	c.conv2 = tensor.Conv(c.pool1, n.C2, tensor.ConvConfig{Pad: 1})
+	c.act2 = reluForward(c.conv2)
+	c.pool2, c.pool2Idx = maxPoolForward(c.act2)
+	c.logits = tensor.FullyConnected(c.pool2, n.FC)
+	return c.logits, c
+}
+
+// Predict returns the argmax class for an input.
+func (n *SmallNet) Predict(x *tensor.Volume) int {
+	logits, _ := n.Forward(x)
+	best, idx := math.Inf(-1), -1
+	for i, v := range logits {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return idx
+}
+
+// reluForward returns max(0, x) without mutating the input.
+func reluForward(v *tensor.Volume) *tensor.Volume {
+	out := v.Clone()
+	tensor.ReLU(out)
+	return out
+}
+
+// maxPoolForward performs 2x2 stride-2 max pooling and records the
+// winning flat index per output element.
+func maxPoolForward(a *tensor.Volume) (*tensor.Volume, []int) {
+	by, bx := a.Y/2, a.X/2
+	out := tensor.NewVolume(a.Z, by, bx)
+	idx := make([]int, a.Z*by*bx)
+	k := 0
+	for z := 0; z < a.Z; z++ {
+		for oy := 0; oy < by; oy++ {
+			for ox := 0; ox < bx; ox++ {
+				best, bestAt := math.Inf(-1), 0
+				for ky := 0; ky < 2; ky++ {
+					for kx := 0; kx < 2; kx++ {
+						y, x := 2*oy+ky, 2*ox+kx
+						v := a.At(z, y, x)
+						if v > best {
+							best = v
+							bestAt = (z*a.Y+y)*a.X + x
+						}
+					}
+				}
+				out.Set(z, oy, ox, best)
+				idx[k] = bestAt
+				k++
+			}
+		}
+	}
+	return out, idx
+}
+
+// maxPoolBackward routes gradients to the recorded winners.
+func maxPoolBackward(dOut *tensor.Volume, idx []int, inShape *tensor.Volume) *tensor.Volume {
+	dIn := tensor.NewVolume(inShape.Z, inShape.Y, inShape.X)
+	for k, at := range idx {
+		dIn.Data[at] += dOut.Data[k]
+	}
+	return dIn
+}
+
+// reluBackward zeroes gradients where the pre-activation was negative.
+func reluBackward(dOut, pre *tensor.Volume) *tensor.Volume {
+	dIn := dOut.Clone()
+	for i := range dIn.Data {
+		if pre.Data[i] <= 0 {
+			dIn.Data[i] = 0
+		}
+	}
+	return dIn
+}
+
+// convBackward computes kernel and input gradients for a stride-1
+// padded convolution.
+func convBackward(a *tensor.Volume, w *tensor.Kernels, dOut *tensor.Volume, pad int) (dW *tensor.Kernels, dA *tensor.Volume) {
+	dW = tensor.NewKernels(w.M, w.Z, w.Y, w.X)
+	dA = tensor.NewVolume(a.Z, a.Y, a.X)
+	for m := 0; m < w.M; m++ {
+		for oy := 0; oy < dOut.Y; oy++ {
+			for ox := 0; ox < dOut.X; ox++ {
+				g := dOut.At(m, oy, ox)
+				if g == 0 {
+					continue
+				}
+				for z := 0; z < w.Z; z++ {
+					for ky := 0; ky < w.Y; ky++ {
+						ay := oy - pad + ky
+						if ay < 0 || ay >= a.Y {
+							continue
+						}
+						for kx := 0; kx < w.X; kx++ {
+							ax := ox - pad + kx
+							if ax < 0 || ax >= a.X {
+								continue
+							}
+							dW.Set(m, z, ky, kx, dW.At(m, z, ky, kx)+g*a.At(z, ay, ax))
+							dA.Set(z, ay, ax, dA.At(z, ay, ax)+g*w.At(m, z, ky, kx))
+						}
+					}
+				}
+			}
+		}
+	}
+	return dW, dA
+}
+
+// fcBackward computes classifier gradients.
+func fcBackward(a *tensor.Volume, w *tensor.Kernels, dLogits []float64) (dW *tensor.Kernels, dA *tensor.Volume) {
+	dW = tensor.NewKernels(w.M, w.Z, w.Y, w.X)
+	dA = tensor.NewVolume(a.Z, a.Y, a.X)
+	n := a.Z * a.Y * a.X
+	for m := 0; m < w.M; m++ {
+		g := dLogits[m]
+		if g == 0 {
+			continue
+		}
+		base := m * n
+		for i := 0; i < n; i++ {
+			dW.Data[base+i] += g * a.Data[i]
+			dA.Data[i] += g * w.Data[base+i]
+		}
+	}
+	return dW, dA
+}
+
+// SoftmaxCrossEntropy returns the loss and dLogits for a target class.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("train: label %d out of range", label))
+	}
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, len(logits))
+	for i, v := range logits {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	loss := 0.0
+	for i := range probs {
+		probs[i] /= sum
+		if i == label {
+			loss = -math.Log(math.Max(probs[i], 1e-12))
+			probs[i] -= 1
+		}
+	}
+	return loss, probs
+}
+
+// Step runs one SGD-with-momentum update from a single example and
+// returns its loss.
+func (n *SmallNet) Step(x *tensor.Volume, label int, h Hyper) float64 {
+	logits, c := n.Forward(x)
+	loss, dLogits := SoftmaxCrossEntropy(logits, label)
+
+	dFC, dPool2 := fcBackward(c.pool2, n.FC, dLogits)
+	dAct2 := maxPoolBackward(dPool2, c.pool2Idx, c.act2)
+	dConv2 := reluBackward(dAct2, c.conv2)
+	dC2, dPool1 := convBackward(c.pool1, n.C2, dConv2, 1)
+	dAct1 := maxPoolBackward(dPool1, c.pool1Idx, c.act1)
+	dConv1 := reluBackward(dAct1, c.conv1)
+	dC1, _ := convBackward(c.x, n.C1, dConv1, 1)
+
+	sgd := func(p *tensor.Kernels, v []float64, g *tensor.Kernels) {
+		for i := range p.Data {
+			v[i] = h.Momentum*v[i] - h.LR*g.Data[i]
+			p.Data[i] += v[i]
+		}
+	}
+	sgd(n.C1, n.vC1, dC1)
+	sgd(n.C2, n.vC2, dC2)
+	sgd(n.FC, n.vFC, dFC)
+	return loss
+}
+
+// Train runs epochs of single-example SGD over the dataset and returns
+// the final training accuracy.
+func (n *SmallNet) Train(xs []*tensor.Volume, labels []int, h Hyper) float64 {
+	if len(xs) != len(labels) {
+		panic("train: inputs and labels must align")
+	}
+	rng := rand.New(rand.NewSource(1))
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < h.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, i := range order {
+			total += n.Step(xs[i], labels[i], h)
+		}
+		if h.BatchLog {
+			fmt.Printf("epoch %d: mean loss %.4f\n", e, total/float64(len(xs)))
+		}
+	}
+	return n.Accuracy(xs, labels)
+}
+
+// Accuracy returns the top-1 accuracy over a dataset.
+func (n *SmallNet) Accuracy(xs []*tensor.Volume, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

@@ -1,0 +1,192 @@
+// Package waveform is the sample-resolved time-domain simulator of an
+// Albireo accumulation column: per-wavelength optical power waveforms
+// through the signal-generation modulator, the weight MZM, and the
+// switching MRR (each a first-order system with its physical time
+// constant), photodetection summing the channels, and the TIA/ADC
+// sampling at symbol centers.
+//
+// It is the time-domain counterpart of the static functional model in
+// internal/core - the role of Lumerical INTERCONNECT's temporal
+// analysis in the paper - and quantifies intersymbol interference
+// (ISI): how the 5 GHz (and aggressive 8 GHz) symbol rates interact
+// with the ring photon lifetime that the k^2 choice sets (Figure 4b).
+package waveform
+
+import (
+	"fmt"
+	"math"
+
+	"albireo/internal/photonics"
+)
+
+// Chain is one wavelength's path to the accumulation waveguide.
+type Chain struct {
+	// Weight is the static MZM transfer in [0, 1] (the |w| applied for
+	// the whole layer pass).
+	Weight float64
+	// ModulatorTau is the signal-generation modulator's first-order
+	// time constant in seconds.
+	ModulatorTau float64
+	// RingTau is the switching ring's photon lifetime in seconds.
+	RingTau float64
+}
+
+// Simulator drives Nm chains with per-symbol amplitudes and detects
+// the summed power.
+type Simulator struct {
+	// SymbolRate is the modulation rate in hertz.
+	SymbolRate float64
+	// SamplesPerSymbol sets time resolution.
+	SamplesPerSymbol int
+	// Chains is the per-wavelength configuration.
+	Chains []Chain
+	// TIABandwidth is the receiver's electrical bandwidth in hertz;
+	// the PD current is low-pass filtered with the matching
+	// first-order response before sampling.
+	TIABandwidth float64
+}
+
+// New builds a simulator for nm chains at the given symbol rate using
+// the Table II ring at coupling k2 and a modulator matched to the
+// symbol rate (tau = 1/(2*pi*rate) - a modulator specced with its 3 dB
+// bandwidth at the symbol rate).
+func New(nm int, symbolRate, k2 float64, weights []float64) *Simulator {
+	if len(weights) != nm {
+		panic(fmt.Sprintf("waveform: want %d weights, got %d", nm, len(weights)))
+	}
+	ring := photonics.NewMRRWithK2(1550e-9, k2)
+	chains := make([]Chain, nm)
+	for i := range chains {
+		w := weights[i]
+		if w < 0 {
+			w = -w
+		}
+		if w > 1 {
+			w = 1
+		}
+		chains[i] = Chain{
+			Weight:       w,
+			ModulatorTau: 1 / (2 * math.Pi * symbolRate),
+			RingTau:      ring.PhotonLifetime(),
+		}
+	}
+	return &Simulator{
+		SymbolRate:       symbolRate,
+		SamplesPerSymbol: 32,
+		Chains:           chains,
+		TIABandwidth:     symbolRate, // receivers are specced at the line rate
+	}
+}
+
+// onePole advances a first-order system one step toward target.
+func onePole(state, target, alpha float64) float64 {
+	return state + alpha*(target-state)
+}
+
+// alphaFor returns the per-step update coefficient for time constant
+// tau at step dt.
+func alphaFor(tau, dt float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-dt/tau)
+}
+
+// Run drives the chains with symbols[chain][symbol] amplitude values
+// in [0, 1] and returns the accumulated detector output sampled at
+// each symbol center (in units of full-scale products, i.e. the ideal
+// steady-state dot product for that symbol would be
+// sum_i w_i * a_i[symbol]).
+func (s *Simulator) Run(symbols [][]float64) []float64 {
+	if len(symbols) != len(s.Chains) {
+		panic(fmt.Sprintf("waveform: want %d symbol streams, got %d", len(s.Chains), len(symbols)))
+	}
+	nsym := 0
+	for i, stream := range symbols {
+		if i == 0 {
+			nsym = len(stream)
+			continue
+		}
+		if len(stream) != nsym {
+			panic("waveform: ragged symbol streams")
+		}
+	}
+	if nsym == 0 {
+		return nil
+	}
+
+	dt := 1 / s.SymbolRate / float64(s.SamplesPerSymbol)
+	modAlpha := make([]float64, len(s.Chains))
+	ringAlpha := make([]float64, len(s.Chains))
+	for i, c := range s.Chains {
+		modAlpha[i] = alphaFor(c.ModulatorTau, dt)
+		ringAlpha[i] = alphaFor(c.RingTau, dt)
+	}
+	tiaAlpha := alphaFor(1/(2*math.Pi*s.TIABandwidth), dt)
+
+	modState := make([]float64, len(s.Chains))
+	ringState := make([]float64, len(s.Chains))
+	tiaState := 0.0
+	out := make([]float64, nsym)
+
+	for sym := 0; sym < nsym; sym++ {
+		for k := 0; k < s.SamplesPerSymbol; k++ {
+			var sum float64
+			for i, c := range s.Chains {
+				// Modulator drives toward the symbol amplitude.
+				modState[i] = onePole(modState[i], symbols[i][sym], modAlpha[i])
+				// MZM scales statically; ring integrates the product.
+				ringState[i] = onePole(ringState[i], modState[i]*c.Weight, ringAlpha[i])
+				sum += ringState[i]
+			}
+			tiaState = onePole(tiaState, sum, tiaAlpha)
+			// Sample at the symbol center.
+			if k == s.SamplesPerSymbol/2 {
+				out[sym] = tiaState
+			}
+		}
+	}
+	return out
+}
+
+// StaticDot returns the ideal steady-state dot product for one symbol
+// column: sum_i w_i * a_i.
+func (s *Simulator) StaticDot(symbols [][]float64, sym int) float64 {
+	var sum float64
+	for i, c := range s.Chains {
+		sum += c.Weight * symbols[i][sym]
+	}
+	return sum
+}
+
+// ISIPenalty drives a worst-case alternating pattern (all chains
+// toggling full-scale) and returns the worst relative deviation of the
+// sampled output from the static dot product over the final half of
+// the stream - the intersymbol-interference cost at this symbol rate.
+func ISIPenalty(nm int, symbolRate, k2 float64) float64 {
+	weights := make([]float64, nm)
+	for i := range weights {
+		weights[i] = 1
+	}
+	sim := New(nm, symbolRate, k2, weights)
+	const nsym = 32
+	streams := make([][]float64, nm)
+	for i := range streams {
+		stream := make([]float64, nsym)
+		for s := range stream {
+			stream[s] = float64((s + i) % 2) // staggered toggling
+		}
+		streams[i] = stream
+	}
+	got := sim.Run(streams)
+	worst := 0.0
+	for sym := nsym / 2; sym < nsym; sym++ {
+		want := sim.StaticDot(streams, sym)
+		dev := math.Abs(got[sym] - want)
+		// Normalize by the full scale (nm products).
+		if rel := dev / float64(nm); rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,134 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func constantStreams(nm, nsym int, level float64) [][]float64 {
+	streams := make([][]float64, nm)
+	for i := range streams {
+		s := make([]float64, nsym)
+		for k := range s {
+			s[k] = level
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
+func TestSettlesToStaticDot(t *testing.T) {
+	// A constant drive settles to the exact static dot product.
+	weights := []float64{0.2, 0.5, 0.8, 1.0, 0.1, 0.6, 0.3, 0.9, 0.4}
+	sim := New(9, 5e9, 0.03, weights)
+	streams := constantStreams(9, 24, 0.7)
+	out := sim.Run(streams)
+	want := sim.StaticDot(streams, 0)
+	got := out[len(out)-1]
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("settled output %.4f, want %.4f", got, want)
+	}
+}
+
+func TestNegativeWeightsClampToMagnitude(t *testing.T) {
+	// The waveform layer models one accumulation waveguide: weights
+	// enter as magnitudes (sign routing happens upstream).
+	sim := New(2, 5e9, 0.03, []float64{-0.5, 2.0})
+	if sim.Chains[0].Weight != 0.5 || sim.Chains[1].Weight != 1.0 {
+		t.Error("weights should clamp to [0,1] magnitudes")
+	}
+}
+
+func TestTrackingSlowSymbols(t *testing.T) {
+	// At a symbol rate far below the ring bandwidth, every sampled
+	// symbol tracks its static value closely.
+	weights := make([]float64, 9)
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	sim := New(9, 1e9, 0.03, weights) // 1 GHz: very comfortable
+	streams := make([][]float64, 9)
+	for i := range streams {
+		streams[i] = []float64{0, 1, 0.5, 1, 0, 0.25, 0.75, 1}
+	}
+	out := sim.Run(streams)
+	for sym := 2; sym < len(out); sym++ {
+		want := sim.StaticDot(streams, sym)
+		if math.Abs(out[sym]-want) > 0.15*4.5 {
+			t.Errorf("symbol %d: %.3f vs static %.3f", sym, out[sym], want)
+		}
+	}
+}
+
+func TestISIPenaltyGrowsWithRate(t *testing.T) {
+	prev := -1.0
+	for _, rate := range []float64{2e9, 5e9, 10e9, 20e9, 40e9} {
+		p := ISIPenalty(9, rate, 0.03)
+		if p < prev {
+			t.Fatalf("ISI penalty should grow with symbol rate at %g GHz", rate/1e9)
+		}
+		prev = p
+	}
+}
+
+func TestISIPenaltyWorseForNarrowRings(t *testing.T) {
+	// Figure 4b's conclusion at the system level: k^2 = 0.02 rings
+	// cost more ISI than 0.03 at every rate.
+	for _, rate := range []float64{5e9, 10e9, 20e9} {
+		p02 := ISIPenalty(9, rate, 0.02)
+		p03 := ISIPenalty(9, rate, 0.03)
+		if p02 < p03 {
+			t.Errorf("at %g GHz: k2=0.02 penalty %.4f should exceed k2=0.03 %.4f",
+				rate/1e9, p02, p03)
+		}
+	}
+}
+
+func TestISIPenaltyAcceptableAtDesignRates(t *testing.T) {
+	// The design operating points: 5 GHz (C/M) and 8 GHz (A) with
+	// k^2 = 0.03 keep the worst-case ISI within about an 8-bit LSB of
+	// full scale times a small factor.
+	if p := ISIPenalty(9, 5e9, 0.03); p > 0.05 {
+		t.Errorf("5 GHz ISI penalty %.4f too large for the design point", p)
+	}
+	if p := ISIPenalty(9, 8e9, 0.03); p > 0.10 {
+		t.Errorf("8 GHz ISI penalty %.4f too large for Albireo-A", p)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sim := New(2, 5e9, 0.03, []float64{1, 1})
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("wrong stream count", func() { sim.Run(make([][]float64, 1)) })
+	expectPanic("ragged streams", func() {
+		sim.Run([][]float64{{1, 0}, {1}})
+	})
+	expectPanic("weight mismatch", func() { New(3, 5e9, 0.03, []float64{1}) })
+	if out := sim.Run([][]float64{{}, {}}); out != nil {
+		t.Error("empty streams should return nil")
+	}
+}
+
+func TestOnePoleBehaviour(t *testing.T) {
+	// alpha=1 (tau<=0) jumps immediately.
+	if alphaFor(0, 1e-12) != 1 {
+		t.Error("zero tau should be instantaneous")
+	}
+	// One time constant reaches 1-1/e.
+	alpha := alphaFor(1e-11, 1e-13)
+	state := 0.0
+	for i := 0; i < 100; i++ { // 100 steps of tau/100 = 1 tau
+		state = onePole(state, 1, alpha)
+	}
+	if math.Abs(state-(1-math.Exp(-1))) > 0.01 {
+		t.Errorf("one-tau response = %.4f, want %.4f", state, 1-math.Exp(-1))
+	}
+}
