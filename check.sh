@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check.sh - the tier-1 verification gate, with teeth.
+#
+#   build      the whole module compiles
+#   vet        stdlib static analysis
+#   race test  the full suite under the race detector (the Conv vs
+#              ConvConcurrent bit-identity tests run here)
+#   lint       albireo-lint: determinism, unit-safety, float-equality,
+#              exit-hygiene, goroutine-hygiene (see README.md)
+#
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> albireo-lint ./..."
+go run ./cmd/albireo-lint ./...
+
+echo "check.sh: all gates passed"

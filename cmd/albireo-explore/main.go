@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"albireo/internal/circuit"
@@ -24,113 +25,124 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "k2", "design sweep: k2, nd, nu, ng, fc, dataflow, energy, scaleout")
-	modelName := flag.String("model", "VGG16", "benchmark model for architectural sweeps")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "albireo-explore:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches the requested sweep, reporting unknown models or
+// sweeps as errors so main keeps the single exit point.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("albireo-explore", flag.ContinueOnError)
+	sweep := fs.String("sweep", "k2", "design sweep: k2, nd, nu, ng, fc, dataflow, energy, scaleout")
+	modelName := fs.String("model", "VGG16", "benchmark model for architectural sweeps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	model, ok := nn.ByName(*modelName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-		os.Exit(2)
+		return fmt.Errorf("unknown model %q", *modelName)
 	}
 
 	switch *sweep {
 	case "k2":
-		sweepK2()
+		sweepK2(out)
 	case "nd":
-		sweepNd(model)
+		sweepNd(out, model)
 	case "nu":
-		sweepNu(model)
+		sweepNu(out, model)
 	case "ng":
-		sweepNg(model)
+		sweepNg(out, model)
 	case "fc":
-		sweepFC(model)
+		sweepFC(out, model)
 	case "dataflow":
-		sweepDataflow(model)
+		sweepDataflow(out, model)
 	case "energy":
-		sweepEnergy(model)
+		sweepEnergy(out, model)
 	case "scaleout":
-		sweepScaleOut(model)
+		sweepScaleOut(out, model)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		return fmt.Errorf("unknown sweep %q", *sweep)
 	}
+	return nil
 }
 
-func sweepDataflow(model nn.Model) {
-	fmt.Printf("dataflow ablation on %s (Section III-B):\n", model.Name)
+func sweepDataflow(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "dataflow ablation on %s (Section III-B):\n", model.Name)
 	df, ws := sim.Compare(core.DefaultConfig(), model)
-	fmt.Println("dataflow           cycles      SRAM-traffic(MB)  movement-energy(uJ)")
-	fmt.Printf("%-17s  %-10d  %16.2f  %19.2f\n", "depth-first", df.Cycles,
+	fmt.Fprintln(out, "dataflow           cycles      SRAM-traffic(MB)  movement-energy(uJ)")
+	fmt.Fprintf(out, "%-17s  %-10d  %16.2f  %19.2f\n", "depth-first", df.Cycles,
 		float64(df.Traffic)/1e6, df.SRAMEnergy*1e6)
-	fmt.Printf("%-17s  %-10d  %16.2f  %19.2f\n", "weight-stationary", ws.Cycles,
+	fmt.Fprintf(out, "%-17s  %-10d  %16.2f  %19.2f\n", "weight-stationary", ws.Cycles,
 		float64(ws.Traffic)/1e6, ws.SRAMEnergy*1e6)
-	fmt.Println("\nthe PLCG's depth-first aggregation creates no partial-sum")
-	fmt.Println("writes; the weight-stationary alternative pays for every spill.")
+	fmt.Fprintln(out, "\nthe PLCG's depth-first aggregation creates no partial-sum")
+	fmt.Fprintln(out, "writes; the weight-stationary alternative pays for every spill.")
 }
 
-func sweepScaleOut(model nn.Model) {
-	fmt.Printf("multi-chip strong scaling on %s:\n", model.Name)
-	fmt.Println("chips   latency(ms)  power(W)  energy(mJ)   EDP(mJ*ms)  efficiency")
+func sweepScaleOut(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "multi-chip strong scaling on %s:\n", model.Name)
+	fmt.Fprintln(out, "chips   latency(ms)  power(W)  energy(mJ)   EDP(mJ*ms)  efficiency")
 	curve := perf.ScaleOutCurve(core.DefaultConfig(), model, 8)
 	base := curve[0].Latency
 	for i, r := range curve {
 		eff := base / r.Latency / float64(i+1)
-		fmt.Printf("%5d   %11.4f  %8.1f  %10.3f  %11.4f  %9.2f\n",
+		fmt.Fprintf(out, "%5d   %11.4f  %8.1f  %10.3f  %11.4f  %9.2f\n",
 			i+1, r.Latency*1e3, r.Power, r.Energy*1e3, r.EDP*1e6, eff)
 	}
 }
 
-func sweepEnergy(model nn.Model) {
-	fmt.Printf("energy accounting refinement on %s:\n", model.Name)
+func sweepEnergy(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "energy accounting refinement on %s:\n", model.Name)
 	eb := perf.EvaluateEnergy(core.DefaultConfig(), model)
-	fmt.Printf("flat (paper-style, power x latency):  %8.3f mJ\n", eb.Flat*1e3)
-	fmt.Printf("with idle-PLCG power gating:          %8.3f mJ\n", eb.Gated*1e3)
-	fmt.Printf("explicit SRAM data movement:          %8.4f mJ\n", eb.SRAM*1e3)
-	fmt.Printf("refined total:                        %8.3f mJ (%.1f%% below flat)\n",
+	fmt.Fprintf(out, "flat (paper-style, power x latency):  %8.3f mJ\n", eb.Flat*1e3)
+	fmt.Fprintf(out, "with idle-PLCG power gating:          %8.3f mJ\n", eb.Gated*1e3)
+	fmt.Fprintf(out, "explicit SRAM data movement:          %8.4f mJ\n", eb.SRAM*1e3)
+	fmt.Fprintf(out, "refined total:                        %8.3f mJ (%.1f%% below flat)\n",
 		eb.Total()*1e3, eb.Savings()*100)
 }
 
-func sweepK2() {
-	fmt.Println("MRR k^2 design space at 21 wavelengths (the PLCU grid):")
-	fmt.Println("  k^2    bits  bits(diff)  eye@5GHz  rise(ps)")
+func sweepK2(out io.Writer) {
+	fmt.Fprintln(out, "MRR k^2 design space at 21 wavelengths (the PLCU grid):")
+	fmt.Fprintln(out, "  k^2    bits  bits(diff)  eye@5GHz  rise(ps)")
 	for _, k2 := range []float64{0.01, 0.02, 0.03, 0.05, 0.08, 0.12} {
 		xa := circuit.NewCrosstalkAnalysis(k2, 21)
 		tr := circuit.NewTemporalResponse(k2, 5e9)
-		fmt.Printf("%6.3f  %5.2f  %10.2f  %8.3f  %8.1f\n",
+		fmt.Fprintf(out, "%6.3f  %5.2f  %10.2f  %8.3f  %8.1f\n",
 			k2, xa.PrecisionBits(), xa.DifferentialPrecisionBits(),
 			tr.EyeOpening(), 2.2*tr.Ring.PhotonLifetime()*1e12)
 	}
-	fmt.Println("\nthe paper picks k^2 = 0.03: >= 7 differential bits at 21")
-	fmt.Println("wavelengths with healthy 5 GHz temporal response.")
+	fmt.Fprintln(out, "\nthe paper picks k^2 = 0.03: >= 7 differential bits at 21")
+	fmt.Fprintln(out, "wavelengths with healthy 5 GHz temporal response.")
 }
 
-func report(cfg core.Config, model nn.Model, label string) {
+func report(out io.Writer, cfg core.Config, model nn.Model, label string) {
 	if err := cfg.Validate(); err != nil {
-		fmt.Printf("%-14s  invalid: %v\n", label, err)
+		fmt.Fprintf(out, "%-14s  invalid: %v\n", label, err)
 		return
 	}
 	r := perf.Evaluate(cfg, model)
-	fmt.Printf("%-14s  %9.4f ms  %8.2f W  %9.3f mJ  %10.4f mJ*ms  %4d lambda\n",
+	fmt.Fprintf(out, "%-14s  %9.4f ms  %8.2f W  %9.3f mJ  %10.4f mJ*ms  %4d lambda\n",
 		label, r.Latency*1e3, r.Power, r.Energy*1e3, r.EDP*1e6,
 		cfg.TotalWavelengths())
 }
 
-func sweepNd(model nn.Model) {
-	fmt.Printf("Nd sweep (receptive-field parallelism) on %s:\n", model.Name)
-	fmt.Println("design          latency       power     energy       EDP            WDM")
+func sweepNd(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "Nd sweep (receptive-field parallelism) on %s:\n", model.Name)
+	fmt.Fprintln(out, "design          latency       power     energy       EDP            WDM")
 	for _, nd := range []int{1, 3, 5, 7, 9} {
 		cfg := core.DefaultConfig()
 		cfg.Nd = nd
-		report(cfg, model, fmt.Sprintf("Nd=%d", nd))
+		report(out, cfg, model, fmt.Sprintf("Nd=%d", nd))
 	}
-	fmt.Println("\nlarger Nd means more wavelengths per PLCU and lower crosstalk-")
-	fmt.Println("limited precision; the paper settles on Nd=5 (21 wavelengths).")
+	fmt.Fprintln(out, "\nlarger Nd means more wavelengths per PLCU and lower crosstalk-")
+	fmt.Fprintln(out, "limited precision; the paper settles on Nd=5 (21 wavelengths).")
 }
 
-func sweepNu(model nn.Model) {
-	fmt.Printf("Nu sweep (channels per PLCG) on %s:\n", model.Name)
-	fmt.Println("design          latency       power     energy       EDP            WDM")
+func sweepNu(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "Nu sweep (channels per PLCG) on %s:\n", model.Name)
+	fmt.Fprintln(out, "design          latency       power     energy       EDP            WDM")
 	for _, nu := range []int{1, 2, 3, 4, 6} {
 		cfg := core.DefaultConfig()
 		cfg.Nu = nu
@@ -138,30 +150,30 @@ func sweepNu(model nn.Model) {
 		if cfg.TotalWavelengths() > 64 {
 			label += "*"
 		}
-		report(cfg, model, label)
+		report(out, cfg, model, label)
 	}
-	fmt.Println("\n* exceeds the 64-wavelength distribution budget (Section III-B).")
+	fmt.Fprintln(out, "\n* exceeds the 64-wavelength distribution budget (Section III-B).")
 }
 
-func sweepNg(model nn.Model) {
-	fmt.Printf("Ng sweep (kernel parallelism / chip scaling) on %s:\n", model.Name)
-	fmt.Println("design          latency       power     energy       EDP            WDM")
+func sweepNg(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "Ng sweep (kernel parallelism / chip scaling) on %s:\n", model.Name)
+	fmt.Fprintln(out, "design          latency       power     energy       EDP            WDM")
 	for _, ng := range []int{3, 9, 18, 27, 54} {
 		cfg := core.DefaultConfig()
 		cfg.Ng = ng
-		report(cfg, model, fmt.Sprintf("Ng=%d", ng))
+		report(out, cfg, model, fmt.Sprintf("Ng=%d", ng))
 	}
-	fmt.Println("\nthe paper evaluates Ng=9 (22.7 W) and the 60 W-budget Ng=27.")
+	fmt.Fprintln(out, "\nthe paper evaluates Ng=9 (22.7 W) and the 60 W-budget Ng=27.")
 }
 
-func sweepFC(model nn.Model) {
-	fmt.Printf("FC mapping ablation on %s:\n", model.Name)
-	fmt.Println("design          latency       power     energy       EDP            WDM")
+func sweepFC(out io.Writer, model nn.Model) {
+	fmt.Fprintf(out, "FC mapping ablation on %s:\n", model.Name)
+	fmt.Fprintln(out, "design          latency       power     energy       EDP            WDM")
 	wide := core.DefaultConfig()
 	narrow := core.DefaultConfig()
 	narrow.FCWide = false
-	report(wide, model, "FC wide")
-	report(narrow, model, "FC narrow")
-	fmt.Println("\nthe paper's prose describes the narrow mapping but its AlexNet")
-	fmt.Println("latency matches the wide one; see DESIGN.md and EXPERIMENTS.md.")
+	report(out, wide, model, "FC wide")
+	report(out, narrow, model, "FC narrow")
+	fmt.Fprintln(out, "\nthe paper's prose describes the narrow mapping but its AlexNet")
+	fmt.Fprintln(out, "latency matches the wide one; see DESIGN.md and EXPERIMENTS.md.")
 }

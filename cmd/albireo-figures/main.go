@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"albireo/internal/core"
@@ -18,16 +19,24 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single experiment (fig3, fig4a, fig4b, fig4c, fig8, fig9, table1..table4, dataflow, energy, link, feasibility)")
-	jsonOut := flag.Bool("json", false, "dump every experiment's structured rows as JSON instead of text tables")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "albireo-figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run generates the requested experiments to out, returning an error
+// (instead of exiting mid-logic) for unknown names or JSON failures.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("albireo-figures", flag.ContinueOnError)
+	only := fs.String("only", "", "regenerate a single experiment (fig3, fig4a, fig4b, fig4c, fig8, fig9, table1..table4, dataflow, energy, link, feasibility)")
+	jsonOut := fs.Bool("json", false, "dump every experiment's structured rows as JSON instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *jsonOut {
-		if err := experiments.WriteJSON(os.Stdout, experiments.CollectDataset()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return experiments.WriteJSON(out, experiments.CollectDataset())
 	}
 
 	gens := []struct {
@@ -70,10 +79,10 @@ func main() {
 			continue
 		}
 		found = true
-		fmt.Printf("==== %s ====\n%s\n", g.name, g.run())
+		fmt.Fprintf(out, "==== %s ====\n%s\n", g.name, g.run())
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *only)
 	}
+	return nil
 }

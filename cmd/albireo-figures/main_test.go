@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-only", "table1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "==== table1 ====") {
+		t.Errorf("output missing table1 header:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-only", "fig999"}, &out); err == nil {
+		t.Fatal("want error for unknown experiment, got nil")
+	}
+}

@@ -1,0 +1,96 @@
+// Command albireo-lint runs the repo-specific static analyzers in
+// internal/lint over the module: determinism (no global rand /
+// time.Now in simulation code), unit-safety (SI factors via
+// internal/units, no dB/linear mixing), float-equality, exit-hygiene
+// (libraries return errors), and goroutine-hygiene (warn-level).
+//
+// Usage:
+//
+//	albireo-lint ./...          # whole module
+//	albireo-lint ./internal/... # one subtree
+//	albireo-lint -strict ./...  # warnings also fail
+//	albireo-lint -rules         # describe every rule
+//
+// Findings print as file:line:col: [rule] message. The exit status is
+// non-zero when any error-severity finding (or, with -strict, any
+// finding at all) survives //lint:ignore suppression.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"albireo/internal/lint"
+)
+
+// errFindings signals a clean run that found problems: already
+// reported, so main exits non-zero without another message.
+var errFindings = errors.New("albireo-lint: findings reported")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFindings) {
+			fmt.Fprintln(os.Stderr, "albireo-lint:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("albireo-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "treat warn-level findings as failures")
+	describe := fs.Bool("rules", false, "print every rule's name and doc, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rules := lint.Default()
+	if *describe {
+		for _, r := range rules {
+			fmt.Fprintf(stdout, "%-18s %-5s %s\n", r.Name, r.Severity, r.Doc)
+		}
+		return nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var all []lint.Finding
+	for _, pat := range patterns {
+		root := strings.TrimSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		findings, err := lint.Run(root, rules)
+		if err != nil {
+			return err
+		}
+		all = append(all, findings...)
+	}
+
+	errorCount, warnCount := 0, 0
+	for _, f := range all {
+		if f.Severity == lint.Error {
+			errorCount++
+			fmt.Fprintln(stdout, f)
+		} else {
+			warnCount++
+			fmt.Fprintf(stdout, "%s (warn)\n", f)
+		}
+	}
+	if errorCount+warnCount > 0 {
+		fmt.Fprintf(stderr, "albireo-lint: %d error(s), %d warning(s)\n", errorCount, warnCount)
+	}
+	if errorCount > 0 || (*strict && warnCount > 0) {
+		return errFindings
+	}
+	return nil
+}

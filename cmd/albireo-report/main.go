@@ -21,51 +21,33 @@ import (
 	"albireo/internal/perf"
 )
 
-// mustModel fetches a benchmark model by name.
-func mustModel(name string) nn.Model {
-	m, ok := nn.ByName(name)
-	if !ok {
-		panic("unknown model " + name)
-	}
-	return m
-}
-
-// scaleOutTable renders the VGG16 strong-scaling curve.
-func scaleOutTable() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "chips  latency(ms)  power(W)  EDP(mJ*ms)")
-	curve := perf.ScaleOutCurve(core.DefaultConfig(), nn.VGG16(), 8)
-	for i, r := range curve {
-		fmt.Fprintf(&b, "%5d  %11.4f  %8.1f  %10.4f\n", i+1, r.Latency*1e3, r.Power, r.EDP*1e6)
-	}
-	return b.String()
-}
-
-// excludedTable substantiates the Section V exclusion of HolyLight and
-// DNNARA at the 60 W budget.
-func excludedTable() string {
-	var b strings.Builder
-	fmt.Fprintln(&b, "design                    VGG16 latency(ms)  power(W)")
-	alb := perf.Evaluate(core.Albireo27(), nn.VGG16())
-	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", "Albireo-27", alb.Latency*1e3, alb.Power)
-	h := baseline.NewHolyLight().Evaluate(nn.VGG16())
-	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", h.Design, h.Latency*1e3, h.Power)
-	d := baseline.NewDNNARA().Evaluate(nn.VGG16())
-	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", d.Design, d.Latency*1e3, d.Power)
-	return b.String()
-}
-
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	bitwidth := flag.Bool("bitwidth", false, "include the converter bit-width sweep (trains a model; slower)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "albireo-report:", err)
+		os.Exit(1)
+	}
+}
 
-	var w io.Writer = os.Stdout
+// run writes the report to -o (or stdout), with every failure routed
+// back as an error so main owns the one exit point.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("albireo-report", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	bitwidth := fs.Bool("bitwidth", false, "include the converter bit-width sweep (trains a model; slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vgg16, ok := nn.ByName("VGG16")
+	if !ok {
+		return fmt.Errorf("benchmark model VGG16 missing from the zoo")
+	}
+
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -93,17 +75,43 @@ func main() {
 	section("Figure 9 — chip area breakdown", experiments.FormatFig9(experiments.Fig9(core.DefaultConfig())))
 	section("Table IV — electronic comparison", experiments.FormatTableIV(experiments.TableIV()))
 	section("Per-layer analysis — VGG16 on Albireo-C",
-		experiments.FormatLayers(core.DefaultConfig(), mustModel("VGG16")))
+		experiments.FormatLayers(core.DefaultConfig(), vgg16))
 
 	fmt.Fprintf(w, "# Beyond-the-paper analyses\n\n")
 	section("Dataflow ablation", experiments.FormatDataflow(experiments.DataflowComparison()))
 	section("Energy refinement", experiments.FormatEnergy(experiments.EnergyRefinement()))
 	section("WDM link budget", experiments.FormatLink())
 	section("Memory feasibility", experiments.FormatFeasibility(experiments.FeasibilityReport()))
-	section("Multi-chip strong scaling (VGG16)", scaleOutTable())
-	section("Excluded baselines (Section V claim)", excludedTable())
+	section("Multi-chip strong scaling (VGG16)", scaleOutTable(vgg16))
+	section("Excluded baselines (Section V claim)", excludedTable(vgg16))
 	if *bitwidth {
 		section("Converter bit-width vs accuracy",
 			experiments.FormatBitwidth(experiments.BitwidthSweep([]int{3, 4, 5, 6, 8, 10}, 60)))
 	}
+	return nil
+}
+
+// scaleOutTable renders the VGG16 strong-scaling curve.
+func scaleOutTable(model nn.Model) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "chips  latency(ms)  power(W)  EDP(mJ*ms)")
+	curve := perf.ScaleOutCurve(core.DefaultConfig(), model, 8)
+	for i, r := range curve {
+		fmt.Fprintf(&b, "%5d  %11.4f  %8.1f  %10.4f\n", i+1, r.Latency*1e3, r.Power, r.EDP*1e6)
+	}
+	return b.String()
+}
+
+// excludedTable substantiates the Section V exclusion of HolyLight and
+// DNNARA at the 60 W budget.
+func excludedTable(model nn.Model) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "design                    VGG16 latency(ms)  power(W)")
+	alb := perf.Evaluate(core.Albireo27(), model)
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", "Albireo-27", alb.Latency*1e3, alb.Power)
+	h := baseline.NewHolyLight().Evaluate(model)
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", h.Design, h.Latency*1e3, h.Power)
+	d := baseline.NewDNNARA().Evaluate(model)
+	fmt.Fprintf(&b, "%-24s  %18.3f  %8.1f\n", d.Design, d.Latency*1e3, d.Power)
+	return b.String()
 }

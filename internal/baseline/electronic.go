@@ -5,6 +5,8 @@ package baseline
 // (Table IV): Eyeriss (65 nm), ENVISION (28 nm), UNPU (65 nm). The
 // published results cover AlexNet and VGG16.
 
+import "albireo/internal/units"
+
 // ElectronicResult is one reported row of Table IV.
 type ElectronicResult struct {
 	Accelerator string
@@ -22,12 +24,12 @@ type ElectronicResult struct {
 // Reported returns the Table IV electronic rows.
 func Reported() []ElectronicResult {
 	return []ElectronicResult{
-		{"Eyeriss", "65nm", "AlexNet", 25.9e-3, 7.19e-3, 186.1e-6, 1.75, 6.29},
-		{"ENVISION", "28nm", "AlexNet", 21.3e-3, 0.94e-3, 20.0e-6, 18.2, 411.9},
-		{"UNPU", "65nm", "AlexNet", 2.89e-3, 0.84e-3, 2.42e-6, 15.7, 53.9},
-		{"Eyeriss", "65nm", "VGG16", 1252e-3, 295.4e-3, 370e-3, 0.77, 3.3},
-		{"ENVISION", "28nm", "VGG16", 598.8e-3, 15.6e-3, 9341e-6, 13.8, 531.3},
-		{"UNPU", "65nm", "VGG16", 54.6e-3, 16.2e-3, 886.9e-6, 17.7, 59.1},
+		{"Eyeriss", "65nm", "AlexNet", 25.9 * units.Milli, 7.19 * units.Milli, 186.1 * units.Micro, 1.75, 6.29},
+		{"ENVISION", "28nm", "AlexNet", 21.3 * units.Milli, 0.94 * units.Milli, 20.0 * units.Micro, 18.2, 411.9},
+		{"UNPU", "65nm", "AlexNet", 2.89 * units.Milli, 0.84 * units.Milli, 2.42 * units.Micro, 15.7, 53.9},
+		{"Eyeriss", "65nm", "VGG16", 1252 * units.Milli, 295.4 * units.Milli, 370 * units.Milli, 0.77, 3.3},
+		{"ENVISION", "28nm", "VGG16", 598.8 * units.Milli, 15.6 * units.Milli, 9341 * units.Micro, 13.8, 531.3},
+		{"UNPU", "65nm", "VGG16", 54.6 * units.Milli, 16.2 * units.Milli, 886.9 * units.Micro, 17.7, 59.1},
 	}
 }
 

@@ -3,6 +3,7 @@ package baseline
 import (
 	"albireo/internal/device"
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // The paper (Section V) forgoes comparison with HolyLight and DNNARA
@@ -30,7 +31,7 @@ type HolyLight struct {
 
 // NewHolyLight returns the 60 W configuration.
 func NewHolyLight() HolyLight {
-	return HolyLight{TileDim: 16, Bits: 8, ClockHz: 5e9, PowerBudget: 60}
+	return HolyLight{TileDim: 16, Bits: 8, ClockHz: 5 * units.Giga, PowerBudget: 60}
 }
 
 // TilePower prices one tile: TileDim input DACs per bit-plane,
@@ -93,7 +94,7 @@ type DNNARA struct {
 
 // NewDNNARA returns the 60 W configuration with the {5,7,8,9} moduli.
 func NewDNNARA() DNNARA {
-	return DNNARA{Moduli: []int{5, 7, 8, 9}, ClockHz: 5e9, PowerBudget: 60}
+	return DNNARA{Moduli: []int{5, 7, 8, 9}, ClockHz: 5 * units.Giga, PowerBudget: 60}
 }
 
 // UnitPower prices one RNS MAC unit: per modulus m, a one-hot rail of

@@ -13,6 +13,7 @@ import (
 
 	"albireo/internal/device"
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // Result mirrors perf.Result for baseline accelerators.
@@ -41,7 +42,7 @@ func (r Result) WDMEfficiency() float64 {
 
 // String implements fmt.Stringer.
 func (r Result) String() string {
-	return fmt.Sprintf("%s on %s: %.3f ms, %.2f mJ", r.Model, r.Design, r.Latency*1e3, r.Energy*1e3)
+	return fmt.Sprintf("%s on %s: %.3f ms, %.2f mJ", r.Model, r.Design, r.Latency*units.Kilo, r.Energy*units.Kilo)
 }
 
 // DEAPCNN models the DEAP-CNN accelerator (Bangari et al., the paper's
@@ -69,7 +70,7 @@ func NewDEAPCNN() DEAPCNN {
 	return DEAPCNN{
 		MaxChannels:       113,
 		TapsPerBank:       9,
-		ClockHz:           5e9,
+		ClockHz:           5 * units.Giga,
 		KernelWavelengths: 9,
 	}
 }
@@ -155,7 +156,7 @@ type PIXEL struct {
 
 // NewPIXEL returns the paper's 60 W PIXEL configuration.
 func NewPIXEL() PIXEL {
-	return PIXEL{ClockHz: 10e9, Bits: 8, PowerBudget: 60}
+	return PIXEL{ClockHz: 10 * units.Giga, Bits: 8, PowerBudget: 60}
 }
 
 // UnitPower returns one OMAC's draw with conservative devices. DAC and

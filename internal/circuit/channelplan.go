@@ -53,7 +53,7 @@ func (c ChannelPlan) Fits() bool { return c.Span() <= c.AWGFSR }
 // Window returns the wavelength grid of PLCU u's channels.
 func (c ChannelPlan) Window(u int) Grid {
 	if u < 0 || u >= c.PLCUs {
-		panic(fmt.Sprintf("circuit: window %d out of range", u))
+		panic(fmt.Sprintf("circuit: window %d out of range", u)) //lint:ignore exit-hygiene window index is a validated invariant; caller bug
 	}
 	// Windows tile symmetrically around the band center.
 	offset := (float64(u) - float64(c.PLCUs-1)/2) * c.RingFSR

@@ -8,6 +8,7 @@ import (
 )
 
 func TestDefaultPlanFitsAWG(t *testing.T) {
+	t.Parallel()
 	// 3 PLCUs x one 16.3 nm ring FSR each = ~49 nm, inside the 70 nm
 	// AWG FSR - the allocation Section III-B relies on.
 	p := NewChannelPlan(21, 3)
@@ -24,6 +25,7 @@ func TestDefaultPlanFitsAWG(t *testing.T) {
 }
 
 func TestWindowsAreDisjoint(t *testing.T) {
+	t.Parallel()
 	p := NewChannelPlan(21, 3)
 	ws := p.AllWavelengths()
 	if len(ws) != 63 {
@@ -43,6 +45,7 @@ func TestWindowsAreDisjoint(t *testing.T) {
 }
 
 func TestWindowBounds(t *testing.T) {
+	t.Parallel()
 	p := NewChannelPlan(21, 3)
 	defer func() {
 		if recover() == nil {
@@ -53,6 +56,7 @@ func TestWindowBounds(t *testing.T) {
 }
 
 func TestInterUnitIsolation(t *testing.T) {
+	t.Parallel()
 	// Foreign windows alias exactly onto local resonances (the
 	// windows tile at one ring FSR), so the isolation comes from the
 	// AWG's spatial routing: worst leakage = AWG crosstalk (-34 dB)
@@ -65,6 +69,7 @@ func TestInterUnitIsolation(t *testing.T) {
 }
 
 func TestPlanString(t *testing.T) {
+	t.Parallel()
 	if NewChannelPlan(21, 3).String() == "" {
 		t.Error("String")
 	}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestGridLayout(t *testing.T) {
+	t.Parallel()
 	ring := photonics.NewMRR(1550 * units.Nano)
 	g := NewGrid(ring, 21)
 	if g.N != 21 {
@@ -40,6 +41,7 @@ func TestGridLayout(t *testing.T) {
 }
 
 func TestGridDegenerate(t *testing.T) {
+	t.Parallel()
 	g := Grid{Center: 1550e-9, FSR: 16e-9, N: 0}
 	if g.Spacing() != 0 || len(g.Wavelengths()) != 0 {
 		t.Error("empty grid should be harmless")
@@ -47,6 +49,7 @@ func TestGridDegenerate(t *testing.T) {
 }
 
 func TestCrosstalkDecreasesWithK2(t *testing.T) {
+	t.Parallel()
 	// Figure 4a/4c: lower k^2 narrows the resonance and reduces
 	// crosstalk at fixed channel count.
 	x03 := NewCrosstalkAnalysis(0.03, 20).WorstChannelCrosstalk()
@@ -58,6 +61,7 @@ func TestCrosstalkDecreasesWithK2(t *testing.T) {
 }
 
 func TestCrosstalkGrowsWithChannels(t *testing.T) {
+	t.Parallel()
 	prev := 0.0
 	for _, n := range []int{5, 10, 20, 40} {
 		x := NewCrosstalkAnalysis(0.03, n).WorstChannelCrosstalk()
@@ -69,6 +73,7 @@ func TestCrosstalkGrowsWithChannels(t *testing.T) {
 }
 
 func TestFig4cAnchors(t *testing.T) {
+	t.Parallel()
 	// Paper Section II-C.2 anchors:
 	// "For around 20 wavelengths, k2=0.03 can support 6 bits ...
 	// positive accumulation [only]".
@@ -93,6 +98,7 @@ func TestFig4cAnchors(t *testing.T) {
 }
 
 func TestCrosstalkMatrixProperties(t *testing.T) {
+	t.Parallel()
 	c := NewCrosstalkAnalysis(0.03, 9)
 	m := c.CrosstalkMatrix()
 	if len(m) != 9 {
@@ -124,6 +130,7 @@ func TestCrosstalkMatrixProperties(t *testing.T) {
 }
 
 func TestSystemPrecisionTakesMinimum(t *testing.T) {
+	t.Parallel()
 	c := NewCrosstalkAnalysis(0.03, 20)
 	np := noise.DefaultParams()
 	// Plenty of optical power: crosstalk limited.
@@ -144,6 +151,7 @@ func TestSystemPrecisionTakesMinimum(t *testing.T) {
 }
 
 func TestTemporalRiseTimeOrdering(t *testing.T) {
+	t.Parallel()
 	// Figure 4b: lower k^2 means a slower ring.
 	fast := NewTemporalResponse(0.05, 5e9)
 	mid := NewTemporalResponse(0.03, 5e9)
@@ -158,6 +166,7 @@ func TestTemporalRiseTimeOrdering(t *testing.T) {
 }
 
 func TestTemporalStepResponse(t *testing.T) {
+	t.Parallel()
 	tr := NewTemporalResponse(0.03, 5e9)
 	dt := 1e-12
 	step := tr.StepResponse(500e-12, dt)
@@ -185,6 +194,7 @@ func TestTemporalStepResponse(t *testing.T) {
 }
 
 func TestEyeOpeningDegradesWithRate(t *testing.T) {
+	t.Parallel()
 	// Both rings are comfortable at 5 GHz; pushing the symbol rate
 	// closes the k2=0.02 eye first - the Figure 4b trade-off.
 	for _, rate := range []float64{5e9, 20e9, 40e9} {
@@ -202,6 +212,7 @@ func TestEyeOpeningDegradesWithRate(t *testing.T) {
 }
 
 func TestDriveEnvelope(t *testing.T) {
+	t.Parallel()
 	tr := NewTemporalResponse(0.03, 5e9)
 	trace := tr.Drive([]float64{1, 1, 0, 0})
 	if len(trace) != 4*tr.SamplesPerSymbol {
@@ -225,6 +236,7 @@ func TestDriveEnvelope(t *testing.T) {
 }
 
 func TestPathLossComposition(t *testing.T) {
+	t.Parallel()
 	p := NewPathLoss().AddDB(3).AddDB(2)
 	if math.Abs(p.TotalDB()-5) > 1e-12 {
 		t.Error("dB stages should add")
@@ -245,6 +257,7 @@ func TestPathLossComposition(t *testing.T) {
 }
 
 func TestAlbireoSignalPathBudget(t *testing.T) {
+	t.Parallel()
 	p := AlbireoSignalPath(9, 3)
 	db := p.TotalDB()
 	// The end-to-end budget should land in the high-teens to low-20s

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"albireo/internal/photonics"
+	"albireo/internal/units"
 )
 
 // Grid is a set of equally spaced WDM channels packed into one ring
@@ -59,5 +60,5 @@ func (g Grid) Wavelengths() []float64 {
 
 // String implements fmt.Stringer.
 func (g Grid) String() string {
-	return fmt.Sprintf("grid{%d ch, %.2f nm pitch}", g.N, g.Spacing()/1e-9)
+	return fmt.Sprintf("grid{%d ch, %.2f nm pitch}", g.N, g.Spacing()/units.Nano)
 }

@@ -122,5 +122,5 @@ func (l Link) Analyze() Budget {
 // String implements fmt.Stringer.
 func (b Budget) String() string {
 	return fmt.Sprintf("link{worst %.2f uW, spread %.2f dB, loss %.1f dB}",
-		b.WorstPower*1e6, b.SpreadDB, b.EndToEndLossDB)
+		b.WorstPower*units.Mega, b.SpreadDB, b.EndToEndLossDB)
 }

@@ -8,6 +8,7 @@ import (
 )
 
 func TestLinkDelivery(t *testing.T) {
+	t.Parallel()
 	l := NewLink(9, 63, 2e-3)
 	powers := l.DeliveredPowers()
 	if len(powers) != 63 {
@@ -21,6 +22,7 @@ func TestLinkDelivery(t *testing.T) {
 }
 
 func TestLinkBudgetAgainstScalarPath(t *testing.T) {
+	t.Parallel()
 	// The channel-resolved link should land within ~2 dB of the scalar
 	// AlbireoSignalPath budget (the scalar model adds a waveguide
 	// routing allowance the link omits; AWG leakage adds power back).
@@ -33,6 +35,7 @@ func TestLinkBudgetAgainstScalarPath(t *testing.T) {
 }
 
 func TestLinkChannelSpreadSmall(t *testing.T) {
+	t.Parallel()
 	// All channels see nearly identical paths; the only spread comes
 	// from AWG edge channels missing one leakage neighbor. It must be
 	// well under 1 dB.
@@ -46,6 +49,7 @@ func TestLinkChannelSpreadSmall(t *testing.T) {
 }
 
 func TestLinkScalesWithBroadcast(t *testing.T) {
+	t.Parallel()
 	// Tripling the PLCG fan-out costs broadcast splits: a 27-group
 	// link delivers less per channel.
 	b9 := NewLink(9, 63, 2e-3).Analyze()
@@ -62,6 +66,7 @@ func TestLinkScalesWithBroadcast(t *testing.T) {
 }
 
 func TestLinkTotalLaserPower(t *testing.T) {
+	t.Parallel()
 	b := NewLink(9, 63, 2e-3).Analyze()
 	if math.Abs(b.TotalLaserPower-126e-3) > 1e-9 {
 		t.Errorf("63 lasers at 2 mW should launch 126 mW, got %g", b.TotalLaserPower)
@@ -69,6 +74,7 @@ func TestLinkTotalLaserPower(t *testing.T) {
 }
 
 func TestLinkWorstCurrentUsableForNoise(t *testing.T) {
+	t.Parallel()
 	// The worst-channel photocurrent should sit in the uA range where
 	// the Figure 3 analysis operates.
 	b := NewLink(9, 63, 2e-3).Analyze()
@@ -81,6 +87,7 @@ func TestLinkWorstCurrentUsableForNoise(t *testing.T) {
 }
 
 func TestLinkDegenerate(t *testing.T) {
+	t.Parallel()
 	l := NewLink(9, 0, 2e-3)
 	if got := l.DeliveredPowers(); got != nil {
 		t.Error("zero-channel link should return nil")

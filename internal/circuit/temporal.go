@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"albireo/internal/photonics"
+	"albireo/internal/units"
 )
 
 // TemporalResponse simulates the drop-port power envelope of an MRR
@@ -30,7 +31,7 @@ type TemporalResponse struct {
 // the given k^2 at the given symbol rate.
 func NewTemporalResponse(k2, symbolRate float64) TemporalResponse {
 	return TemporalResponse{
-		Ring:             photonics.NewMRRWithK2(1550e-9, k2),
+		Ring:             photonics.NewMRRWithK2(1550*units.Nano, k2),
 		SymbolRate:       symbolRate,
 		SamplesPerSymbol: 64,
 	}

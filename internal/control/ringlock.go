@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"albireo/internal/photonics"
+	"albireo/internal/units"
 )
 
 // RingLock is a PI controller steering one ring's heater.
@@ -41,9 +42,9 @@ func NewRingLock(seed int64) *RingLock {
 	// margin; Ki a tenth of Kp per step.
 	return &RingLock{
 		Tuner:       t,
-		Kp:          2e6, // W per meter of detune (= 2 uW/pm)
+		Kp:          2 * units.Mega, // W per meter of detune (= 2 uW/pm)
 		Ki:          4e5,
-		SensorSigma: 2e-12, // 2 pm measurement noise
+		SensorSigma: 2 * units.Pico, // 2 pm measurement noise
 		rng:         rand.New(rand.NewSource(seed)),
 	}
 }
@@ -59,7 +60,7 @@ func (r *RingLock) Step(ambientShift float64) float64 {
 	// The heater red-shifts the resonance; with the ring fabricated
 	// blue of its channel, heater power cancels positive ambient
 	// error. Residual = ambient - heater-induced shift.
-	heaterShift := r.heater / 1e-3 * r.Tuner.EfficiencyNMPerMW * 1e-9
+	heaterShift := r.heater / units.Milli * r.Tuner.EfficiencyNMPerMW * units.Nano
 	residual := ambientShift - heaterShift
 	measured := residual + r.rng.NormFloat64()*r.SensorSigma
 
@@ -124,6 +125,6 @@ func (r *RingLock) Run(steps int, fabOffset, rampPerStep, sineAmp float64) LockR
 // String implements fmt.Stringer.
 func (rep LockReport) String() string {
 	return fmt.Sprintf("lock{rms %.2f pm, worst %.2f pm, heater %.2f mW, sat=%v}",
-		rep.SettledResidual*1e12, rep.WorstResidual*1e12,
-		rep.MeanHeaterPower*1e3, rep.Saturated)
+		rep.SettledResidual*units.Tera, rep.WorstResidual*units.Tera,
+		rep.MeanHeaterPower*units.Kilo, rep.Saturated)
 }

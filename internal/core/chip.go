@@ -20,7 +20,7 @@ type Chip struct {
 // NewChip builds a functional chip.
 func NewChip(cfg Config) *Chip {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("core: invalid config: %v", err))
+		panic(fmt.Sprintf("core: invalid config: %v", err)) //lint:ignore exit-hygiene constructor refuses a config Validate already rejected; caller bug
 	}
 	groups := make([]*PLCG, cfg.Ng)
 	for gi := range groups {
@@ -71,7 +71,7 @@ func (c *Chip) tapChunks(ky, kx int) []tapChunk {
 func normalizeInput(a *tensor.Volume) (*tensor.Volume, float64) {
 	for _, v := range a.Data {
 		if v < 0 {
-			panic("core: activations must be non-negative (optical power encoding)")
+			panic("core: activations must be non-negative (optical power encoding)") //lint:ignore exit-hygiene non-negative activations are the optical power encoding invariant
 		}
 	}
 	scale := a.MaxAbs()
@@ -113,7 +113,7 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 		return c.groupedConv(a, w, cfg, relu)
 	}
 	if w.Z != a.Z {
-		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z))
+		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z)) //lint:ignore exit-hygiene kernel/input shape invariant; caller bug
 	}
 	stride := cfg.Stride
 	if stride == 0 {
@@ -193,7 +193,7 @@ func (c *Chip) buildSlot(a *tensor.Volume, w *tensor.Kernels, m, wz, az, oy, ox0
 func (c *Chip) groupedConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
 	groups := cfg.Groups
 	if a.Z%groups != 0 || w.M%groups != 0 {
-		panic(fmt.Sprintf("core: groups %d do not divide channels %d/%d", groups, a.Z, w.M))
+		panic(fmt.Sprintf("core: groups %d do not divide channels %d/%d", groups, a.Z, w.M)) //lint:ignore exit-hygiene group divisibility invariant; caller bug
 	}
 	zPer, mPer := a.Z/groups, w.M/groups
 	stride := cfg.Stride
@@ -231,7 +231,7 @@ func (c *Chip) groupedConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvC
 // not performed across channels for depthwise kernels").
 func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
 	if w.M != a.Z || w.Z != 1 {
-		panic("core: depthwise wants one depth-1 kernel per input channel")
+		panic("core: depthwise wants one depth-1 kernel per input channel") //lint:ignore exit-hygiene depthwise kernel shape invariant; caller bug
 	}
 	stride := cfg.Stride
 	if stride == 0 {
@@ -278,7 +278,7 @@ func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Con
 // and PLCUs.
 func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor.Volume {
 	if w.Y != 1 || w.X != 1 || w.Z != a.Z {
-		panic("core: pointwise wants 1x1 kernels of full depth")
+		panic("core: pointwise wants 1x1 kernels of full depth") //lint:ignore exit-hygiene pointwise kernel shape invariant; caller bug
 	}
 	na, aScale := normalizeInput(a)
 	nw, wScale := normalizeKernels(w)
@@ -338,7 +338,7 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 // zero activations.
 func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
 	if w.Z != a.Z || w.Y != a.Y || w.X != a.X {
-		panic("core: FC kernel shape must match the input volume")
+		panic("core: FC kernel shape must match the input volume") //lint:ignore exit-hygiene FC kernel shape invariant; caller bug
 	}
 	na, aScale := normalizeInput(a)
 	nw, wScale := normalizeKernels(w)
@@ -400,7 +400,7 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 		return c.Conv(a, w, cfg, relu)
 	}
 	if w.Z != a.Z {
-		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z))
+		panic(fmt.Sprintf("core: kernel depth %d != input channels %d", w.Z, a.Z)) //lint:ignore exit-hygiene kernel/input shape invariant; caller bug
 	}
 	stride := cfg.Stride
 	if stride == 0 {

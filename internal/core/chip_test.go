@@ -23,6 +23,7 @@ func rmsError(got, want *tensor.Volume) float64 {
 }
 
 func TestChipConvMatchesReferenceIdeal(t *testing.T) {
+	t.Parallel()
 	// With impairments disabled, the analog conv should track the
 	// exact reference within quantization error.
 	chip := NewChip(idealConfig())
@@ -40,6 +41,7 @@ func TestChipConvMatchesReferenceIdeal(t *testing.T) {
 }
 
 func TestChipConvRealisticImpairments(t *testing.T) {
+	t.Parallel()
 	// With crosstalk and noise enabled, the computation is approximate
 	// but still strongly correlated with the reference - the 7-bit
 	// worst-case regime of Section II-C.
@@ -60,6 +62,7 @@ func TestChipConvRealisticImpairments(t *testing.T) {
 }
 
 func TestChipConvStrideAndRelu(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.RandomVolume(3, 9, 9, 105)
 	w := tensor.RandomKernels(2, 3, 3, 3, 106)
@@ -80,6 +83,7 @@ func TestChipConvStrideAndRelu(t *testing.T) {
 }
 
 func TestChipConvLargeKernelChunks(t *testing.T) {
+	t.Parallel()
 	// A 5x5 kernel does not fit the 9 MZMs and needs ceil(25/9) = 3
 	// tap chunks (Section III-A).
 	chip := NewChip(idealConfig())
@@ -103,6 +107,7 @@ func TestChipConvLargeKernelChunks(t *testing.T) {
 }
 
 func TestChipGroupedConv(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.RandomVolume(4, 6, 6, 109)
 	w := tensor.RandomKernels(4, 2, 3, 3, 110)
@@ -115,6 +120,7 @@ func TestChipGroupedConv(t *testing.T) {
 }
 
 func TestChipDepthwiseConv(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.RandomVolume(4, 6, 6, 111)
 	w := tensor.RandomKernels(4, 1, 3, 3, 112)
@@ -130,6 +136,7 @@ func TestChipDepthwiseConv(t *testing.T) {
 }
 
 func TestChipPointwise(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.RandomVolume(20, 4, 4, 113)
 	w := tensor.RandomKernels(6, 20, 1, 1, 114)
@@ -144,6 +151,7 @@ func TestChipPointwise(t *testing.T) {
 }
 
 func TestChipFullyConnected(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.RandomVolume(4, 3, 3, 115)
 	w := tensor.RandomKernels(8, 4, 3, 3, 116)
@@ -174,6 +182,7 @@ func TestChipFullyConnected(t *testing.T) {
 }
 
 func TestChipZeroInputs(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.NewVolume(3, 5, 5)
 	w := tensor.RandomKernels(2, 3, 3, 3, 117)
@@ -193,6 +202,7 @@ func TestChipZeroInputs(t *testing.T) {
 }
 
 func TestChipRejectsNegativeActivations(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	a := tensor.NewVolume(1, 2, 2)
 	a.Set(0, 0, 0, -1)
@@ -206,6 +216,7 @@ func TestChipRejectsNegativeActivations(t *testing.T) {
 }
 
 func TestChipAccessors(t *testing.T) {
+	t.Parallel()
 	chip := NewChip(idealConfig())
 	if chip.Config().Ng != 9 || len(chip.Groups()) != 9 {
 		t.Error("chip should expose its 9 PLCGs")
@@ -220,6 +231,7 @@ func TestChipAccessors(t *testing.T) {
 }
 
 func TestPLCGStepTailChannels(t *testing.T) {
+	t.Parallel()
 	// Tail channel groups may pass fewer than Nu slots.
 	g := NewPLCG(idealConfig())
 	w := make([]float64, 9)

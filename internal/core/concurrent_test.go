@@ -7,6 +7,7 @@ import (
 )
 
 func TestConvConcurrentBitIdentical(t *testing.T) {
+	t.Parallel()
 	// PLCGs have private noise streams partitioned by group, so the
 	// concurrent path must be bit-identical to the sequential one even
 	// with noise enabled.
@@ -27,6 +28,7 @@ func TestConvConcurrentBitIdentical(t *testing.T) {
 }
 
 func TestConvConcurrentStride(t *testing.T) {
+	t.Parallel()
 	a := tensor.RandomVolume(4, 9, 9, 303)
 	w := tensor.RandomKernels(5, 4, 3, 3, 304)
 	cc := tensor.ConvConfig{Stride: 2, Pad: 1}
@@ -40,6 +42,7 @@ func TestConvConcurrentStride(t *testing.T) {
 }
 
 func TestConvConcurrentFallbacks(t *testing.T) {
+	t.Parallel()
 	// Depthwise and grouped layers route to the sequential path and
 	// must still be correct.
 	chip := NewChip(idealConfig())

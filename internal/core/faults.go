@@ -58,10 +58,10 @@ func (f Fault) String() string {
 // subsequent Currents call until ClearFaults.
 func (p *PLCU) InjectFault(f Fault) {
 	if f.Tap < 0 || f.Tap >= p.cfg.Nm {
-		panic(fmt.Sprintf("core: fault tap %d out of range", f.Tap))
+		panic(fmt.Sprintf("core: fault tap %d out of range", f.Tap)) //lint:ignore exit-hygiene fault tap outside hardware range; caller bug
 	}
 	if f.Kind != StuckMZM && (f.Column < 0 || f.Column >= p.cfg.Nd) {
-		panic(fmt.Sprintf("core: fault column %d out of range", f.Column))
+		panic(fmt.Sprintf("core: fault column %d out of range", f.Column)) //lint:ignore exit-hygiene fault column outside hardware range; caller bug
 	}
 	p.faults = append(p.faults, f)
 }

@@ -19,6 +19,7 @@ func faultFixture(p *PLCU) ([]float64, [][]float64) {
 }
 
 func TestStuckMZMPinsTap(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	weights, avals := faultFixture(p)
 	healthy := p.Dot(weights, avals)
@@ -47,6 +48,7 @@ func TestStuckMZMPinsTap(t *testing.T) {
 }
 
 func TestStuckMZMPreservesSignRouting(t *testing.T) {
+	t.Parallel()
 	// The rings still route by the programmed sign, so a negative
 	// weight with a stuck magnitude stays on the negative waveguide.
 	p := NewPLCU(idealConfig())
@@ -63,6 +65,7 @@ func TestStuckMZMPreservesSignRouting(t *testing.T) {
 }
 
 func TestDeadRingKillsOneColumn(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	weights, avals := faultFixture(p)
 	healthy := p.Dot(weights, avals)
@@ -84,6 +87,7 @@ func TestDeadRingKillsOneColumn(t *testing.T) {
 }
 
 func TestDetunedRingPartialLoss(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	weights, avals := faultFixture(p)
 	healthy := p.Dot(weights, avals)
@@ -103,6 +107,7 @@ func TestDetunedRingPartialLoss(t *testing.T) {
 }
 
 func TestFaultAccounting(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	p.InjectFault(Fault{Kind: DeadRing, Tap: 1, Column: 1})
 	p.InjectFault(Fault{Kind: StuckMZM, Tap: 2, Value: 0.7})
@@ -119,6 +124,7 @@ func TestFaultAccounting(t *testing.T) {
 }
 
 func TestFaultValidation(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	expectPanic := func(name string, f func()) {
 		t.Helper()
@@ -134,6 +140,7 @@ func TestFaultValidation(t *testing.T) {
 }
 
 func TestFaultImpactOnConvolution(t *testing.T) {
+	t.Parallel()
 	// Chip-level failure injection: kill one ring in one PLCU of one
 	// PLCG and verify that only that group's kernels degrade.
 	cfg := idealConfig()

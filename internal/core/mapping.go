@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // LayerMapping is the cycle-level schedule of one layer on the chip,
@@ -132,5 +133,5 @@ func (mm ModelMapping) Utilization() float64 {
 // String implements fmt.Stringer.
 func (mm ModelMapping) String() string {
 	return fmt.Sprintf("%s on %s: %d cycles, %.3f ms, %.1f%% utilization",
-		mm.Model.Name, mm.Config, mm.TotalCycles, mm.Latency()*1e3, mm.Utilization()*100)
+		mm.Model.Name, mm.Config, mm.TotalCycles, mm.Latency()*units.Kilo, mm.Utilization()*100)
 }

@@ -9,6 +9,7 @@ import (
 )
 
 func TestMapLayerConv(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	// VGG conv3_1: 256 kernels, 56x56 output, 128 input channels, 3x3.
 	l := nn.Layer{Kind: nn.Conv, InZ: 128, InY: 56, InX: 56, OutZ: 256, KY: 3, KX: 3, Stride: 1, Pad: 1}
@@ -32,6 +33,7 @@ func TestMapLayerConv(t *testing.T) {
 }
 
 func TestMapLayerBigKernel(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	// AlexNet conv1: 11x11 kernel -> 14 tap chunks.
 	l := nn.Layer{Kind: nn.Conv, InZ: 3, InY: 224, InX: 224, OutZ: 96, KY: 11, KX: 11, Stride: 4, Pad: 2}
@@ -42,6 +44,7 @@ func TestMapLayerBigKernel(t *testing.T) {
 }
 
 func TestMapLayerGrouped(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	l := nn.Layer{Kind: nn.Conv, InZ: 96, InY: 27, InX: 27, OutZ: 256, KY: 5, KX: 5, Stride: 1, Pad: 2, Groups: 2}
 	m := c.MapLayer(l)
@@ -55,6 +58,7 @@ func TestMapLayerGrouped(t *testing.T) {
 }
 
 func TestMapLayerDepthwise(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	l := nn.Layer{Kind: nn.Depthwise, InZ: 512, InY: 14, InX: 14, OutZ: 512, KY: 3, KX: 3, Stride: 1, Pad: 1}
 	m := c.MapLayer(l)
@@ -68,6 +72,7 @@ func TestMapLayerDepthwise(t *testing.T) {
 }
 
 func TestMapLayerPointwise(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	l := nn.Layer{Kind: nn.Pointwise, InZ: 512, InY: 14, InX: 14, OutZ: 512, KY: 1, KX: 1}
 	m := c.MapLayer(l)
@@ -83,6 +88,7 @@ func TestMapLayerPointwise(t *testing.T) {
 }
 
 func TestMapLayerFC(t *testing.T) {
+	t.Parallel()
 	wide := DefaultConfig()
 	narrow := DefaultConfig()
 	narrow.FCWide = false
@@ -102,6 +108,7 @@ func TestMapLayerFC(t *testing.T) {
 }
 
 func TestMapLayerPooling(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	l := nn.Layer{Kind: nn.MaxPoolKind, InZ: 64, InY: 112, InX: 112, OutZ: 64, KY: 3, KX: 3, Stride: 2}
 	if got := c.MapLayer(l).Cycles; got != 0 {
@@ -110,6 +117,7 @@ func TestMapLayerPooling(t *testing.T) {
 }
 
 func TestVGG16LatencyMatchesPaper(t *testing.T) {
+	t.Parallel()
 	// Paper Table IV: VGG16 on Albireo-C takes 2.55 ms. Our mapping
 	// should land within ~15% (the paper's exact tiling is not fully
 	// specified; see DESIGN.md).
@@ -121,6 +129,7 @@ func TestVGG16LatencyMatchesPaper(t *testing.T) {
 }
 
 func TestAlexNetLatencyMatchesPaper(t *testing.T) {
+	t.Parallel()
 	// Paper Table IV: AlexNet on Albireo-C takes 0.13 ms (with the
 	// wide FC mapping and grouped convolutions; see DESIGN.md).
 	mm := DefaultConfig().MapModel(nn.AlexNet())
@@ -131,6 +140,7 @@ func TestAlexNetLatencyMatchesPaper(t *testing.T) {
 }
 
 func TestAggressiveLatencyScalesWithRate(t *testing.T) {
+	t.Parallel()
 	// Albireo-A runs at 8 GHz: latency should be exactly 5/8 of the
 	// conservative latency (same mapping).
 	c := DefaultConfig()
@@ -144,6 +154,7 @@ func TestAggressiveLatencyScalesWithRate(t *testing.T) {
 }
 
 func TestAlbireo27Scaling(t *testing.T) {
+	t.Parallel()
 	// Tripling the PLCGs should cut conv-dominated latency roughly 3x
 	// (within ceiling effects).
 	l9 := DefaultConfig().MapModel(nn.VGG16()).Latency()
@@ -155,6 +166,7 @@ func TestAlbireo27Scaling(t *testing.T) {
 }
 
 func TestModelMappingAccounting(t *testing.T) {
+	t.Parallel()
 	mm := DefaultConfig().MapModel(nn.MobileNet())
 	var sum int64
 	for _, lm := range mm.Layers {
@@ -179,6 +191,7 @@ func TestModelMappingAccounting(t *testing.T) {
 }
 
 func TestAllBenchmarksMap(t *testing.T) {
+	t.Parallel()
 	for _, m := range nn.Benchmarks() {
 		mm := DefaultConfig().MapModel(m)
 		if mm.TotalCycles <= 0 {

@@ -25,7 +25,7 @@ type PLCG struct {
 // stream derived from cfg.Seed.
 func NewPLCG(cfg Config) *PLCG {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("core: invalid config: %v", err))
+		panic(fmt.Sprintf("core: invalid config: %v", err)) //lint:ignore exit-hygiene constructor refuses a config Validate already rejected; caller bug
 	}
 	units := make([]*PLCU, cfg.Nu)
 	for u := range units {
@@ -52,7 +52,7 @@ func (g *PLCG) Units() []*PLCU { return g.units }
 // groups; missing units idle.
 func (g *PLCG) Step(weights [][]float64, avals [][][]float64) []float64 {
 	if len(weights) > g.cfg.Nu || len(weights) != len(avals) {
-		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d",
+		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d", //lint:ignore exit-hygiene slot-count shape invariant; caller bug
 			g.cfg.Nu, len(weights), len(avals)))
 	}
 	sum := make([]float64, g.cfg.Nd)

@@ -49,7 +49,7 @@ type PLCU struct {
 // configuration must validate.
 func NewPLCU(cfg Config) *PLCU {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("core: invalid config: %v", err))
+		panic(fmt.Sprintf("core: invalid config: %v", err)) //lint:ignore exit-hygiene constructor refuses a config Validate already rejected; caller bug
 	}
 	delivered := cfg.SignalPath().Deliver(cfg.LaserPower)
 	pd := photonics.NewPhotodiode()
@@ -123,10 +123,10 @@ func (p *PLCU) quantizeWeight(w float64) float64 {
 func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
 	cfg := p.cfg
 	if len(weights) != cfg.Nm {
-		panic(fmt.Sprintf("core: want %d weights, got %d", cfg.Nm, len(weights)))
+		panic(fmt.Sprintf("core: want %d weights, got %d", cfg.Nm, len(weights))) //lint:ignore exit-hygiene weight-count shape invariant; caller bug
 	}
 	if len(avals) != cfg.Nm {
-		panic(fmt.Sprintf("core: want %d activation rows, got %d", cfg.Nm, len(avals)))
+		panic(fmt.Sprintf("core: want %d activation rows, got %d", cfg.Nm, len(avals))) //lint:ignore exit-hygiene activation-row shape invariant; caller bug
 	}
 
 	// DAC quantization at the electrical/optical boundary, then any
@@ -138,7 +138,7 @@ func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
 	qa := make([][]float64, cfg.Nm)
 	for t := range avals {
 		if len(avals[t]) != cfg.Nd {
-			panic(fmt.Sprintf("core: tap %d wants %d activations, got %d", t, cfg.Nd, len(avals[t])))
+			panic(fmt.Sprintf("core: tap %d wants %d activations, got %d", t, cfg.Nd, len(avals[t]))) //lint:ignore exit-hygiene per-tap activation shape invariant; caller bug
 		}
 		row := make([]float64, cfg.Nd)
 		for d, a := range avals[t] {
@@ -209,13 +209,13 @@ func (p *PLCU) ReceptiveFieldAVals(field [][]float64) [][]float64 {
 	cfg := p.cfg
 	width := cfg.Nd + cfg.KernelW - 1
 	if len(field) != cfg.KernelH {
-		panic(fmt.Sprintf("core: field wants %d rows, got %d", cfg.KernelH, len(field)))
+		panic(fmt.Sprintf("core: field wants %d rows, got %d", cfg.KernelH, len(field))) //lint:ignore exit-hygiene field row-count invariant; caller bug
 	}
 	out := make([][]float64, cfg.Nm)
 	for t := 0; t < cfg.Nm; t++ {
 		r, c := t/cfg.KernelW, t%cfg.KernelW
 		if len(field[r]) != width {
-			panic(fmt.Sprintf("core: field row %d wants %d cols, got %d", r, width, len(field[r])))
+			panic(fmt.Sprintf("core: field row %d wants %d cols, got %d", r, width, len(field[r]))) //lint:ignore exit-hygiene field column-count invariant; caller bug
 		}
 		row := make([]float64, cfg.Nd)
 		for d := 0; d < cfg.Nd; d++ {

@@ -15,6 +15,7 @@ func idealConfig() Config {
 }
 
 func TestConfigValidate(t *testing.T) {
+	t.Parallel()
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config should validate: %v", err)
 	}
@@ -35,6 +36,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestConfigDerived(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	// Section III-A: 21 wavelengths per PLCU, 63 per PLCG.
 	if c.WavelengthsPerPLCU() != 21 {
@@ -61,6 +63,7 @@ func TestConfigDerived(t *testing.T) {
 }
 
 func TestGridChannelMapping(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig()
 	// Figure 5: tap (row 0, col 0) for column d uses channel d; tap
 	// (row 1, col 2) for column d uses channel 7 + 2 + d.
@@ -82,6 +85,7 @@ func TestGridChannelMapping(t *testing.T) {
 }
 
 func TestPLCUIdealDotProducts(t *testing.T) {
+	t.Parallel()
 	// With noise and crosstalk disabled, the PLCU computes exact
 	// 8-bit-quantized dot products over the overlapping receptive
 	// fields.
@@ -109,6 +113,7 @@ func TestPLCUIdealDotProducts(t *testing.T) {
 }
 
 func TestPLCUZeroWeightIsExactZero(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	weights := make([]float64, 9)
 	field := [][]float64{
@@ -125,6 +130,7 @@ func TestPLCUZeroWeightIsExactZero(t *testing.T) {
 }
 
 func TestPLCUCrosstalkPerturbsNeighbors(t *testing.T) {
+	t.Parallel()
 	// Crosstalk couples other columns' activations into a column's
 	// output: a column whose own activations are zero still reads a
 	// small positive value when its neighbors are lit.
@@ -155,6 +161,7 @@ func TestPLCUCrosstalkPerturbsNeighbors(t *testing.T) {
 }
 
 func TestPLCUNoiseStatistics(t *testing.T) {
+	t.Parallel()
 	// With crosstalk off and noise on, repeated evaluations of a zero
 	// dot product scatter around zero with the configured sigma.
 	cfg := DefaultConfig()
@@ -182,6 +189,7 @@ func TestPLCUNoiseStatistics(t *testing.T) {
 }
 
 func TestPLCUUnitCurrentReasonable(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(DefaultConfig())
 	// 2 mW laser through a ~26 dB path at 1.1 A/W: a few microamps.
 	i := p.UnitCurrent()
@@ -191,6 +199,7 @@ func TestPLCUUnitCurrentReasonable(t *testing.T) {
 }
 
 func TestPLCUPanics(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(idealConfig())
 	expectPanic := func(name string, f func()) {
 		t.Helper()

@@ -31,6 +31,7 @@ func randomSlot(rng *rand.Rand) ([]float64, [][]float64) {
 }
 
 func TestPropertyDotBounded(t *testing.T) {
+	t.Parallel()
 	// Every dot product is bounded by +-Nm regardless of inputs, even
 	// with crosstalk and noise: the optical power budget caps it.
 	p := NewPLCU(DefaultConfig())
@@ -50,6 +51,7 @@ func TestPropertyDotBounded(t *testing.T) {
 }
 
 func TestPropertyWeightSignSymmetry(t *testing.T) {
+	t.Parallel()
 	// Negating every weight negates the output exactly (ideal
 	// devices): the balanced-PD subtraction of Eq. 4 is antisymmetric.
 	p := NewPLCU(idealConfig())
@@ -75,6 +77,7 @@ func TestPropertyWeightSignSymmetry(t *testing.T) {
 }
 
 func TestPropertyActivationMonotone(t *testing.T) {
+	t.Parallel()
 	// With a single positive weight, raising the activation never
 	// lowers the output (ideal devices; DAC quantization is monotone).
 	p := NewPLCU(idealConfig())
@@ -103,6 +106,7 @@ func TestPropertyActivationMonotone(t *testing.T) {
 }
 
 func TestPropertyConvScaleEquivariance(t *testing.T) {
+	t.Parallel()
 	// Scaling the input volume scales the (ideal) analog output by the
 	// same factor, up to quantization: the chip normalizes internally,
 	// so the encoding is scale-free.
@@ -131,6 +135,7 @@ func TestPropertyConvScaleEquivariance(t *testing.T) {
 }
 
 func TestPropertyMappingMonotone(t *testing.T) {
+	t.Parallel()
 	// Cycle counts never decrease when a layer grows in any dimension.
 	cfg := DefaultConfig()
 	base := nn.Layer{Kind: nn.Conv, InZ: 16, InY: 14, InX: 14, OutZ: 32, KY: 3, KX: 3, Stride: 1, Pad: 1}
@@ -155,6 +160,7 @@ func TestPropertyMappingMonotone(t *testing.T) {
 }
 
 func TestPropertyMappingCoversMACs(t *testing.T) {
+	t.Parallel()
 	// The fabric's scheduled capacity always covers the layer's MACs:
 	// cycles * peak-MACs/cycle >= layer MACs (utilization <= 1).
 	cfg := DefaultConfig()
@@ -175,6 +181,7 @@ func TestPropertyMappingCoversMACs(t *testing.T) {
 }
 
 func TestPropertyNoiseZeroMean(t *testing.T) {
+	t.Parallel()
 	// Repeated noisy evaluations of the same dot product average to
 	// the ideal value: the impairments are unbiased.
 	cfg := DefaultConfig()

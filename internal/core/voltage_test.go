@@ -14,6 +14,7 @@ func voltageConfig() Config {
 }
 
 func TestVoltageDomainEndpointsExact(t *testing.T) {
+	t.Parallel()
 	// 0, +-1 are exactly representable on both grids.
 	p := NewPLCU(voltageConfig())
 	for _, w := range []float64{0, 1, -1} {
@@ -24,6 +25,7 @@ func TestVoltageDomainEndpointsExact(t *testing.T) {
 }
 
 func TestVoltageDomainGridIsWarped(t *testing.T) {
+	t.Parallel()
 	// The voltage grid is coarse near mid-scale (where dw/dv peaks)
 	// and fine near the rails: the step around w = 0.5 is larger than
 	// the step near w = 0.97.
@@ -60,6 +62,7 @@ func TestVoltageDomainGridIsWarped(t *testing.T) {
 }
 
 func TestVoltageDomainSignSymmetry(t *testing.T) {
+	t.Parallel()
 	p := NewPLCU(voltageConfig())
 	for w := -1.0; w <= 1.0; w += 0.05 {
 		if math.Abs(p.quantizeWeight(w)+p.quantizeWeight(-w)) > 1e-12 {
@@ -69,6 +72,7 @@ func TestVoltageDomainSignSymmetry(t *testing.T) {
 }
 
 func TestVoltageDomainCostsAccuracy(t *testing.T) {
+	t.Parallel()
 	// The ablation's conclusion: without pre-distortion, conv error
 	// grows versus the value-domain grid (same everything else).
 	a := tensor.RandomVolume(6, 10, 10, 501)

@@ -9,6 +9,7 @@ import (
 	"albireo/internal/device"
 	"albireo/internal/nn"
 	"albireo/internal/perf"
+	"albireo/internal/units"
 )
 
 // Fig8Row is one accelerator/network cell of Figure 8: the photonic
@@ -48,7 +49,7 @@ func FormatFig8(rows []Fig8Row) string {
 	fmt.Fprintln(&b, "model       design       latency(ms)  energy(mJ)  EDP(mJ*ms)  power(W)")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-10s  %-11s  %11.4f  %10.3f  %10.4f  %8.1f\n",
-			r.Model, r.Design, r.Latency*1e3, r.Energy*1e3, r.EDP*1e6, r.Power)
+			r.Model, r.Design, r.Latency*units.Kilo, r.Energy*units.Kilo, r.EDP*units.Mega, r.Power)
 	}
 	return b.String()
 }
@@ -65,7 +66,7 @@ func Fig9(cfg core.Config) []Fig9Row {
 	a := perf.NewCensus(cfg).Area()
 	total := a.Total()
 	mk := func(name string, m2 float64) Fig9Row {
-		return Fig9Row{name, m2 * 1e6, m2 / total}
+		return Fig9Row{name, m2 * units.Mega, m2 / total}
 	}
 	return []Fig9Row{
 		mk("AWG", a.AWG),
@@ -121,7 +122,7 @@ func FormatTableI() string {
 	fmt.Fprintln(&b, "device  conservative  moderate  aggressive")
 	for _, r := range TableI() {
 		fmt.Fprintf(&b, "%-6s  %12.2f  %8.3f  %10.3f\n",
-			r.Device, r.Conservative*1e3, r.Moderate*1e3, r.Aggressive*1e3)
+			r.Device, r.Conservative*units.Kilo, r.Moderate*units.Kilo, r.Aggressive*units.Kilo)
 	}
 	return b.String()
 }
@@ -134,12 +135,12 @@ func FormatTableII() string {
 	fmt.Fprintf(&b, "waveguide neff/ng        %.2f / %.2f @ 1550 nm\n", o.NEff, o.NGroup)
 	fmt.Fprintf(&b, "waveguide loss           %.1f dB/cm straight, %.1f dB/cm bent\n", o.StraightLossDB/100, o.BentLossDB/100)
 	fmt.Fprintf(&b, "Y-branch loss            %.1f dB\n", o.YBranchLossDB)
-	fmt.Fprintf(&b, "MRR radius/k^2/FSR       %.0f um / %.2f / %.1f nm\n", o.RingRadius*1e6, o.RingK2, o.RingFSR*1e9)
+	fmt.Fprintf(&b, "MRR radius/k^2/FSR       %.0f um / %.2f / %.1f nm\n", o.RingRadius*units.Mega, o.RingK2, o.RingFSR*units.Giga)
 	fmt.Fprintf(&b, "MZM loss/area            %.1f dB / %.0fx%.0f um^2\n", o.MZMLossDB, 300.0, 50.0)
 	fmt.Fprintf(&b, "star coupler loss        %.1f dB\n", o.StarLossDB)
 	fmt.Fprintf(&b, "AWG channels/loss/xtalk  %d / %.1f dB / %.0f dB\n", o.AWGChannels, o.AWGLossDB, o.AWGCrosstalkDB)
 	fmt.Fprintf(&b, "laser RIN                %.0f dBc/Hz\n", o.LaserRINdBcHz)
-	fmt.Fprintf(&b, "PD responsivity/dark     %.1f A/W / %.0f pA\n", o.PDResponsivity, o.PDDarkCurrent*1e12)
+	fmt.Fprintf(&b, "PD responsivity/dark     %.1f A/W / %.0f pA\n", o.PDResponsivity, o.PDDarkCurrent*units.Tera)
 	return b.String()
 }
 
@@ -252,7 +253,7 @@ func FormatTableIV(rows []TableIVRow) string {
 			active = fmt.Sprintf("  (active: %.0f)", r.GOPSPerMM2Active)
 		}
 		fmt.Fprintf(&b, "%-7s  %-15s  %11.3f  %10.3f  %12.4f  %8.1f  %10.2f%s%s\n",
-			r.Model, r.Design, r.Latency*1e3, r.Energy*1e3, r.EDP*1e6,
+			r.Model, r.Design, r.Latency*units.Kilo, r.Energy*units.Kilo, r.EDP*units.Mega,
 			r.GOPSPerMM2, r.GOPSPerWattPerMM2, src, active)
 	}
 	return b.String()
@@ -266,7 +267,7 @@ func FormatLayers(cfg core.Config, m nn.Model) string {
 	fmt.Fprintln(&b, "layer         kind     cycles       latency(us)  energy(uJ)")
 	for _, lr := range perf.EvaluateLayers(cfg, m) {
 		fmt.Fprintf(&b, "%-12s  %-7s  %-11d  %11.2f  %10.2f\n",
-			lr.Layer.Name, lr.Layer.Kind, lr.Cycles, lr.Latency*1e6, lr.Energy*1e6)
+			lr.Layer.Name, lr.Layer.Kind, lr.Cycles, lr.Latency*units.Mega, lr.Energy*units.Mega)
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"albireo/internal/core"
+	"albireo/internal/units"
 )
 
 // Export writers: every experiment's row slice can be serialized to
@@ -93,7 +94,7 @@ type Dataset struct {
 func CollectDataset() Dataset {
 	return Dataset{
 		Fig3:     Fig3(DefaultFig3Params()),
-		Fig4b:    Fig4b([]float64{0.02, 0.03, 0.05}, []float64{5e9, 10e9, 20e9, 40e9}),
+		Fig4b:    Fig4b([]float64{0.02, 0.03, 0.05}, []float64{5 * units.Giga, 10 * units.Giga, 20 * units.Giga, 40 * units.Giga}),
 		Fig4c:    Fig4c([]float64{0.02, 0.03, 0.05}, 40),
 		Fig8:     Fig8(),
 		Fig9:     fig9Default(),

@@ -9,6 +9,7 @@ import (
 	"albireo/internal/nn"
 	"albireo/internal/perf"
 	"albireo/internal/sim"
+	"albireo/internal/units"
 )
 
 // Extended experiments: analyses this repository adds beyond the
@@ -30,8 +31,8 @@ func DataflowComparison() []DataflowRow {
 	for _, m := range nn.Benchmarks() {
 		df, ws := sim.Compare(core.DefaultConfig(), m)
 		rows = append(rows,
-			DataflowRow{m.Name, sim.DepthFirst.String(), df.Cycles, float64(df.Traffic) / 1e6, df.SRAMEnergy * 1e6},
-			DataflowRow{m.Name, sim.WeightStationary.String(), ws.Cycles, float64(ws.Traffic) / 1e6, ws.SRAMEnergy * 1e6},
+			DataflowRow{m.Name, sim.DepthFirst.String(), df.Cycles, float64(df.Traffic) / units.Mega, df.SRAMEnergy * units.Mega},
+			DataflowRow{m.Name, sim.WeightStationary.String(), ws.Cycles, float64(ws.Traffic) / units.Mega, ws.SRAMEnergy * units.Mega},
 		)
 	}
 	return rows
@@ -66,9 +67,9 @@ func EnergyRefinement() []EnergyRow {
 		eb := perf.EvaluateEnergy(core.DefaultConfig(), m)
 		rows = append(rows, EnergyRow{
 			Model:      m.Name,
-			FlatMJ:     eb.Flat * 1e3,
-			GatedMJ:    eb.Gated * 1e3,
-			SRAMMJ:     eb.SRAM * 1e3,
+			FlatMJ:     eb.Flat * units.Kilo,
+			GatedMJ:    eb.Gated * units.Kilo,
+			SRAMMJ:     eb.SRAM * units.Kilo,
 			SavingsPct: eb.Savings() * 100,
 		})
 	}
@@ -93,10 +94,10 @@ func FormatLink() string {
 	fmt.Fprintln(&b, "WDM link budget (63 channels, 2 mW lasers)")
 	fmt.Fprintln(&b, "design  worst(uW)  best(uW)  spread(dB)  loss(dB)  worst-I(uA)")
 	for _, ng := range []int{9, 27} {
-		bb := circuit.NewLink(ng, 63, 2e-3).Analyze()
+		bb := circuit.NewLink(ng, 63, 2*units.Milli).Analyze()
 		fmt.Fprintf(&b, "Ng=%-3d  %9.3f  %8.3f  %10.3f  %8.1f  %11.3f\n",
-			ng, bb.WorstPower*1e6, bb.BestPower*1e6, bb.SpreadDB,
-			bb.EndToEndLossDB, bb.WorstCurrent*1e6)
+			ng, bb.WorstPower*units.Mega, bb.BestPower*units.Mega, bb.SpreadDB,
+			bb.EndToEndLossDB, bb.WorstCurrent*units.Mega)
 	}
 	plan := circuit.NewChannelPlan(21, 3)
 	fmt.Fprintf(&b, "channel plan: %v (fits AWG FSR: %v, inter-unit leakage %.2g)\n",

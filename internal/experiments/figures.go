@@ -43,7 +43,7 @@ type Fig3Params struct {
 // DefaultFig3Params returns the Section II-C sweep.
 func DefaultFig3Params() Fig3Params {
 	return Fig3Params{
-		LaserPowers:    []float64{0.5e-3, 1e-3, 2e-3, 4e-3},
+		LaserPowers:    []float64{0.5 * units.Milli, units.Milli, 2 * units.Milli, 4 * units.Milli},
 		MaxWavelengths: 64,
 		PathLossDB:     5,
 	}
@@ -76,7 +76,7 @@ func FormatFig3(rows []Fig3Row) string {
 	fmt.Fprintln(&b, "Figure 3: noise-limited precision vs wavelength count")
 	fmt.Fprintln(&b, "laser(mW)  #lambda  bits   dominant-noise")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%8.1f  %7d  %5.2f  %s\n", r.LaserPower*1e3, r.Wavelengths, r.Bits, r.Dominant)
+		fmt.Fprintf(&b, "%8.1f  %7d  %5.2f  %s\n", r.LaserPower*units.Kilo, r.Wavelengths, r.Bits, r.Dominant)
 	}
 	return b.String()
 }
@@ -144,7 +144,7 @@ func Fig4b(k2s []float64, rates []float64) []Fig4bRow {
 			rows = append(rows, Fig4bRow{
 				K2:          k2,
 				SymbolRate:  rate,
-				RiseTimePS:  rise * 1e12,
+				RiseTimePS:  rise * units.Tera,
 				EyeOpening:  tr.EyeOpening(),
 				SettledFrac: tr.SettledFraction(),
 			})
@@ -160,7 +160,7 @@ func FormatFig4b(rows []Fig4bRow) string {
 	fmt.Fprintln(&b, "   k^2   rate(GHz)  rise(ps)  eye    settled")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%6.3f  %9.0f  %8.1f  %5.3f  %7.4f\n",
-			r.K2, r.SymbolRate/1e9, r.RiseTimePS, r.EyeOpening, r.SettledFrac)
+			r.K2, r.SymbolRate/units.Giga, r.RiseTimePS, r.EyeOpening, r.SettledFrac)
 	}
 	return b.String()
 }

@@ -154,7 +154,7 @@ func (n *Network) Features(b Backend, input *tensor.Volume) *tensor.Volume {
 func (n *Network) Run(b Backend, input *tensor.Volume) []float64 {
 	x := n.Features(b, input)
 	if n.Classifier == nil {
-		panic("inference: network has no classifier")
+		panic("inference: network has no classifier") //lint:ignore exit-hygiene network constructed without a classifier; construction bug
 	}
 	return b.FullyConnected(x, n.Classifier, false)
 }

@@ -1,0 +1,300 @@
+// Package lint implements albireo's repo-specific static analyzer.
+//
+// The simulator's headline guarantees - bit-identical results between
+// Conv and ConvConcurrent, SI units on every physical quantity, and
+// noise draws that come only from injected *rand.Rand streams - are
+// invariants nothing in the compiler enforces. This package builds a
+// small analyzer framework on the standard library's go/parser,
+// go/ast, and go/token (no external dependencies; go.mod stays empty)
+// and ships the repo-specific rules that keep those invariants honest.
+//
+// Each rule may be suppressed at a single site with a directive
+// comment carrying a mandatory reason:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The directive applies to findings on its own line (trailing
+// comment) or on the line immediately below (standalone comment). A
+// directive without a reason is ignored, so suppressions stay
+// self-documenting.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Severity classifies a rule's findings. Error findings fail the
+// build; Warn findings are advisory (heuristic rules).
+type Severity int
+
+const (
+	// Warn marks heuristic findings that are printed but do not fail
+	// the run unless strict mode is requested.
+	Warn Severity = iota
+	// Error marks findings that must be fixed or suppressed.
+	Error
+)
+
+// String returns "warn" or "error".
+func (s Severity) String() string {
+	if s == Warn {
+		return "warn"
+	}
+	return "error"
+}
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos      token.Position
+	Rule     string
+	Severity Severity
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col form the
+// CLI prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// File is the per-file context handed to each rule: the parsed AST plus
+// the module-relative path rules use to scope themselves.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// RelPath is the slash-separated path relative to the module
+	// root, e.g. "internal/noise/noise.go". Rules scope on it.
+	RelPath string
+	// IsTest reports whether the file name ends in _test.go.
+	IsTest bool
+	// Imports maps the local name of each import to its path, e.g.
+	// "rand" -> "math/rand".
+	Imports map[string]string
+}
+
+// Dir returns the module-relative directory of the file.
+func (f *File) Dir() string { return path.Dir(f.RelPath) }
+
+// InPackage reports whether the file lives in pkg or below it, where
+// pkg is a module-relative directory like "internal/core".
+func (f *File) InPackage(pkg string) bool {
+	return f.Dir() == pkg || strings.HasPrefix(f.Dir(), pkg+"/")
+}
+
+// ImportName returns the local identifier under which importPath is
+// imported in this file, or "" if it is not imported.
+func (f *File) ImportName(importPath string) string {
+	for name, p := range f.Imports {
+		if p == importPath {
+			return name
+		}
+	}
+	return ""
+}
+
+// Rule is one analyzer: a name findings are reported (and suppressed)
+// under, a severity, a scope predicate, and the check itself.
+type Rule struct {
+	Name     string
+	Doc      string
+	Severity Severity
+	// Applies reports whether the rule should run on the file at all.
+	Applies func(*File) bool
+	// Check inspects the file and reports findings.
+	Check func(*File, *Reporter)
+}
+
+// Reporter collects findings for one (file, rule) pair.
+type Reporter struct {
+	file     *File
+	rule     *Rule
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.file.Fset.Position(pos)
+	p.Filename = r.file.RelPath
+	*r.findings = append(*r.findings, Finding{
+		Pos:      p,
+		Rule:     r.rule.Name,
+		Severity: r.rule.Severity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ParseFile parses the Go source at diskPath and builds the File
+// context, with relPath recorded as the module-relative path.
+func ParseFile(fset *token.FileSet, diskPath, relPath string) (*File, error) {
+	astF, err := parser.ParseFile(fset, diskPath, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return NewFile(fset, astF, relPath), nil
+}
+
+// NewFile builds the File context for an already-parsed AST.
+func NewFile(fset *token.FileSet, astF *ast.File, relPath string) *File {
+	imports := make(map[string]string, len(astF.Imports))
+	for _, spec := range astF.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p)
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		imports[name] = p
+	}
+	return &File{
+		Fset:    fset,
+		AST:     astF,
+		RelPath: filepath.ToSlash(relPath),
+		IsTest:  strings.HasSuffix(relPath, "_test.go"),
+		Imports: imports,
+	}
+}
+
+// CheckFile runs every applicable rule on one parsed file and returns
+// the surviving findings after //lint:ignore suppression, sorted by
+// position.
+func CheckFile(f *File, rules []*Rule) []Finding {
+	var findings []Finding
+	for _, rule := range rules {
+		if rule.Applies != nil && !rule.Applies(f) {
+			continue
+		}
+		rule.Check(f, &Reporter{file: f, rule: rule, findings: &findings})
+	}
+	findings = applySuppressions(f, findings)
+	sortFindings(findings)
+	return findings
+}
+
+// ignoreDirectivePrefix introduces a suppression comment.
+const ignoreDirectivePrefix = "lint:ignore"
+
+// applySuppressions drops findings covered by a well-formed
+// //lint:ignore directive on the same line or the line above.
+func applySuppressions(f *File, findings []Finding) []Finding {
+	// suppressed maps rule name -> set of covered lines.
+	suppressed := make(map[string]map[int]bool)
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, ignoreDirectivePrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, ignoreDirectivePrefix))
+			if len(fields) < 2 {
+				// Directive without a reason: not honored.
+				continue
+			}
+			rule := fields[0]
+			line := f.Fset.Position(c.Pos()).Line
+			if suppressed[rule] == nil {
+				suppressed[rule] = make(map[int]bool)
+			}
+			suppressed[rule][line] = true
+			suppressed[rule][line+1] = true
+		}
+	}
+	if len(suppressed) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, fd := range findings {
+		if suppressed[fd.Rule][fd.Pos.Line] {
+			continue
+		}
+		kept = append(kept, fd)
+	}
+	return kept
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// Run lints every .go file under root (skipping testdata, vendor, and
+// dot-directories) with the given rules. Paths in the returned
+// findings are relative to the enclosing module root, located by
+// walking up from root to the nearest go.mod; if none is found, root
+// itself anchors the relative paths.
+func Run(root string, rules []*Rule) ([]Finding, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modRoot := moduleRoot(absRoot)
+	fset := token.NewFileSet()
+	var findings []Finding
+	walkErr := filepath.WalkDir(absRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != absRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(modRoot, p)
+		if err != nil {
+			rel = p
+		}
+		f, err := ParseFile(fset, p, rel)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		findings = append(findings, CheckFile(f, rules)...)
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// moduleRoot walks up from dir to the nearest directory containing
+// go.mod. It falls back to dir when no go.mod is found.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

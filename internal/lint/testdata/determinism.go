@@ -1,0 +1,30 @@
+// Fixture for the determinism rule: the only legal randomness in
+// simulation packages is an injected, seeded *rand.Rand, and wall
+// clocks never leak into results.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws(rng *rand.Rand) float64 {
+	a := rand.Float64()
+	b := rng.Float64() // allowed: injected stream
+	rand.Seed(42)
+	when := time.Now()
+	//lint:ignore determinism fixtures demonstrate suppression
+	c := rand.Intn(5)
+	//lint:ignore determinism
+	d := rand.Intn(9) // directive above has no reason: still reported
+	_ = when
+	return a + b + float64(c) + float64(d)
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // allowed: constructing a stream
+}
+
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start) // allowed: timestamps passed in as parameters
+}

@@ -1,0 +1,28 @@
+// Fixture for the exit-hygiene rule: library code returns errors; it
+// never exits the process.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func shutdown(code int) error {
+	if code > 2 {
+		os.Exit(code)
+	}
+	if code > 1 {
+		log.Fatalf("code %d", code)
+	}
+	if code > 0 {
+		panic("unreachable")
+	}
+	return errors.New("returned, not exited") // allowed
+}
+
+func checked(ok bool) {
+	if !ok {
+		panic("invariant") //lint:ignore exit-hygiene trailing suppression on an invariant check
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the float-equality rule: exact ==/!= on floats is a
+// tolerance bug outside tests.
+package fixture
+
+import "math"
+
+func compare(a, b float64, n int) bool {
+	if a == 1.0 {
+		return true
+	}
+	if math.Sqrt(a) != b {
+		return false
+	}
+	if n == 1 { // allowed: integer comparison
+		return true
+	}
+	if math.IsNaN(a) == true { // allowed: math predicate returns bool
+		return false
+	}
+	//lint:ignore float-equality fixtures demonstrate suppression
+	if b != 0.5 {
+		return false
+	}
+	return float64(n) == a
+}

@@ -1,0 +1,35 @@
+// Fixture for the goroutine-hygiene heuristic: a go statement with no
+// WaitGroup or channel anywhere in the enclosing function is probably
+// fire-and-forget work nobody joins.
+package fixture
+
+import "sync"
+
+func leak() {
+	go work()
+}
+
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // allowed: WaitGroup evidence in scope
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func channelJoined() {
+	done := make(chan struct{})
+	go func() { // allowed: channel evidence in scope
+		close(done)
+	}()
+	<-done
+}
+
+func acknowledged() {
+	//lint:ignore goroutine-hygiene fixture documents a fire-and-forget goroutine
+	go work()
+}
+
+func work() {}

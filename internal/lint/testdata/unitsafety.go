@@ -1,0 +1,18 @@
+// Fixture for the unit-safety rule: SI scale factors and physical
+// constants must come from internal/units, and dB-named values never
+// meet linear-named values in arithmetic without a conversion.
+package fixture
+
+const boltzmann = 1.380649e-23
+
+const channelSpacing = 1e-9
+
+func budget(lossDB, powerWatts, otherDB float64) float64 {
+	bad := lossDB * powerWatts
+	rate := 12.5e9 + powerWatts
+	//lint:ignore unit-safety dimensionless fixture floor
+	floor := 1e-6
+	diff := lossDB - otherDB // allowed: both operands live in dB
+	gain := 0.25 * powerWatts
+	return bad + rate + floor + diff + gain
+}

@@ -7,6 +7,7 @@
 package memory
 
 import (
+	"albireo/internal/units"
 	"fmt"
 	"math"
 )
@@ -32,13 +33,13 @@ type SRAM struct {
 // in 7 nm.
 const (
 	anchorCapacity = 16 << 10
-	anchorEnergy   = 10e-15 // J per byte at the anchor capacity
+	anchorEnergy   = 10 * units.Femto // J per byte at the anchor capacity
 )
 
 // New returns an SRAM with analytically scaled access energy.
 func New(capacityBytes, wordBytes int, area, leakage float64) SRAM {
 	if capacityBytes <= 0 || wordBytes <= 0 {
-		panic(fmt.Sprintf("memory: invalid SRAM geometry %d/%d", capacityBytes, wordBytes))
+		panic(fmt.Sprintf("memory: invalid SRAM geometry %d/%d", capacityBytes, wordBytes)) //lint:ignore exit-hygiene SRAM geometry invariant; caller bug
 	}
 	perByte := anchorEnergy * math.Sqrt(float64(capacityBytes)/float64(anchorCapacity))
 	return SRAM{
@@ -53,13 +54,13 @@ func New(capacityBytes, wordBytes int, area, leakage float64) SRAM {
 // GlobalBuffer returns the paper's 256 kB global buffer
 // (0.59 x 0.34 mm^2, 7 nm).
 func GlobalBuffer() SRAM {
-	return New(256<<10, 8, 0.59e-3*0.34e-3, 0.02)
+	return New(256<<10, 8, 0.59*units.Milli*0.34*units.Milli, 0.02)
 }
 
 // KernelCache returns one 16 kB PLCG kernel cache
 // (0.092 x 0.085 mm^2).
 func KernelCache() SRAM {
-	return New(16<<10, 4, 0.092e-3*0.085e-3, 0.0011)
+	return New(16<<10, 4, 0.092*units.Milli*0.085*units.Milli, 0.0011)
 }
 
 // AccessEnergy returns the dynamic energy of one word access in
@@ -87,7 +88,7 @@ func (s SRAM) Bandwidth(clockHz float64) float64 {
 // String implements fmt.Stringer.
 func (s SRAM) String() string {
 	return fmt.Sprintf("sram{%d kB, %d B/word, %.3f mm^2}",
-		s.CapacityBytes>>10, s.WordBytes, s.Area*1e6)
+		s.CapacityBytes>>10, s.WordBytes, s.Area*units.Mega)
 }
 
 // LayerTraffic estimates the SRAM energy of one convolution layer's

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSeparableLevelsEdgeCases(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// A noiseless configuration supports unbounded levels.
 	silent := Params{
@@ -35,6 +36,7 @@ func TestSeparableLevelsEdgeCases(t *testing.T) {
 }
 
 func TestDominantSourceShotWindow(t *testing.T) {
+	t.Parallel()
 	// Between the thermal floor and the RIN ceiling there is a
 	// shot-dominated window (single channel keeps RIN low).
 	p := DefaultParams()

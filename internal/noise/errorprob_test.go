@@ -6,6 +6,7 @@ import (
 )
 
 func TestErrorProbabilityLimits(t *testing.T) {
+	t.Parallel()
 	// Wide separation: vanishing error.
 	if p := ErrorProbability(1, 0.01); p > 1e-15 {
 		t.Errorf("100-sigma separation should be error free, got %g", p)
@@ -21,6 +22,7 @@ func TestErrorProbabilityLimits(t *testing.T) {
 }
 
 func TestErrorProbabilityKnownValues(t *testing.T) {
+	t.Parallel()
 	// Separation of 2 sigma: erfc(1/sqrt(2)) = 0.3173 (the classic
 	// 1-sigma two-sided tail).
 	got := ErrorProbability(2, 1)
@@ -36,6 +38,7 @@ func TestErrorProbabilityKnownValues(t *testing.T) {
 }
 
 func TestErrorProbabilityMonotone(t *testing.T) {
+	t.Parallel()
 	prev := 1.1
 	for sep := 0.5; sep <= 8; sep += 0.5 {
 		p := ErrorProbability(sep, 1)
@@ -47,6 +50,7 @@ func TestErrorProbabilityMonotone(t *testing.T) {
 }
 
 func TestLevelErrorProbability(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	iPer := 0.5e-3
 	// More bits, thinner levels, more errors.
@@ -65,6 +69,7 @@ func TestLevelErrorProbability(t *testing.T) {
 }
 
 func TestMaxErrorFreeBitsConsistent(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	iPer := 1.1 * 2e-3 * math.Pow(10, -0.5)
 	// At a 1e-9 error budget the supported width is close to (a bit
@@ -87,6 +92,7 @@ func TestMaxErrorFreeBitsConsistent(t *testing.T) {
 }
 
 func TestMACErrorsPerInference(t *testing.T) {
+	t.Parallel()
 	if got := MACErrorsPerInference(1e-6, 1e6); math.Abs(got-1) > 1e-9 {
 		t.Errorf("expected errors = %g, want 1", got)
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestShotSigmaMatchesEq5(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// 1 mA at 5 GHz: sqrt(2 * 1.602e-19 * 1e-3 * 5e9) = 1.266 uA.
 	got := p.ShotSigma(1e-3)
@@ -21,6 +22,7 @@ func TestShotSigmaMatchesEq5(t *testing.T) {
 }
 
 func TestThermalSigmaMatchesEq6(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	want := math.Sqrt(4 * 1.380649e-23 * 300 * 5e9 / 1e4)
 	if math.Abs(p.ThermalSigma()-want) > 1e-15 {
@@ -41,6 +43,7 @@ func TestThermalSigmaMatchesEq6(t *testing.T) {
 }
 
 func TestRINSigmaScaling(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// RIN scales linearly with per-channel current and with sqrt(n)
 	// for independent lasers.
@@ -62,6 +65,7 @@ func TestRINSigmaScaling(t *testing.T) {
 }
 
 func TestTotalSigmaComposition(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	iPer, n := 0.5e-3, 10
 	s := p.ShotSigma(iPer * float64(n))
@@ -74,6 +78,7 @@ func TestTotalSigmaComposition(t *testing.T) {
 }
 
 func TestSeparableLevelsMonotoneInPower(t *testing.T) {
+	t.Parallel()
 	// More per-channel power means more separable levels, up to the
 	// RIN plateau (Figure 3's diminishing returns).
 	p := DefaultParams()
@@ -88,6 +93,7 @@ func TestSeparableLevelsMonotoneInPower(t *testing.T) {
 }
 
 func TestSeparableLevelsRINPlateau(t *testing.T) {
+	t.Parallel()
 	// In the RIN-dominated limit the level count saturates at
 	// sqrt(n)/(k*sqrt(RIN*df)) regardless of power - the paper's
 	// "diminishing returns for increasing laser power".
@@ -104,6 +110,7 @@ func TestSeparableLevelsRINPlateau(t *testing.T) {
 }
 
 func TestFig3Anchor(t *testing.T) {
+	t.Parallel()
 	// Paper: "10 bits of precision is achievable with a 2 mW optical
 	// laser source with as few as 20 wavelengths." With a ~5 dB
 	// dot-product path loss, 2 mW delivers ~0.63 mW per channel.
@@ -116,6 +123,7 @@ func TestFig3Anchor(t *testing.T) {
 }
 
 func TestDominantSourceTransitions(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// At microwatt-scale currents thermal noise dominates.
 	if got := p.DominantSource(1e-7, 1); got != "thermal" {
@@ -128,6 +136,7 @@ func TestDominantSourceTransitions(t *testing.T) {
 }
 
 func TestPrecisionBitsExamples(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// The paper's worked example: 450 separable levels is 8.81 bits,
 	// which "fully supports 8 bits".
@@ -147,6 +156,7 @@ func TestPrecisionBitsExamples(t *testing.T) {
 }
 
 func TestSeparableLevelsDegenerate(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	if p.SeparableLevels(0, 20) != 1 {
 		t.Error("zero power should give a single level")
@@ -160,6 +170,7 @@ func TestSeparableLevelsDegenerate(t *testing.T) {
 }
 
 func TestSampleStatistics(t *testing.T) {
+	t.Parallel()
 	// The Monte Carlo sampler must reproduce TotalSigma empirically.
 	p := DefaultParams()
 	rng := rand.New(rand.NewSource(42))

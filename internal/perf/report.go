@@ -5,6 +5,7 @@ import (
 
 	"albireo/internal/core"
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // Result is one network's evaluation on one Albireo design: the rows
@@ -27,7 +28,7 @@ func (r Result) GOPS() float64 {
 	if r.Latency <= 0 {
 		return 0
 	}
-	return float64(r.MACs) / r.Latency / 1e9
+	return float64(r.MACs) / r.Latency / units.Giga
 }
 
 // GOPSPerMM2 returns GOPS normalized by full chip area in mm^2.
@@ -35,7 +36,7 @@ func (r Result) GOPSPerMM2() float64 {
 	if r.Area <= 0 {
 		return 0
 	}
-	return r.GOPS() / (r.Area * 1e6)
+	return r.GOPS() / (r.Area * units.Mega)
 }
 
 // GOPSPerMM2Active returns GOPS normalized by active area only
@@ -44,7 +45,7 @@ func (r Result) GOPSPerMM2Active() float64 {
 	if r.ActiveArea <= 0 {
 		return 0
 	}
-	return r.GOPS() / (r.ActiveArea * 1e6)
+	return r.GOPS() / (r.ActiveArea * units.Mega)
 }
 
 // GOPSPerWattPerMM2 returns the Table IV efficiency metric
@@ -67,7 +68,7 @@ func (r Result) GOPSPerWattPerMM2Active() float64 {
 // String implements fmt.Stringer.
 func (r Result) String() string {
 	return fmt.Sprintf("%s on %s: %.3f ms, %.2f mJ, %.3f mJ*ms",
-		r.Model, r.Design, r.Latency*1e3, r.Energy*1e3, r.EDP*1e6)
+		r.Model, r.Design, r.Latency*units.Kilo, r.Energy*units.Kilo, r.EDP*units.Mega)
 }
 
 // Evaluate runs the analytic model for one network on one Albireo

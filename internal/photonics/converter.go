@@ -1,6 +1,7 @@
 package photonics
 
 import (
+	"albireo/internal/units"
 	"fmt"
 	"math"
 )
@@ -73,10 +74,10 @@ func (a ADC) LSB(fs float64) float64 {
 
 // String implements fmt.Stringer.
 func (a ADC) String() string {
-	return fmt.Sprintf("adc{%d bit @ %.0f GS/s}", a.Bits, a.SampleRate/1e9)
+	return fmt.Sprintf("adc{%d bit @ %.0f GS/s}", a.Bits, a.SampleRate/units.Giga)
 }
 
 // String implements fmt.Stringer.
 func (d DAC) String() string {
-	return fmt.Sprintf("dac{%d bit @ %.0f GS/s}", d.Bits, d.SampleRate/1e9)
+	return fmt.Sprintf("dac{%d bit @ %.0f GS/s}", d.Bits, d.SampleRate/units.Giga)
 }

@@ -83,5 +83,5 @@ func (d MZMDrive) CodeTransferCurve(bits int) []float64 {
 // String implements fmt.Stringer.
 func (d MZMDrive) String() string {
 	return fmt.Sprintf("mzmdrive{VpiL=%.2f V*cm, L=%.0f um, Vpi=%.2f V}",
-		d.VPiL*100, d.ArmLength*1e6, d.VPi())
+		d.VPiL*100, d.ArmLength*units.Mega, d.VPi())
 }

@@ -1,6 +1,7 @@
 package photonics
 
 import (
+	"albireo/internal/units"
 	"fmt"
 	"math"
 )
@@ -17,7 +18,7 @@ type Spectrum struct {
 // SampleSpectrum evaluates fn over [lo, hi] at n points (n >= 2).
 func SampleSpectrum(fn func(lambda float64) float64, lo, hi float64, n int) Spectrum {
 	if n < 2 {
-		panic("photonics: spectrum needs at least 2 samples")
+		panic("photonics: spectrum needs at least 2 samples") //lint:ignore exit-hygiene sample-count precondition; caller bug
 	}
 	s := Spectrum{
 		Wavelengths: make([]float64, n),
@@ -137,5 +138,5 @@ func (s Spectrum) String() string {
 		return "spectrum{empty}"
 	}
 	return fmt.Sprintf("spectrum{%d pts, %.2f-%.2f nm}",
-		len(s.Wavelengths), s.Wavelengths[0]*1e9, s.Wavelengths[len(s.Wavelengths)-1]*1e9)
+		len(s.Wavelengths), s.Wavelengths[0]*units.Giga, s.Wavelengths[len(s.Wavelengths)-1]*units.Giga)
 }

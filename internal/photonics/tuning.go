@@ -22,7 +22,7 @@ type ThermalTuner struct {
 
 // NewThermalTuner returns a mid-range silicon heater.
 func NewThermalTuner() ThermalTuner {
-	return ThermalTuner{EfficiencyNMPerMW: 0.5, MaxPower: 20e-3}
+	return ThermalTuner{EfficiencyNMPerMW: 0.5, MaxPower: 20 * units.Milli}
 }
 
 // PowerForShift returns the heater power in watts to shift the
@@ -74,7 +74,7 @@ func NewRingModulator(carrier float64) RingModulator {
 // the requested normalized output level in (0, 1], by inverting the
 // Lorentzian drop response: T(d)/T(0) = 1 / (1 + (2d/FWHM)^2).
 func (m RingModulator) DetuneForLevel(level float64) float64 {
-	level = clamp(level, 1e-6, 1)
+	level = clamp(level, 1e-6, 1) //lint:ignore unit-safety dimensionless drop-level floor, not a physical quantity
 	fwhm := m.Ring.FWHM()
 	return fwhm / 2 * sqrt(1/level-1)
 }

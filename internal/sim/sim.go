@@ -26,6 +26,7 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/memory"
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // Dataflow selects the loop order.
@@ -206,7 +207,7 @@ func SimulateModel(p Params, m nn.Model) ModelStats {
 // String implements fmt.Stringer.
 func (ms ModelStats) String() string {
 	return fmt.Sprintf("%s: %d cycles, %.1f MB SRAM traffic, %.3f mJ data movement",
-		ms.Model, ms.Cycles, float64(ms.Traffic)/1e6, ms.SRAMEnergy*1e3)
+		ms.Model, ms.Cycles, float64(ms.Traffic)/units.Mega, ms.SRAMEnergy*units.Kilo)
 }
 
 // Compare runs both dataflows on a model and returns (depth-first,

@@ -6,13 +6,14 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/memory"
 	"albireo/internal/nn"
+	"albireo/internal/units"
 )
 
 // DRAMEnergyPerByte is the off-chip access energy (LPDDR-class,
 // ~20 pJ/bit incl. PHY -> 20 pJ/byte is a conservative round number
 // at the byte granularity used here; the point is the two orders of
 // magnitude over on-chip SRAM).
-const DRAMEnergyPerByte = 20e-12
+const DRAMEnergyPerByte = 20 * units.Pico
 
 // TilingPlan describes how a layer whose activations exceed the global
 // buffer is split into row bands that fit on chip, and what the
@@ -117,5 +118,5 @@ func PlanModel(cfg core.Config, m nn.Model) ModelTiling {
 // String implements fmt.Stringer.
 func (mt ModelTiling) String() string {
 	return fmt.Sprintf("%s: %d tiled layers, %.1f MB DRAM, %.3f mJ off-chip",
-		mt.Model, mt.TiledLayers, float64(mt.DRAMBytes)/1e6, mt.DRAMEnergy*1e3)
+		mt.Model, mt.TiledLayers, float64(mt.DRAMBytes)/units.Mega, mt.DRAMEnergy*units.Kilo)
 }

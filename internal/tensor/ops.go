@@ -13,7 +13,7 @@ import (
 // exact.
 func ConvOutputDim(a, w, p, s int) int {
 	if s <= 0 {
-		panic("tensor: stride must be positive")
+		panic("tensor: stride must be positive") //lint:ignore exit-hygiene stride precondition; caller bug
 	}
 	num := a - w + 2*p
 	if num < 0 {
@@ -56,10 +56,10 @@ func Conv(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
 		return convDepthwise(a, w, cfg)
 	}
 	if a.Z%cfg.Groups != 0 || w.M%cfg.Groups != 0 {
-		panic(fmt.Sprintf("tensor: groups %d do not divide channels %d/%d", cfg.Groups, a.Z, w.M))
+		panic(fmt.Sprintf("tensor: groups %d do not divide channels %d/%d", cfg.Groups, a.Z, w.M)) //lint:ignore exit-hygiene group divisibility invariant; caller bug
 	}
 	if w.Z != a.Z/cfg.Groups {
-		panic(fmt.Sprintf("tensor: kernel depth %d != input channels per group %d", w.Z, a.Z/cfg.Groups))
+		panic(fmt.Sprintf("tensor: kernel depth %d != input channels per group %d", w.Z, a.Z/cfg.Groups)) //lint:ignore exit-hygiene kernel depth invariant; caller bug
 	}
 	by := ConvOutputDim(a.Y, w.Y, cfg.Pad, cfg.Stride)
 	bx := ConvOutputDim(a.X, w.X, cfg.Pad, cfg.Stride)
@@ -91,7 +91,7 @@ func Conv(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
 // convDepthwise applies one single-channel kernel per input channel.
 func convDepthwise(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
 	if w.M != a.Z || w.Z != 1 {
-		panic(fmt.Sprintf("tensor: depthwise wants M=%d kernels of depth 1, got M=%d Z=%d", a.Z, w.M, w.Z))
+		panic(fmt.Sprintf("tensor: depthwise wants M=%d kernels of depth 1, got M=%d Z=%d", a.Z, w.M, w.Z)) //lint:ignore exit-hygiene depthwise shape invariant; caller bug
 	}
 	by := ConvOutputDim(a.Y, w.Y, cfg.Pad, cfg.Stride)
 	bx := ConvOutputDim(a.X, w.X, cfg.Pad, cfg.Stride)
@@ -120,7 +120,7 @@ func convDepthwise(a *Volume, w *Kernels, cfg ConvConfig) *Volume {
 // kernel bank must match the input shape exactly.
 func FullyConnected(a *Volume, w *Kernels) []float64 {
 	if w.Z != a.Z || w.Y != a.Y || w.X != a.X {
-		panic(fmt.Sprintf("tensor: FC kernel shape %dx%dx%d != input %dx%dx%d",
+		panic(fmt.Sprintf("tensor: FC kernel shape %dx%dx%d != input %dx%dx%d", //lint:ignore exit-hygiene FC kernel shape invariant; caller bug
 			w.Z, w.Y, w.X, a.Z, a.Y, a.X))
 	}
 	out := make([]float64, w.M)
@@ -212,7 +212,7 @@ func AvgPool(a *Volume, window, stride int) *Volume {
 // match.
 func Add(a, b *Volume) *Volume {
 	if a.Z != b.Z || a.Y != b.Y || a.X != b.X {
-		panic("tensor: Add shape mismatch")
+		panic("tensor: Add shape mismatch") //lint:ignore exit-hygiene elementwise shape invariant; caller bug
 	}
 	out := a.Clone()
 	for i := range out.Data {

@@ -22,7 +22,7 @@ type Volume struct {
 // NewVolume allocates a zeroed volume of the given shape.
 func NewVolume(z, y, x int) *Volume {
 	if z < 0 || y < 0 || x < 0 {
-		panic(fmt.Sprintf("tensor: negative volume shape %dx%dx%d", z, y, x))
+		panic(fmt.Sprintf("tensor: negative volume shape %dx%dx%d", z, y, x)) //lint:ignore exit-hygiene negative volume shape invariant; caller bug
 	}
 	return &Volume{Z: z, Y: y, X: x, Data: make([]float64, z*y*x)}
 }
@@ -93,7 +93,7 @@ type Kernels struct {
 // NewKernels allocates a zeroed kernel bank.
 func NewKernels(m, z, y, x int) *Kernels {
 	if m < 0 || z < 0 || y < 0 || x < 0 {
-		panic(fmt.Sprintf("tensor: negative kernel shape %dx%dx%dx%d", m, z, y, x))
+		panic(fmt.Sprintf("tensor: negative kernel shape %dx%dx%dx%d", m, z, y, x)) //lint:ignore exit-hygiene negative kernel shape invariant; caller bug
 	}
 	return &Kernels{M: m, Z: z, Y: y, X: x, Data: make([]float64, m*z*y*x)}
 }

@@ -47,7 +47,7 @@ func DefaultHyper() Hyper {
 // NewSmallNet builds a randomly initialized network (He-style scaling).
 func NewSmallNet(size, classes int, seed int64) *SmallNet {
 	if size%4 != 0 {
-		panic(fmt.Sprintf("train: size %d must be divisible by 4", size))
+		panic(fmt.Sprintf("train: size %d must be divisible by 4", size)) //lint:ignore exit-hygiene synthetic dataset size precondition; caller bug
 	}
 	rng := rand.New(rand.NewSource(seed))
 	const f1, f2 = 6, 12
@@ -225,7 +225,7 @@ func fcBackward(a *tensor.Volume, w *tensor.Kernels, dLogits []float64) (dW *ten
 // SoftmaxCrossEntropy returns the loss and dLogits for a target class.
 func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
 	if label < 0 || label >= len(logits) {
-		panic(fmt.Sprintf("train: label %d out of range", label))
+		panic(fmt.Sprintf("train: label %d out of range", label)) //lint:ignore exit-hygiene label range invariant; caller bug
 	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
@@ -280,7 +280,7 @@ func (n *SmallNet) Step(x *tensor.Volume, label int, h Hyper) float64 {
 // the final training accuracy.
 func (n *SmallNet) Train(xs []*tensor.Volume, labels []int, h Hyper) float64 {
 	if len(xs) != len(labels) {
-		panic("train: inputs and labels must align")
+		panic("train: inputs and labels must align") //lint:ignore exit-hygiene dataset alignment invariant; caller bug
 	}
 	rng := rand.New(rand.NewSource(1))
 	order := make([]int, len(xs))

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"albireo/internal/photonics"
+	"albireo/internal/units"
 )
 
 // Chain is one wavelength's path to the accumulation waveguide.
@@ -52,9 +53,9 @@ type Simulator struct {
 // bandwidth at the symbol rate).
 func New(nm int, symbolRate, k2 float64, weights []float64) *Simulator {
 	if len(weights) != nm {
-		panic(fmt.Sprintf("waveform: want %d weights, got %d", nm, len(weights)))
+		panic(fmt.Sprintf("waveform: want %d weights, got %d", nm, len(weights))) //lint:ignore exit-hygiene weight-count shape invariant; caller bug
 	}
-	ring := photonics.NewMRRWithK2(1550e-9, k2)
+	ring := photonics.NewMRRWithK2(1550*units.Nano, k2)
 	chains := make([]Chain, nm)
 	for i := range chains {
 		w := weights[i]
@@ -99,7 +100,7 @@ func alphaFor(tau, dt float64) float64 {
 // sum_i w_i * a_i[symbol]).
 func (s *Simulator) Run(symbols [][]float64) []float64 {
 	if len(symbols) != len(s.Chains) {
-		panic(fmt.Sprintf("waveform: want %d symbol streams, got %d", len(s.Chains), len(symbols)))
+		panic(fmt.Sprintf("waveform: want %d symbol streams, got %d", len(s.Chains), len(symbols))) //lint:ignore exit-hygiene symbol-stream count invariant; caller bug
 	}
 	nsym := 0
 	for i, stream := range symbols {
@@ -108,7 +109,7 @@ func (s *Simulator) Run(symbols [][]float64) []float64 {
 			continue
 		}
 		if len(stream) != nsym {
-			panic("waveform: ragged symbol streams")
+			panic("waveform: ragged symbol streams") //lint:ignore exit-hygiene ragged symbol stream invariant; caller bug
 		}
 	}
 	if nsym == 0 {
