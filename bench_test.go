@@ -19,6 +19,7 @@ import (
 	"albireo/internal/experiments"
 	"albireo/internal/inference"
 	"albireo/internal/nn"
+	"albireo/internal/obs"
 	"albireo/internal/perf"
 	"albireo/internal/sim"
 	"albireo/internal/tensor"
@@ -181,6 +182,26 @@ func BenchmarkMappingPerModel(b *testing.B) {
 // crosstalk and noise.
 func BenchmarkFunctionalConv(b *testing.B) {
 	chip := core.NewChip(core.DefaultConfig())
+	a := tensor.RandomVolume(6, 16, 16, 1)
+	w := tensor.RandomKernels(4, 6, 3, 3, 2)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chip.Conv(a, w, cfg, true)
+	}
+}
+
+// BenchmarkFunctionalConvInstrumented is the pair benchmark to
+// BenchmarkFunctionalConv with an obs.Registry and obs.Trace
+// attached: same workload, full telemetry. Comparing the two bounds
+// the observability overhead (the acceptance bar is <5% when nothing
+// is attached - see BenchmarkConvInstrumentationOverhead in
+// internal/core - and this pair shows the attached cost).
+func BenchmarkFunctionalConvInstrumented(b *testing.B) {
+	chip := core.NewChip(core.DefaultConfig())
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	chip.Instrument(reg, tr)
 	a := tensor.RandomVolume(6, 16, 16, 1)
 	w := tensor.RandomKernels(4, 6, 3, 3, 2)
 	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}

@@ -5,8 +5,11 @@
 #   vet        stdlib static analysis
 #   race test  the full suite under the race detector (the Conv vs
 #              ConvConcurrent bit-identity tests run here)
-#   lint       albireo-lint: determinism, unit-safety, float-equality,
-#              exit-hygiene, goroutine-hygiene (see README.md)
+#   lint       albireo-lint: determinism, obs-determinism, unit-safety,
+#              float-equality, exit-hygiene, goroutine-hygiene (see
+#              README.md)
+#   bench      one-iteration smoke over every benchmark (catches bench
+#              bit-rot; output lands in bench.out, archived by CI)
 #
 # CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
@@ -23,5 +26,8 @@ go test -race ./...
 
 echo "==> albireo-lint ./..."
 go run ./cmd/albireo-lint ./...
+
+echo "==> bench smoke (1 iteration, output in bench.out)"
+go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out
 
 echo "check.sh: all gates passed"

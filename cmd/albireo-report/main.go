@@ -18,7 +18,9 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/experiments"
 	"albireo/internal/nn"
+	"albireo/internal/obs"
 	"albireo/internal/perf"
+	"albireo/internal/tensor"
 )
 
 func main() {
@@ -74,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 	section("Figure 8 — photonic accelerator comparison", experiments.FormatFig8(experiments.Fig8()))
 	section("Figure 9 — chip area breakdown", experiments.FormatFig9(experiments.Fig9(core.DefaultConfig())))
 	section("Table IV — electronic comparison", experiments.FormatTableIV(experiments.TableIV()))
+	section("Observed device activity — instrumented functional Conv",
+		observedActivityTable(core.DefaultConfig()))
 	section("Per-layer analysis — VGG16 on Albireo-C",
 		experiments.FormatLayers(core.DefaultConfig(), vgg16))
 
@@ -98,6 +102,56 @@ func scaleOutTable(model nn.Model) string {
 	curve := perf.ScaleOutCurve(core.DefaultConfig(), model, 8)
 	for i, r := range curve {
 		fmt.Fprintf(&b, "%5d  %11.4f  %8.1f  %10.4f\n", i+1, r.Latency*1e3, r.Power, r.EDP*1e6)
+	}
+	return b.String()
+}
+
+// observedActivityTable runs a small convolution through an
+// instrumented chip and cross-checks the recorded per-device-class
+// event counts against both the closed-form activity model and the
+// device census - validating that the activity factors behind the
+// Table III power numbers match what the functional simulator
+// actually does. Any disagreement is flagged with a WARNING line.
+func observedActivityTable(cfg core.Config) string {
+	const (
+		z, ay, ax   = 6, 16, 16
+		m, k        = 12, 3
+		stride, pad = 1, 1
+	)
+	chip := core.NewChip(cfg)
+	reg := obs.NewRegistry()
+	chip.Instrument(reg, nil)
+	a := tensor.RandomVolume(z, ay, ax, 5)
+	w := tensor.RandomKernels(m, z, k, k, 6)
+	chip.Conv(a, w, tensor.ConvConfig{Stride: stride, Pad: pad}, true)
+
+	got := core.ObservedActivity(reg.Snapshot())
+	want := cfg.ExpectedConvActivity(z, ay, ax, m, k, k, stride, pad)
+	census := perf.NewCensus(cfg)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "functional run: %d kernels %dx%dx%d over a %dx%dx%d input (stride %d, pad %d)\n\n",
+		m, z, k, k, z, ay, ax, stride, pad)
+	fmt.Fprintln(&b, "device class     devices  observed events  analytic events  events/device")
+	mismatch := false
+	row := func(name string, devices int, observed, analytic int64) {
+		flag := ""
+		if observed != analytic {
+			flag = "  <-- MISMATCH"
+			mismatch = true
+		}
+		fmt.Fprintf(&b, "%-15s  %7d  %15d  %15d  %13.1f%s\n",
+			name, devices, observed, analytic, float64(observed)/float64(devices), flag)
+	}
+	row("weight MZMs", census.WeightMZMs, got.MZMPrograms, want.MZMPrograms)
+	row("switching MRRs", census.SwitchingMRRs, got.MRRSwitches, want.MRRSwitches)
+	row("balanced PDs", census.Photodiodes, got.PDReads, want.PDReads)
+	row("ADCs", census.ADCs, got.ADCConversions, want.ADCConversions)
+	row("PLCG steps", cfg.Ng, got.Steps, want.Steps)
+	if mismatch {
+		fmt.Fprintln(&b, "\nWARNING: observed device activity disagrees with the analytic activity model")
+	} else {
+		fmt.Fprintln(&b, "\nobserved activity matches the analytic model exactly")
 	}
 	return b.String()
 }

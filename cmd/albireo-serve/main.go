@@ -1,0 +1,136 @@
+// Command albireo-serve exposes the simulator's observability surface
+// over HTTP: Prometheus-format device-activity metrics, the structured
+// event trace, a health probe, and the standard pprof handlers.
+//
+// On startup it runs a configurable number of instrumented sweeps -
+// tiny networks through the analog chip with a digital reference
+// attached, plus a dataflow simulation - so the endpoints have real
+// telemetry to show. With -addr "" it skips listening and prints the
+// metrics to stdout, which is the scriptable/CI mode:
+//
+//	albireo-serve -addr :8080          # serve http://localhost:8080/metrics
+//	albireo-serve -addr "" -sweeps 1   # one sweep, metrics to stdout
+//
+// All simulation telemetry is cycle/event-denominated and
+// deterministic; wall time exists only here at the cmd boundary,
+// injected through obs.Clock for the uptime gauge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"albireo/internal/core"
+	"albireo/internal/inference"
+	"albireo/internal/nn"
+	"albireo/internal/obs"
+	"albireo/internal/sim"
+	"albireo/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "albireo-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind a single exit point so tests can drive
+// it end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("albireo-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", `listen address; "" runs the sweeps and prints metrics to stdout instead of serving`)
+	sweeps := fs.Int("sweeps", 1, "instrumented inference sweeps to run at startup")
+	batch := fs.Int("batch", 2, "inputs per sweep")
+	size := fs.Int("size", 12, "input spatial size")
+	seed := fs.Int64("seed", 1, "weight/input seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch must be >= 1, got %d", *batch)
+	}
+	if *size < 8 {
+		return fmt.Errorf("size must be >= 8, got %d", *size)
+	}
+	if *sweeps < 0 {
+		return fmt.Errorf("sweeps must be >= 0, got %d", *sweeps)
+	}
+
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+	for i := 0; i < *sweeps; i++ {
+		if err := sweep(reg, trace, *batch, *size, *seed+int64(i)); err != nil {
+			return err
+		}
+	}
+
+	if *addr == "" {
+		return reg.WritePrometheus(out)
+	}
+	clock := obs.WallClock{}
+	srv := newServer(reg, trace, clock, clock.Now())
+	fmt.Fprintf(out, "albireo-serve listening on %s (endpoints: /metrics /trace /healthz /debug/pprof/)\n", *addr)
+	return http.ListenAndServe(*addr, srv)
+}
+
+// sweep runs one instrumented batch: the tiny CNN through the analog
+// chip (device-activity counters, layer spans, divergence vs the
+// exact reference) and a dataflow simulation of MobileNet (cycle,
+// SRAM-traffic, and kernel-cache-locality counters).
+func sweep(reg *obs.Registry, trace *obs.Trace, batch, size int, seed int64) error {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	analog := inference.NewAnalog(cfg)
+	analog.Chip.Instrument(reg, trace)
+	be := inference.Observe(analog, reg, trace).WithReference(inference.Exact{})
+
+	net := inference.TinyCNN(3, size, seed)
+	for i := 0; i < batch; i++ {
+		in := tensor.RandomVolume(3, size, size, seed*1000+int64(i))
+		net.Run(be, in)
+	}
+
+	p := sim.DefaultParams()
+	p.Obs = reg
+	p.Trace = trace
+	sim.SimulateModel(p, nn.MobileNet())
+	return nil
+}
+
+// newServer builds the HTTP surface. The clock is injected so tests
+// can pin the uptime gauge; simulation telemetry never touches it.
+func newServer(reg *obs.Registry, trace *obs.Trace, clock obs.Clock, start time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.Gauge("albireo_serve_uptime_seconds").Set(clock.Now().Sub(start).Seconds())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := trace.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

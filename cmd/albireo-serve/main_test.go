@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"albireo/internal/obs"
+)
+
+func testServer(t *testing.T) (http.Handler, *obs.Registry, *obs.Trace, *obs.ManualClock) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+	if err := sweep(reg, trace, 1, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	clock := obs.NewManualClock(start)
+	return newServer(reg, trace, clock, start), reg, trace, clock
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	t.Parallel()
+	srv, _, _, clock := testServer(t)
+	clock.Advance(90 * time.Second)
+	rec := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"albireo_plcg_steps_total",
+		"albireo_mzm_program_events_total",
+		"albireo_sim_cycles_total",
+		"albireo_sram_read_bytes_total",
+		"albireo_cache_hits_total",
+		"albireo_inference_layers_total",
+		"albireo_serve_uptime_seconds 90",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	t.Parallel()
+	srv, _, trace, _ := testServer(t)
+	rec := get(t, srv, "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Events []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(doc.Events) != trace.Len() {
+		t.Fatalf("endpoint returned %d events, trace holds %d", len(doc.Events), trace.Len())
+	}
+	if len(doc.Events) == 0 {
+		t.Fatal("sweep should have produced trace events")
+	}
+}
+
+func TestHealthzAndPprof(t *testing.T) {
+	t.Parallel()
+	srv, _, _, _ := testServer(t)
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, srv, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof index: %d", rec.Code)
+	}
+	if rec := get(t, srv, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", rec.Code)
+	}
+}
+
+func TestRunNoListenPrintsMetrics(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := run([]string{"-addr", "", "-sweeps", "1", "-batch", "1", "-size", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE albireo_plcg_steps_total counter") {
+		t.Fatalf("stdout mode must print Prometheus metrics:\n%.400s", out)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-nonsense"},
+		{"-addr", "", "-batch", "0"},
+		{"-addr", "", "-size", "4"},
+		{"-addr", "", "-sweeps", "-1"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v must error", args)
+		}
+	}
+}
+
+func TestSweepsAreDeterministic(t *testing.T) {
+	t.Parallel()
+	runOnce := func() obs.Snapshot {
+		reg := obs.NewRegistry()
+		if err := sweep(reg, obs.NewTrace(), 2, 8, 5); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	if a, b := runOnce(), runOnce(); !a.Equal(b) {
+		t.Fatal("identical sweeps must produce bit-identical telemetry")
+	}
+}

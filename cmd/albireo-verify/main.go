@@ -11,6 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"albireo/internal/core"
 	"albireo/internal/inference"
@@ -18,10 +20,29 @@ import (
 )
 
 func main() {
-	batch := flag.Int("batch", 16, "inputs per network")
-	size := flag.Int("size", 16, "input spatial size")
-	seed := flag.Int64("seed", 7, "weight/input seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "albireo-verify:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind a single exit point: flag errors and
+// invalid parameters come back as errors instead of mid-logic
+// os.Exit calls, so tests can drive the tool end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("albireo-verify", flag.ContinueOnError)
+	batch := fs.Int("batch", 16, "inputs per network")
+	size := fs.Int("size", 16, "input spatial size")
+	seed := fs.Int64("seed", 7, "weight/input seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch must be >= 1, got %d", *batch)
+	}
+	if *size < 8 {
+		return fmt.Errorf("size must be >= 8, got %d", *size)
+	}
 
 	inputs := make([]*tensor.Volume, *batch)
 	for i := range inputs {
@@ -45,33 +66,35 @@ func main() {
 	}
 
 	exact := inference.Exact{}
-	fmt.Println("end-to-end fidelity vs exact reference")
-	fmt.Printf("%-12s  %-24s  top-1  logit-corr\n", "network", "impairments")
+	fmt.Fprintln(out, "end-to-end fidelity vs exact reference")
+	fmt.Fprintf(out, "%-12s  %-24s  top-1  logit-corr\n", "network", "impairments")
 	for _, net := range nets {
 		for _, be := range backends {
 			top1, corr := inference.Agreement(net, exact, be.b, inputs)
-			fmt.Printf("%-12s  %-24s  %5.2f  %10.4f\n", net.Name, be.name, top1, corr)
+			fmt.Fprintf(out, "%-12s  %-24s  %5.2f  %10.4f\n", net.Name, be.name, top1, corr)
 		}
 	}
 
 	// Fault injection: progressively kill switching rings in PLCG 0
 	// and watch the network degrade.
-	fmt.Println("\nfault injection (dead switching rings in PLCG 0, tiny-cnn):")
-	fmt.Println("dead-rings  top-1  logit-corr")
+	fmt.Fprintln(out, "\nfault injection (dead switching rings in PLCG 0, tiny-cnn):")
+	fmt.Fprintln(out, "dead-rings  top-1  logit-corr")
 	net := nets[0]
 	for _, n := range []int{0, 1, 5, 15, 45} {
 		be := inference.NewAnalog(core.DefaultConfig())
-		unit := be.Chip.Groups()[0].Units()[0]
 		injected := 0
 		for tap := 0; tap < 9 && injected < n; tap++ {
 			for col := 0; col < 5 && injected < n; col++ {
-				unit.InjectFault(core.Fault{Kind: core.DeadRing, Tap: tap, Column: col})
+				if err := be.Chip.InjectFault(0, 0, core.Fault{Kind: core.DeadRing, Tap: tap, Column: col}); err != nil {
+					return err
+				}
 				injected++
 			}
 		}
 		top1, corr := inference.Agreement(net, exact, be, inputs)
-		fmt.Printf("%10d  %5.2f  %10.4f\n", injected, top1, corr)
+		fmt.Fprintf(out, "%10d  %5.2f  %10.4f\n", injected, top1, corr)
 	}
+	return nil
 }
 
 func idealBackend() inference.Analog {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-nonsense"},
+		{"-batch", "0"},
+		{"-batch", "-3"},
+		{"-size", "4"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v must error", args)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := run([]string{"-batch", "1", "-size", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"end-to-end fidelity",
+		"fault injection",
+		"full impairments",
+		"tiny-cnn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 type Chip struct {
 	cfg    Config
 	groups []*PLCG
+	ins    *chipObs
 }
 
 // NewChip builds a functional chip.
@@ -126,13 +127,17 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
 	out := tensor.NewVolume(w.M, by, bx)
+	sp := c.ins.beginLayer("conv", w.M, w.Z, w.Y, w.X)
+	defer sp.End()
 	if outScale == 0 {
 		return out
 	}
 	chunks := c.tapChunks(w.Y, w.X)
 
 	for m := 0; m < w.M; m++ {
-		g := c.groups[m%c.cfg.Ng]
+		gi := m % c.cfg.Ng
+		g := c.groups[gi]
+		c.ins.tile(sp, m, gi)
 		for oy := 0; oy < by; oy++ {
 			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
 				acc := make([]float64, c.cfg.Nd)
@@ -145,6 +150,9 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 							weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
 						}
 						part := g.Step(weights, avals)
+						if c.ins != nil {
+							c.ins.step(gi, nu)
+						}
 						for d := range acc {
 							acc[d] += part[d]
 						}
@@ -243,18 +251,25 @@ func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Con
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
 	out := tensor.NewVolume(a.Z, by, bx)
+	sp := c.ins.beginLayer("depthwise", w.M, w.Z, w.Y, w.X)
+	defer sp.End()
 	if outScale == 0 {
 		return out
 	}
 	chunks := c.tapChunks(w.Y, w.X)
 	for z := 0; z < a.Z; z++ {
-		g := c.groups[z%c.cfg.Ng]
+		gi := z % c.cfg.Ng
+		g := c.groups[gi]
+		c.ins.tile(sp, z, gi)
 		for oy := 0; oy < by; oy++ {
 			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
 				acc := make([]float64, c.cfg.Nd)
 				for _, ch := range chunks {
 					weights, avals := c.buildSlot(na, nw, z, 0, z, oy, ox0, stride, cfg.Pad, ch)
 					part := g.Step([][]float64{weights}, [][][]float64{avals})
+					if c.ins != nil {
+						c.ins.step(gi, 1)
+					}
 					for d := range acc {
 						acc[d] += part[d]
 					}
@@ -284,13 +299,17 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 	nw, wScale := normalizeKernels(w)
 	outScale := aScale * wScale
 	out := tensor.NewVolume(w.M, a.Y, a.X)
+	sp := c.ins.beginLayer("pointwise", w.M, w.Z, w.Y, w.X)
+	defer sp.End()
 	if outScale == 0 {
 		return out
 	}
 	npix := a.Y * a.X
 	chPerCycle := c.cfg.Nu * c.cfg.Nm
 	for m := 0; m < w.M; m++ {
-		g := c.groups[m%c.cfg.Ng]
+		gi := m % c.cfg.Ng
+		g := c.groups[gi]
+		c.ins.tile(sp, m, gi)
 		for p0 := 0; p0 < npix; p0 += c.cfg.Nd {
 			acc := make([]float64, c.cfg.Nd)
 			for z0 := 0; z0 < a.Z; z0 += chPerCycle {
@@ -316,6 +335,9 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 					weights[u], avals[u] = wv, av
 				}
 				part := g.Step(weights, avals)
+				if c.ins != nil {
+					c.ins.step(gi, nu)
+				}
 				for d := range acc {
 					acc[d] += part[d]
 				}
@@ -344,13 +366,17 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 	nw, wScale := normalizeKernels(w)
 	outScale := aScale * wScale
 	out := make([]float64, w.M)
+	sp := c.ins.beginLayer("fc", w.M, w.Z, w.Y, w.X)
+	defer sp.End()
 	if outScale == 0 {
 		return out
 	}
 	n := a.Z * a.Y * a.X
 	elemsPerCycle := c.cfg.Nu * c.cfg.Nm
 	for m := 0; m < w.M; m++ {
-		g := c.groups[m%c.cfg.Ng]
+		gi := m % c.cfg.Ng
+		g := c.groups[gi]
+		c.ins.tile(sp, m, gi)
 		var acc float64
 		for e0 := 0; e0 < n; e0 += elemsPerCycle {
 			nu := (min(elemsPerCycle, n-e0) + c.cfg.Nm - 1) / c.cfg.Nm
@@ -371,6 +397,9 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 				weights[u], avals[u] = wv, av
 			}
 			part := g.Step(weights, avals)
+			if c.ins != nil {
+				c.ins.step(gi, nu)
+			}
 			acc += part[0]
 		}
 		v := acc * outScale
@@ -412,6 +441,8 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
 	out := tensor.NewVolume(w.M, by, bx)
+	sp := c.ins.beginLayer("conv", w.M, w.Z, w.Y, w.X)
+	defer sp.End()
 	if outScale == 0 {
 		return out
 	}
@@ -425,6 +456,7 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 			defer wg.Done()
 			g := c.groups[gi]
 			for m := gi; m < w.M; m += c.cfg.Ng {
+				c.ins.tile(sp, m, gi)
 				for oy := 0; oy < by; oy++ {
 					for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
 						acc := make([]float64, c.cfg.Nd)
@@ -437,6 +469,9 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 									weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
 								}
 								part := g.Step(weights, avals)
+								if c.ins != nil {
+									c.ins.step(gi, nu)
+								}
 								for d := range acc {
 									acc[d] += part[d]
 								}

@@ -58,6 +58,33 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	}
 }
 
+func TestObsDeterminismGolden(t *testing.T) {
+	t.Parallel()
+	got := fixture(t, "obsdeterminism.go", "internal/sim/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"11: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+		"12: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+		// Line 14 is suppressed with a reason; the injected-clock call
+		// and the cycle-denominated record are clean.
+	})
+}
+
+func TestObsDeterminismOutOfScope(t *testing.T) {
+	t.Parallel()
+	// cmd/ owns the wall clock, internal/obs hosts the sanctioned
+	// Clock boundary, and tests are exempt.
+	for _, rel := range []string{
+		"cmd/albireo-serve/main.go",
+		"internal/obs/clock.go",
+		"internal/sim/fixture_test.go",
+		"internal/lint/fixture.go",
+	} {
+		if got := fixture(t, "obsdeterminism.go", rel, []*Rule{ObsDeterminism()}); len(got) != 0 {
+			t.Errorf("relpath %s: want no findings, got %q", rel, got)
+		}
+	}
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

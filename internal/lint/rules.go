@@ -11,6 +11,7 @@ import (
 func Default() []*Rule {
 	return []*Rule{
 		Determinism(),
+		ObsDeterminism(),
 		UnitSafety(),
 		FloatEquality(),
 		ExitHygiene(),
@@ -103,6 +104,56 @@ func Determinism() *Rule {
 					}
 				case pkg.Name == timeName && timeName != "" && sel.Sel.Name == "Now":
 					r.Reportf(call.Pos(), "time.Now() in simulation code makes runs irreproducible; thread timestamps in as parameters")
+				}
+				return true
+			})
+		},
+	}
+}
+
+// ObsDeterminism enforces the observability determinism contract:
+// telemetry recorded by internal/ packages must be denominated in
+// simulation cycles and event counts, never wall time, so that
+// identical inputs always record bit-identical metrics (the
+// Conv/ConvConcurrent snapshot-equality invariant). Wall time enters
+// the system only at the cmd boundary through an injected obs.Clock;
+// internal/obs itself hosts that boundary (WallClock) and is exempt.
+// Unlike the determinism rule, this also flags time.Since - a wall
+// clock read disguised as a duration - because "how long did this
+// take" is exactly the measurement an instrumentation site is tempted
+// to record.
+func ObsDeterminism() *Rule {
+	return &Rule{
+		Name:     "obs-determinism",
+		Doc:      "internal/ instrumentation must be cycle/event-denominated: no time.Now() or time.Since(); stamp events with simulation cycles, and inject obs.Clock at the cmd boundary for wall time",
+		Severity: Error,
+		Applies: func(f *File) bool {
+			return f.InPackage("internal") && !f.InPackage("internal/obs") &&
+				!f.InPackage("internal/lint") && !f.IsTest
+		},
+		Check: func(f *File, r *Reporter) {
+			timeName := f.ImportName("time")
+			if timeName == "" {
+				return
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || shadowed(pkg) || pkg.Name != timeName {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Now":
+					r.Reportf(call.Pos(), "time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary")
+				case "Since":
+					r.Reportf(call.Pos(), "time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)")
 				}
 				return true
 			})
@@ -246,10 +297,13 @@ func UnitSafety() *Rule {
 	}
 }
 
-// boolMathFuncs are math-package functions that return bool, not a
-// float, and so are fine to compare with == / !=.
-var boolMathFuncs = map[string]bool{
+// nonFloatMathFuncs are math-package functions that return a bool or
+// an integer, not a float, and so are fine to compare with == / !=.
+// Float64bits/Float32bits comparisons are in fact the sanctioned way
+// to test bit-identity.
+var nonFloatMathFuncs = map[string]bool{
 	"IsNaN": true, "IsInf": true, "Signbit": true,
+	"Float64bits": true, "Float32bits": true, "Ilogb": true,
 }
 
 // floatExpr is the syntactic heuristic for "this expression is a
@@ -277,7 +331,7 @@ func floatExpr(e ast.Expr) bool {
 			return true
 		}
 		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
-			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "math" && !shadowed(pkg) && !boolMathFuncs[sel.Sel.Name] {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "math" && !shadowed(pkg) && !nonFloatMathFuncs[sel.Sel.Name] {
 				return true
 			}
 		}

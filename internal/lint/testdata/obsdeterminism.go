@@ -1,0 +1,23 @@
+// Fixture for the obs-determinism rule: instrumentation inside
+// internal/ must stamp telemetry with simulation cycles, never wall
+// time; wall clocks are injected at the cmd boundary via obs.Clock.
+package fixture
+
+import "time"
+
+type clock interface{ Now() time.Time }
+
+func instrument(c clock, cycle int64) {
+	start := time.Now()
+	_ = time.Since(start)
+	//lint:ignore obs-determinism fixtures demonstrate suppression
+	_ = time.Now()
+	_ = c.Now()     // allowed: injected clock
+	recordAt(cycle) // allowed: cycle-denominated
+}
+
+func recordAt(cycle int64) { _ = cycle }
+
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start) // allowed: timestamps passed in as parameters
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("albireo_events_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // monotone: negative adds ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("albireo_events_total"); again != c {
+		t.Fatal("re-registration must return the same instrument")
+	}
+}
+
+func TestLabeledInstrumentsAreDistinct(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	a := r.Counter("adc_total", L("plcg", "0"))
+	b := r.Counter("adc_total", L("plcg", "1"))
+	if a == b {
+		t.Fatal("different labels must yield different instruments")
+	}
+	a.Add(2)
+	b.Add(3)
+	s := r.Snapshot()
+	if s.Counters[`adc_total{plcg="0"}`] != 2 || s.Counters[`adc_total{plcg="1"}`] != 3 {
+		t.Fatalf("snapshot ids wrong: %v", s.Counters)
+	}
+	if got := s.SumCounters("adc_total"); got != 5 {
+		t.Fatalf("SumCounters = %d, want 5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order must not change instrument identity")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	t.Parallel()
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	c.Inc()
+	c.Add(10)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must be inert")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+
+	var tr *Trace
+	sp := tr.StartSpan("root")
+	sp.Event(Mark, "m")
+	sp.StartSpan("child").End()
+	sp.End()
+	if tr.Len() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestGaugeAddAndSet(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	g := r.Gauge("energy_joules")
+	g.Set(1.5)
+	g.Add(0.25)
+	if got := g.Value(); got != 1.75 {
+		t.Fatalf("gauge = %g, want 1.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Buckets: <=1 gets 0.5 and 1; <=10 gets 5; <=100 gets 50; +Inf gets 500.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 556.5 {
+		t.Fatalf("count/sum = %d/%g", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotDeltaAndEqual(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("steps_total")
+	c.Add(3)
+	before := r.Snapshot()
+	c.Add(4)
+	r.Gauge("level").Set(2)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d.Counters["steps_total"] != 4 {
+		t.Fatalf("delta counter = %d, want 4", d.Counters["steps_total"])
+	}
+	if d.Gauges["level"] != 2 {
+		t.Fatalf("delta gauge = %g, want 2 (gauges carry their level)", d.Gauges["level"])
+	}
+	if before.Equal(after) {
+		t.Fatal("snapshots with different counts must not be Equal")
+	}
+	if !after.Equal(r.Snapshot()) {
+		t.Fatal("unchanged registry must snapshot Equal")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("c_total", L("plcg", "0")).Add(7)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r.Snapshot()) {
+		t.Fatalf("JSON round trip changed the snapshot: %s", raw)
+	}
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("adc_total", L("plcg", "0")).Add(11)
+	r.Counter("adc_total", L("plcg", "1")).Add(13)
+	r.Gauge("power_watts").Set(22.7)
+	h := r.Histogram("div", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	types := 0
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types++
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	if types != 3 {
+		t.Errorf("want 3 # TYPE lines, got %d:\n%s", types, out)
+	}
+	for _, want := range []string{
+		`adc_total{plcg="0"} 11`,
+		`adc_total{plcg="1"} 13`,
+		"# TYPE div histogram",
+		`div_bucket{le="+Inf"} 2`,
+		"div_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("exposition output must be deterministic")
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("bad name-1").Inc()
+	s := r.Snapshot()
+	if _, ok := s.Counters["bad_name_1"]; !ok {
+		t.Fatalf("name not sanitized: %v", s.Counters)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("racy_total")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("racy_total").Value(); got != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", got)
+	}
+}
+
+func TestKindMismatchReturnsInertInstrument(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("x")
+	g := r.Gauge("x") // already a counter: returns nil (inert) gauge
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Fatal("kind-mismatched lookup must be inert")
+	}
+}

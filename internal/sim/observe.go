@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"albireo/internal/core"
+	"albireo/internal/memory"
+	"albireo/internal/obs"
+)
+
+// Metric names emitted by the dataflow simulator. Everything is
+// denominated in modulation cycles and bytes - the simulator never
+// reads a wall clock, so identical inputs always produce identical
+// telemetry.
+const (
+	// MetricSimCycles counts scheduled modulation cycles.
+	MetricSimCycles = "albireo_sim_cycles_total"
+	// MetricSimLayers counts simulated layers by kind.
+	MetricSimLayers = "albireo_sim_layers_total"
+)
+
+// kernelCacheLineBytes is the line size of the kernel-cache tag
+// simulator: 8 words of the 4-byte kernel-cache access width.
+const kernelCacheLineBytes = 32
+
+// account routes the layer's traffic through metered SRAM arrays,
+// returning the same data-movement energy the unmetered model prices.
+// With no registry attached the meters are inert and this is pure
+// arithmetic.
+func (p Params) account(st LayerStats) float64 {
+	gb := memory.GlobalBuffer().Meter(p.Obs, "global-buffer")
+	kc := memory.KernelCache().Meter(p.Obs, "kernel-cache")
+	return gb.Read(int(st.InputBytes)) +
+		kc.Read(int(st.WeightBytes)) +
+		gb.Read(int(st.PsumReadBytes)) +
+		gb.Write(int(st.PsumWriteBytes)) +
+		gb.Write(int(st.OutputBytes))
+}
+
+// observeLayer emits the layer's dataflow events onto the attached
+// trace, cycle-stamped at the point in the schedule where the traffic
+// completes, and bumps the simulator counters.
+func (p Params) observeLayer(parent *obs.Span, st LayerStats) {
+	if p.Obs != nil {
+		p.Obs.Counter(MetricSimCycles).Add(st.Cycles)
+		p.Obs.Counter(MetricSimLayers, obs.L("kind", st.Layer.Kind.String())).Inc()
+	}
+	if p.Trace == nil {
+		return
+	}
+	attrs := []obs.Attr{
+		obs.String("kind", st.Layer.Kind.String()),
+		obs.String("dataflow", p.Dataflow.String()),
+	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.StartSpan("sim/"+st.Layer.Name, attrs...)
+	} else {
+		sp = p.Trace.StartSpan("sim/"+st.Layer.Name, attrs...)
+	}
+	sp.EventAt(0, obs.DataMove, "input-stream", obs.Int("bytes", st.InputBytes))
+	sp.EventAt(0, obs.DataMove, "weight-fetch", obs.Int("bytes", st.WeightBytes))
+	if st.PsumWriteBytes > 0 || st.PsumReadBytes > 0 {
+		sp.EventAt(st.Cycles, obs.DataMove, "psum-spill",
+			obs.Int("write_bytes", st.PsumWriteBytes),
+			obs.Int("read_bytes", st.PsumReadBytes))
+	}
+	sp.EventAt(st.Cycles, obs.DataMove, "output-write", obs.Int("bytes", st.OutputBytes))
+	sp.EndAt(st.Cycles, obs.Int("cycles", st.Cycles))
+}
+
+// replayKernelCache measures kernel-cache locality for one layer by
+// replaying a representative PLCG's weight-fetch address stream
+// through a direct-mapped tag simulator. The schedule repeats the
+// same sweep of (channel group, tap chunk) weight blocks once per
+// column tile (DepthFirst) or once per pass (WeightStationary);
+// because repetitions are identical, the replay simulates the first
+// two sweeps of the first two kernel passes and extrapolates the rest
+// via Cache.Account, keeping cost O(sweep) instead of O(cycles).
+func (p Params) replayKernelCache(mp core.LayerMapping) {
+	if p.Obs == nil || mp.Cycles == 0 {
+		return
+	}
+	cache := memory.NewCache(memory.KernelCache(), kernelCacheLineBytes, p.Obs, "kernel-cache")
+	blockBytes := p.Config.Nu * p.Config.Nm * p.WeightBytes
+	sweepBytes := mp.ChannelGroups * mp.TapChunks * int64(blockBytes)
+
+	sweep := func(base int64) (hits, misses int64) {
+		h0, m0 := cache.Hits(), cache.Misses()
+		for cg := int64(0); cg < mp.ChannelGroups; cg++ {
+			for tc := int64(0); tc < mp.TapChunks; tc++ {
+				addr := base + (cg*mp.TapChunks+tc)*int64(blockBytes)
+				cache.AccessRange(addr, blockBytes)
+			}
+		}
+		return cache.Hits() - h0, cache.Misses() - m0
+	}
+
+	sweepsPerPass := int64(1)
+	if p.Dataflow == DepthFirst {
+		sweepsPerPass = mp.ColumnTiles
+	}
+	replayPass := func(pi int64) {
+		base := pi * sweepBytes
+		sweep(base)
+		if sweepsPerPass >= 2 {
+			h, m := sweep(base)
+			if extra := sweepsPerPass - 2; extra > 0 {
+				cache.Account(h*extra, m*extra)
+			}
+		}
+	}
+
+	replayPass(0)
+	if mp.KernelPasses >= 2 {
+		h0, m0 := cache.Hits(), cache.Misses()
+		replayPass(1)
+		hp, mp2 := cache.Hits()-h0, cache.Misses()-m0
+		if extra := mp.KernelPasses - 2; extra > 0 {
+			cache.Account(hp*extra, mp2*extra)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/memory"
+	"albireo/internal/nn"
+	"albireo/internal/obs"
+)
+
+func tinyModel() nn.Model {
+	return nn.Model{
+		Name: "tiny",
+		Layers: []nn.Layer{
+			{Name: "conv1", Kind: nn.Conv, InZ: 3, InY: 16, InX: 16, OutZ: 8, KY: 3, KX: 3, Stride: 1, Pad: 1},
+			{Name: "pool1", Kind: nn.MaxPoolKind, InZ: 8, InY: 16, InX: 16, OutZ: 8, KY: 2, KX: 2, Stride: 2},
+			{Name: "conv2", Kind: nn.Conv, InZ: 8, InY: 8, InX: 8, OutZ: 16, KY: 3, KX: 3, Stride: 1, Pad: 1},
+			{Name: "fc", Kind: nn.FC, InZ: 16 * 8 * 8, InY: 1, InX: 1, OutZ: 10, KY: 1, KX: 1},
+		},
+	}
+}
+
+func TestSimTelemetryMatchesStats(t *testing.T) {
+	t.Parallel()
+	p := DefaultParams()
+	p.Obs = obs.NewRegistry()
+	p.Trace = obs.NewTrace()
+	ms := SimulateModel(p, tinyModel())
+
+	s := p.Obs.Snapshot()
+	if got := s.SumCounters(MetricSimCycles); got != ms.Cycles {
+		t.Errorf("cycle counter = %d, stats say %d", got, ms.Cycles)
+	}
+	if got := s.SumCounters(MetricSimLayers); got != int64(len(ms.Layers)) {
+		t.Errorf("layer counter = %d, want %d", got, len(ms.Layers))
+	}
+
+	var wantGBRead, wantKCRead, wantGBWrite int64
+	var wantEnergy float64
+	for _, st := range ms.Layers {
+		wantGBRead += st.InputBytes + st.PsumReadBytes
+		wantKCRead += st.WeightBytes
+		wantGBWrite += st.PsumWriteBytes + st.OutputBytes
+		wantEnergy += st.SRAMEnergy
+	}
+	gbRead := s.Counters[memory.MetricSRAMReadBytes+`{array="global-buffer"}`]
+	kcRead := s.Counters[memory.MetricSRAMReadBytes+`{array="kernel-cache"}`]
+	gbWrite := s.Counters[memory.MetricSRAMWriteBytes+`{array="global-buffer"}`]
+	if gbRead != wantGBRead || kcRead != wantKCRead || gbWrite != wantGBWrite {
+		t.Errorf("SRAM byte counters (gbR %d kcR %d gbW %d) disagree with stats (%d %d %d)",
+			gbRead, kcRead, gbWrite, wantGBRead, wantKCRead, wantGBWrite)
+	}
+	var gotEnergy float64
+	for id, v := range s.Gauges {
+		_ = id
+		gotEnergy += v
+	}
+	if math.Abs(gotEnergy-wantEnergy) > 1e-12*math.Abs(wantEnergy) {
+		t.Errorf("energy gauges sum %g, stats %g", gotEnergy, wantEnergy)
+	}
+
+	// One model span + one span per compute layer; DataMove events for
+	// the traffic streams.
+	kinds := p.Trace.CountByKind()
+	wantSpans := int64(1 + len(ms.Layers))
+	if kinds["span-start"] != wantSpans || kinds["span-end"] != wantSpans {
+		t.Errorf("span counts %v, want %d start/end", kinds, wantSpans)
+	}
+	if kinds["data-move"] < int64(2*len(ms.Layers)) {
+		t.Errorf("expected >=2 data-move events per layer: %v", kinds)
+	}
+}
+
+func TestSimTelemetryDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() obs.Snapshot {
+		p := DefaultParams()
+		p.Obs = obs.NewRegistry()
+		SimulateModel(p, tinyModel())
+		return p.Obs.Snapshot()
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatalf("identical simulations must record identical telemetry:\n%v\nvs\n%v",
+			a.Counters, b.Counters)
+	}
+}
+
+func TestSimTelemetryDoesNotChangeStats(t *testing.T) {
+	t.Parallel()
+	bare := DefaultParams()
+	ins := DefaultParams()
+	ins.Obs = obs.NewRegistry()
+	ins.Trace = obs.NewTrace()
+	for _, m := range []nn.Model{tinyModel(), nn.MobileNet()} {
+		a := SimulateModel(bare, m)
+		b := SimulateModel(ins, m)
+		if a.Cycles != b.Cycles || a.Traffic != b.Traffic || a.SRAMEnergy != b.SRAMEnergy {
+			t.Fatalf("%s: instrumentation changed results: %+v vs %+v", m.Name, a, b)
+		}
+	}
+}
+
+func TestKernelCacheLocality(t *testing.T) {
+	t.Parallel()
+	p := DefaultParams()
+	p.Obs = obs.NewRegistry()
+	SimulateModel(p, tinyModel())
+	s := p.Obs.Snapshot()
+	hits := s.SumCounters(memory.MetricCacheHits)
+	misses := s.SumCounters(memory.MetricCacheMisses)
+	if misses == 0 {
+		t.Fatal("cold kernel caches must record misses")
+	}
+	// Depth-first re-reads the same weights every column tile, so the
+	// replay must find substantial reuse.
+	if hits <= misses {
+		t.Fatalf("depth-first weight reuse should dominate: %d hits vs %d misses", hits, misses)
+	}
+
+	// Weight-stationary sweeps each weight block once per pass: far
+	// less reuse.
+	ws := DefaultParams()
+	ws.Dataflow = WeightStationary
+	ws.Obs = obs.NewRegistry()
+	SimulateModel(ws, tinyModel())
+	wsHits := ws.Obs.Snapshot().SumCounters(memory.MetricCacheHits)
+	if wsHits >= hits {
+		t.Fatalf("weight-stationary should hit less than depth-first: %d vs %d", wsHits, hits)
+	}
+}

@@ -24,8 +24,8 @@ import (
 	"fmt"
 
 	"albireo/internal/core"
-	"albireo/internal/memory"
 	"albireo/internal/nn"
+	"albireo/internal/obs"
 	"albireo/internal/units"
 )
 
@@ -61,6 +61,12 @@ type Params struct {
 	// the 8-bit pipeline); PsumBytes is the partial-sum width held
 	// between channel groups (wider than an operand).
 	ActivationBytes, WeightBytes, PsumBytes int
+	// Obs and Trace, when non-nil, receive cycle-denominated telemetry:
+	// schedule cycles, SRAM traffic through metered arrays,
+	// kernel-cache hit/miss counts, and per-layer dataflow spans. Both
+	// default to nil (no overhead beyond plain arithmetic).
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 // DefaultParams returns the paper's configuration: 8-bit operands,
@@ -102,6 +108,12 @@ func (s LayerStats) TotalTraffic() int64 {
 // SimulateLayer walks one layer's schedule. Pooling layers return
 // zeroed stats (they ride the digital path).
 func SimulateLayer(p Params, l nn.Layer) LayerStats {
+	return simulateLayer(p, l, nil)
+}
+
+// simulateLayer is SimulateLayer with an optional parent span so that
+// SimulateModel can nest per-layer spans under one model span.
+func simulateLayer(p Params, l nn.Layer, parent *obs.Span) LayerStats {
 	st := LayerStats{Layer: l}
 	if !l.HasMACs() {
 		return st
@@ -162,20 +174,10 @@ func SimulateLayer(p Params, l nn.Layer) LayerStats {
 		st.PsumReadBytes = st.PsumWriteBytes
 	}
 
-	st.SRAMEnergy = p.energy(st)
+	st.SRAMEnergy = p.account(st)
+	p.observeLayer(parent, st)
+	p.replayKernelCache(m)
 	return st
-}
-
-// energy prices the traffic: activations and partial sums hit the
-// global buffer, weights the per-PLCG kernel caches.
-func (p Params) energy(st LayerStats) float64 {
-	gb := memory.GlobalBuffer()
-	kc := memory.KernelCache()
-	return gb.ReadEnergy(int(st.InputBytes)) +
-		kc.ReadEnergy(int(st.WeightBytes)) +
-		gb.ReadEnergy(int(st.PsumReadBytes)) +
-		gb.WriteEnergy(int(st.PsumWriteBytes)) +
-		gb.WriteEnergy(int(st.OutputBytes))
 }
 
 // ModelStats aggregates a whole network.
@@ -191,16 +193,18 @@ type ModelStats struct {
 // SimulateModel runs every compute layer.
 func SimulateModel(p Params, m nn.Model) ModelStats {
 	ms := ModelStats{Model: m.Name}
+	root := p.Trace.StartSpan("sim/"+m.Name, obs.String("dataflow", p.Dataflow.String()))
 	for _, l := range m.Layers {
 		if !l.HasMACs() {
 			continue
 		}
-		st := SimulateLayer(p, l)
+		st := simulateLayer(p, l, root)
 		ms.Layers = append(ms.Layers, st)
 		ms.Cycles += st.Cycles
 		ms.Traffic += st.TotalTraffic()
 		ms.SRAMEnergy += st.SRAMEnergy
 	}
+	root.EndAt(ms.Cycles, obs.Int("cycles", ms.Cycles))
 	return ms
 }
 
