@@ -10,6 +10,10 @@
 #              README.md)
 #   bench      one-iteration smoke over every benchmark (catches bench
 #              bit-rot; output lands in bench.out, archived by CI)
+#   fault demo smoke-run of the detect -> quarantine -> remap
+#              walkthrough (examples/faulttolerance)
+#   health     BIST scan of the default chip (report lands in
+#              health.out, archived by CI)
 #
 # CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
@@ -29,5 +33,11 @@ go run ./cmd/albireo-lint ./...
 
 echo "==> bench smoke (1 iteration, output in bench.out)"
 go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out
+
+echo "==> fault-management demo smoke (detect -> quarantine -> remap)"
+go run ./examples/faulttolerance
+
+echo "==> BIST health report (output in health.out)"
+go run ./cmd/albireo-serve -addr "" -sweeps 0 -bist | tee health.out
 
 echo "check.sh: all gates passed"

@@ -1,15 +1,28 @@
 // Command albireo-serve exposes the simulator's observability surface
 // over HTTP: Prometheus-format device-activity metrics, the structured
-// event trace, a health probe, and the standard pprof handlers.
+// event trace, the BIST health report, liveness/readiness probes, and
+// the standard pprof handlers.
 //
-// On startup it runs a configurable number of instrumented sweeps -
-// tiny networks through the analog chip with a digital reference
-// attached, plus a dataflow simulation - so the endpoints have real
-// telemetry to show. With -addr "" it skips listening and prints the
-// metrics to stdout, which is the scriptable/CI mode:
+// On startup it builds one shared analog chip, optionally injects
+// faults (-detune), runs a BIST scan and quarantines whatever it
+// localizes, then runs a configurable number of accuracy-guarded
+// sweeps - tiny networks through the degraded chip with a digital
+// reference guarding each layer - so the endpoints have real telemetry
+// to show. With -addr "" it skips listening and prints the metrics (or,
+// with -bist, the BIST health report) to stdout, which is the
+// scriptable/CI mode:
 //
-//	albireo-serve -addr :8080          # serve http://localhost:8080/metrics
-//	albireo-serve -addr "" -sweeps 1   # one sweep, metrics to stdout
+//	albireo-serve -addr :8080            # serve http://localhost:8080/metrics
+//	albireo-serve -addr "" -sweeps 1     # one sweep, metrics to stdout
+//	albireo-serve -addr "" -bist         # BIST health report JSON to stdout
+//	albireo-serve -detune "0,0,4,2,0.4"  # start with a detuned ring
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the readiness
+// probe flips to 503, in-flight requests drain (bounded by -drain),
+// and only then does the process exit. /healthz stays 200 while the
+// fabric is degraded (the process is alive and serving around the
+// quarantined units) but reports the degradation; /readyz reflects
+// serving state.
 //
 // All simulation telemetry is cycle/event-denominated and
 // deterministic; wall time exists only here at the cmd boundary,
@@ -17,15 +30,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"albireo/internal/core"
+	"albireo/internal/health"
 	"albireo/internal/inference"
 	"albireo/internal/nn"
 	"albireo/internal/obs"
@@ -34,21 +56,31 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "albireo-serve:", err)
 		os.Exit(1)
 	}
 }
 
+// handlerTimeout bounds each data-endpoint request; pprof handlers are
+// exempt (profiles legitimately run long).
+const handlerTimeout = 10 * time.Second
+
 // run is the whole tool behind a single exit point so tests can drive
 // it end to end.
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("albireo-serve", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", `listen address; "" runs the sweeps and prints metrics to stdout instead of serving`)
+	addr := fs.String("addr", ":8080", `listen address; "" runs the sweeps and prints to stdout instead of serving`)
 	sweeps := fs.Int("sweeps", 1, "instrumented inference sweeps to run at startup")
 	batch := fs.Int("batch", 2, "inputs per sweep")
 	size := fs.Int("size", 12, "input spatial size")
 	seed := fs.Int64("seed", 1, "weight/input seed")
+	budget := fs.Float64("budget", 0.5, "accuracy-guard relative divergence budget per layer")
+	detune := fs.String("detune", "", `inject faults before the BIST scan: "group,unit,tap,column,residual[,driftPerCycle]", semicolon-separated`)
+	bist := fs.Bool("bist", false, `with -addr "": print the BIST health report JSON instead of metrics`)
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,35 +93,128 @@ func run(args []string, out io.Writer) error {
 	if *sweeps < 0 {
 		return fmt.Errorf("sweeps must be >= 0, got %d", *sweeps)
 	}
+	if *budget <= 0 {
+		return fmt.Errorf("budget must be > 0, got %g", *budget)
+	}
 
 	reg := obs.NewRegistry()
 	trace := obs.NewTrace()
-	for i := 0; i < *sweeps; i++ {
-		if err := sweep(reg, trace, *batch, *size, *seed+int64(i)); err != nil {
-			return err
+
+	// One shared chip behind every endpoint: the health report, the
+	// degradation state, and the sweeps all describe the same fabric.
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	analog := inference.NewAnalog(cfg)
+	analog.Chip.Instrument(reg, trace)
+	if err := injectFaultSpecs(analog.Chip, cfg, *detune); err != nil {
+		return err
+	}
+
+	eng := health.New(analog.Chip, health.Options{})
+	eng.Instrument(reg, trace)
+	report := eng.Scan()
+	if !report.Healthy() {
+		quarantined, err := eng.QuarantineFindings(report)
+		for _, u := range quarantined {
+			fmt.Fprintf(out, "albireo-serve: BIST quarantined %v\n", u)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "albireo-serve: quarantine incomplete: %v\n", err)
 		}
 	}
 
+	guarded := inference.Guard(analog, inference.Exact{}, *budget).Instrument(reg, trace)
+	be := inference.Observe(guarded, reg, trace)
+	for i := 0; i < *sweeps; i++ {
+		sweep(reg, trace, be, *batch, *size, *seed+int64(i))
+	}
+
 	if *addr == "" {
+		if *bist {
+			raw, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(out, "%s\n", raw)
+			return err
+		}
 		return reg.WritePrometheus(out)
 	}
+
 	clock := obs.WallClock{}
-	srv := newServer(reg, trace, clock, clock.Now())
-	fmt.Fprintf(out, "albireo-serve listening on %s (endpoints: /metrics /trace /healthz /debug/pprof/)\n", *addr)
-	return http.ListenAndServe(*addr, srv)
+	st := &serveState{
+		reg:    reg,
+		trace:  trace,
+		clock:  clock,
+		start:  clock.Now(),
+		chip:   analog.Chip,
+		report: report,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "albireo-serve listening on %s (endpoints: /metrics /trace /bist /healthz /readyz /debug/pprof/)\n", ln.Addr())
+	return serveGracefully(ctx, ln, newServer(st), *drain, &st.ready, out)
 }
 
-// sweep runs one instrumented batch: the tiny CNN through the analog
-// chip (device-activity counters, layer spans, divergence vs the
-// exact reference) and a dataflow simulation of MobileNet (cycle,
-// SRAM-traffic, and kernel-cache-locality counters).
-func sweep(reg *obs.Registry, trace *obs.Trace, batch, size int, seed int64) error {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	analog := inference.NewAnalog(cfg)
-	analog.Chip.Instrument(reg, trace)
-	be := inference.Observe(analog, reg, trace).WithReference(inference.Exact{})
+// injectFaultSpecs parses and injects the -detune fault list. Each
+// spec is "group,unit,tap,column,residual[,driftPerCycle]".
+func injectFaultSpecs(chip *core.Chip, cfg core.Config, specs string) error {
+	for _, spec := range strings.Split(specs, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ",")
+		if len(parts) != 5 && len(parts) != 6 {
+			return fmt.Errorf("detune spec %q: want group,unit,tap,column,residual[,drift]", spec)
+		}
+		ints := make([]int, 4)
+		for i := range ints {
+			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return fmt.Errorf("detune spec %q: %v", spec, err)
+			}
+			ints[i] = v
+		}
+		residual, err := strconv.ParseFloat(strings.TrimSpace(parts[4]), 64)
+		if err != nil {
+			return fmt.Errorf("detune spec %q: %v", spec, err)
+		}
+		var driftRate float64
+		if len(parts) == 6 {
+			if driftRate, err = strconv.ParseFloat(strings.TrimSpace(parts[5]), 64); err != nil {
+				return fmt.Errorf("detune spec %q: %v", spec, err)
+			}
+		}
+		// Validate here so unphysical flags surface as flag errors, not
+		// as the core package's invariant panics.
+		if ints[2] < 0 || ints[2] >= cfg.Nm {
+			return fmt.Errorf("detune spec %q: tap outside [0,%d)", spec, cfg.Nm)
+		}
+		if ints[3] < 0 || ints[3] >= cfg.Nd {
+			return fmt.Errorf("detune spec %q: column outside [0,%d)", spec, cfg.Nd)
+		}
+		if residual < 0 || residual > 1 {
+			return fmt.Errorf("detune spec %q: residual outside [0,1]", spec)
+		}
+		if driftRate < 0 {
+			return fmt.Errorf("detune spec %q: drift must be >= 0", spec)
+		}
+		f := core.Fault{Kind: core.DetunedRing, Tap: ints[2], Column: ints[3], Value: residual, Drift: driftRate}
+		if err := chip.InjectFault(ints[0], ints[1], f); err != nil {
+			return fmt.Errorf("detune spec %q: %v", spec, err)
+		}
+	}
+	return nil
+}
 
+// sweep runs one instrumented batch: the tiny CNN through the given
+// backend (device-activity counters, layer spans, guard checks) and a
+// dataflow simulation of MobileNet (cycle, SRAM-traffic, and
+// kernel-cache-locality counters).
+func sweep(reg *obs.Registry, trace *obs.Trace, be inference.Backend, batch, size int, seed int64) {
 	net := inference.TinyCNN(3, size, seed)
 	for i := 0; i < batch; i++ {
 		in := tensor.RandomVolume(3, size, size, seed*1000+int64(i))
@@ -100,22 +225,39 @@ func sweep(reg *obs.Registry, trace *obs.Trace, batch, size int, seed int64) err
 	p.Obs = reg
 	p.Trace = trace
 	sim.SimulateModel(p, nn.MobileNet())
-	return nil
+}
+
+// serveState is everything the HTTP surface reads: instruments, the
+// shared chip (live quarantine state), the startup BIST report, and
+// the readiness flag serveGracefully toggles.
+type serveState struct {
+	reg    *obs.Registry
+	trace  *obs.Trace
+	clock  obs.Clock
+	start  time.Time
+	chip   *core.Chip
+	report health.Report
+	ready  atomic.Bool
 }
 
 // newServer builds the HTTP surface. The clock is injected so tests
 // can pin the uptime gauge; simulation telemetry never touches it.
-func newServer(reg *obs.Registry, trace *obs.Trace, clock obs.Clock, start time.Time) http.Handler {
+// Data endpoints are bounded by handlerTimeout; pprof is not (profiles
+// stream for their requested duration).
+func newServer(st *serveState) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		reg.Gauge("albireo_serve_uptime_seconds").Set(clock.Now().Sub(start).Seconds())
+	timed := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, http.TimeoutHandler(h, handlerTimeout, "request timed out"))
+	}
+	timed("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st.reg.Gauge("albireo_serve_uptime_seconds").Set(st.clock.Now().Sub(st.start).Seconds())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WritePrometheus(w); err != nil {
+		if err := st.reg.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		raw, err := trace.JSON()
+	timed("/trace", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := st.trace.JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -123,9 +265,44 @@ func newServer(reg *obs.Registry, trace *obs.Trace, clock obs.Clock, start time.
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(raw)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	timed("/bist", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := st.report.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	})
+	timed("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: 200 as long as the process serves, even degraded -
+		// restarts don't fix broken analog hardware. The body carries
+		// the degradation detail for operators.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		q := st.chip.Quarantined()
+		if len(q) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		refs := make([]string, len(q))
+		for i, u := range q {
+			refs[i] = u.String()
+		}
+		fmt.Fprintf(w, "degraded: %d unit(s) quarantined (%s); %d fault(s) localized\n",
+			len(q), strings.Join(refs, ", "), len(st.report.Findings))
+	})
+	timed("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !st.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		if st.chip.Degraded() {
+			fmt.Fprintln(w, "ready (degraded)")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -133,4 +310,38 @@ func newServer(reg *obs.Registry, trace *obs.Trace, clock obs.Clock, start time.
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveGracefully serves h on ln until ctx is cancelled, then drains:
+// readiness flips off (load balancers stop sending), in-flight
+// requests get up to drain to finish, and the listener closes. Returns
+// nil on a clean drain.
+func serveGracefully(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, ready *atomic.Bool, out io.Writer) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	ready.Store(true)
+	select {
+	case err := <-errc:
+		ready.Store(false)
+		return err
+	case <-ctx.Done():
+	}
+	ready.Store(false)
+	fmt.Fprintf(out, "albireo-serve: shutting down, draining for up to %v\n", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		<-errc
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "albireo-serve: drained")
+	return nil
 }

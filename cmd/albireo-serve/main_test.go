@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -10,19 +12,48 @@ import (
 	"testing"
 	"time"
 
+	"albireo/internal/core"
+	"albireo/internal/health"
+	"albireo/internal/inference"
 	"albireo/internal/obs"
 )
 
-func testServer(t *testing.T) (http.Handler, *obs.Registry, *obs.Trace, *obs.ManualClock) {
+// testState builds a server over one sweep's worth of telemetry, with
+// the chip optionally pre-faulted through the BIST+quarantine path.
+func testState(t *testing.T, detune string) *serveState {
 	t.Helper()
 	reg := obs.NewRegistry()
 	trace := obs.NewTrace()
-	if err := sweep(reg, trace, 1, 8, 3); err != nil {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 3
+	analog := inference.NewAnalog(cfg)
+	analog.Chip.Instrument(reg, trace)
+	if err := injectFaultSpecs(analog.Chip, cfg, detune); err != nil {
 		t.Fatal(err)
 	}
+	eng := health.New(analog.Chip, health.Options{})
+	eng.Instrument(reg, trace)
+	report := eng.Scan()
+	if !report.Healthy() {
+		if _, err := eng.QuarantineFindings(report); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be := inference.Observe(inference.Guard(analog, inference.Exact{}, 0.5).Instrument(reg, trace), reg, trace)
+	sweep(reg, trace, be, 1, 8, 3)
 	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	clock := obs.NewManualClock(start)
-	return newServer(reg, trace, clock, start), reg, trace, clock
+	return &serveState{
+		reg: reg, trace: trace,
+		clock: obs.NewManualClock(start), start: start,
+		chip: analog.Chip, report: report,
+	}
+}
+
+func testServer(t *testing.T) (http.Handler, *serveState) {
+	t.Helper()
+	st := testState(t, "")
+	st.ready.Store(true)
+	return newServer(st), st
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -37,8 +68,8 @@ var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0
 
 func TestMetricsEndpoint(t *testing.T) {
 	t.Parallel()
-	srv, _, _, clock := testServer(t)
-	clock.Advance(90 * time.Second)
+	srv, st := testServer(t)
+	st.clock.(*obs.ManualClock).Advance(90 * time.Second)
 	rec := get(t, srv, "/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
@@ -62,6 +93,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"albireo_sram_read_bytes_total",
 		"albireo_cache_hits_total",
 		"albireo_inference_layers_total",
+		"albireo_bist_probes_total",
+		"albireo_bist_scans_total",
+		"albireo_inference_guard_checks_total",
 		"albireo_serve_uptime_seconds 90",
 	} {
 		if !strings.Contains(body, want) {
@@ -72,7 +106,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestTraceEndpoint(t *testing.T) {
 	t.Parallel()
-	srv, _, trace, _ := testServer(t)
+	srv, st := testServer(t)
 	rec := get(t, srv, "/trace")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
@@ -86,8 +120,8 @@ func TestTraceEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
 		t.Fatalf("trace JSON invalid: %v", err)
 	}
-	if len(doc.Events) != trace.Len() {
-		t.Fatalf("endpoint returned %d events, trace holds %d", len(doc.Events), trace.Len())
+	if len(doc.Events) != st.trace.Len() {
+		t.Fatalf("endpoint returned %d events, trace holds %d", len(doc.Events), st.trace.Len())
 	}
 	if len(doc.Events) == 0 {
 		t.Fatal("sweep should have produced trace events")
@@ -96,9 +130,12 @@ func TestTraceEndpoint(t *testing.T) {
 
 func TestHealthzAndPprof(t *testing.T) {
 	t.Parallel()
-	srv, _, _, _ := testServer(t)
+	srv, _ := testServer(t)
 	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, srv, "/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ready") {
+		t.Fatalf("readyz: %d %q", rec.Code, rec.Body.String())
 	}
 	if rec := get(t, srv, "/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Fatalf("pprof index: %d", rec.Code)
@@ -108,15 +145,142 @@ func TestHealthzAndPprof(t *testing.T) {
 	}
 }
 
+func TestDegradedStateSurfaces(t *testing.T) {
+	t.Parallel()
+	// Start with a dead-tuned ring: BIST localizes it, quarantine takes
+	// the unit down, and the probes report a degraded-but-serving chip.
+	st := testState(t, "2,1,4,3,0.0")
+	st.ready.Store(true)
+	srv := newServer(st)
+
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200 (liveness), got %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "degraded") || !strings.Contains(body, "plcg2/plcu1") {
+		t.Fatalf("healthz should report the quarantined unit: %q", body)
+	}
+	if rec := get(t, srv, "/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("readyz degraded: %d %q", rec.Code, rec.Body.String())
+	}
+	rec = get(t, srv, "/bist")
+	var rep health.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bist JSON: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("bist report should carry the localized fault")
+	}
+	f := rep.Findings[0]
+	if f.Unit.Group != 2 || f.Unit.Unit != 1 || f.Tap != 4 || f.Column != 3 {
+		t.Fatalf("bist localization wrong: %+v", f)
+	}
+}
+
+func TestReadyzNotReady(t *testing.T) {
+	t.Parallel()
+	st := testState(t, "")
+	srv := newServer(st) // ready never stored: still starting up
+	if rec := get(t, srv, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready: %d", rec.Code)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	t.Parallel()
+	st := testState(t, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- serveGracefully(ctx, ln, newServer(st), 2*time.Second, &st.ready, &out)
+	}()
+
+	base := "http://" + ln.Addr().String()
+	waitReady(t, base)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within the timeout")
+	}
+	if st.ready.Load() {
+		t.Error("readiness must flip off during drain")
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Error("listener should be closed after shutdown")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("shutdown log: %q", out.String())
+	}
+}
+
+// waitReady polls the readiness endpoint until the server accepts
+// connections (the Serve goroutine races the first request).
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never came up")
+}
+
 func TestRunNoListenPrintsMetrics(t *testing.T) {
 	t.Parallel()
 	var sb strings.Builder
-	if err := run([]string{"-addr", "", "-sweeps", "1", "-batch", "1", "-size", "8"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-addr", "", "-sweeps", "1", "-batch", "1", "-size", "8"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "# TYPE albireo_plcg_steps_total counter") {
 		t.Fatalf("stdout mode must print Prometheus metrics:\n%.400s", out)
+	}
+}
+
+func TestRunBISTReportMode(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	args := []string{"-addr", "", "-sweeps", "0", "-bist", "-detune", "0,0,4,2,0.4"}
+	if err := run(context.Background(), args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The report JSON follows the quarantine log lines.
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output: %q", out)
+	}
+	var rep health.Report
+	if err := json.Unmarshal([]byte(out[idx:]), &rep); err != nil {
+		t.Fatalf("report JSON: %v\n%s", err, out)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Tap != 4 || rep.Findings[0].Column != 2 {
+		t.Fatalf("report findings: %+v", rep.Findings)
+	}
+	if !strings.Contains(out, "quarantined plcg0/plcu0") {
+		t.Fatalf("startup should log the quarantine: %q", out)
 	}
 }
 
@@ -127,9 +291,17 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-addr", "", "-batch", "0"},
 		{"-addr", "", "-size", "4"},
 		{"-addr", "", "-sweeps", "-1"},
+		{"-addr", "", "-budget", "0"},
+		{"-addr", "", "-detune", "0,0"},
+		{"-addr", "", "-detune", "0,0,4,2,1.5"},
+		{"-addr", "", "-detune", "0,0,99,2,0.5"},
+		{"-addr", "", "-detune", "0,0,4,99,0.5"},
+		{"-addr", "", "-detune", "99,0,4,2,0.5"},
+		{"-addr", "", "-detune", "0,0,4,2,0.5,-1"},
+		{"-addr", "", "-detune", "x,0,4,2,0.5"},
 	}
 	for _, args := range cases {
-		if err := run(args, io.Discard); err == nil {
+		if err := run(context.Background(), args, io.Discard); err == nil {
 			t.Errorf("args %v must error", args)
 		}
 	}
@@ -139,12 +311,66 @@ func TestSweepsAreDeterministic(t *testing.T) {
 	t.Parallel()
 	runOnce := func() obs.Snapshot {
 		reg := obs.NewRegistry()
-		if err := sweep(reg, obs.NewTrace(), 2, 8, 5); err != nil {
-			t.Fatal(err)
-		}
+		trace := obs.NewTrace()
+		cfg := core.DefaultConfig()
+		cfg.Seed = 5
+		analog := inference.NewAnalog(cfg)
+		analog.Chip.Instrument(reg, trace)
+		be := inference.Observe(inference.Guard(analog, inference.Exact{}, 0.5).Instrument(reg, trace), reg, trace)
+		sweep(reg, trace, be, 2, 8, 5)
 		return reg.Snapshot()
 	}
 	if a, b := runOnce(), runOnce(); !a.Equal(b) {
 		t.Fatal("identical sweeps must produce bit-identical telemetry")
+	}
+}
+
+// TestEndToEndDegradedServe drives run() itself against a real socket:
+// inject a drifting fault, let run's BIST+quarantine pipeline handle
+// it, then confirm the live endpoints report the degraded-but-serving
+// state and the process exits cleanly on context cancel.
+func TestEndToEndDegradedServe(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run() re-listens on the now-free port
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", addr, "-sweeps", "1", "-batch", "1", "-size", "8",
+			"-detune", "0,0,4,2,0.0", "-drain", "2s",
+		}, &out)
+	}()
+
+	base := "http://" + addr
+	waitReady(t, base)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "degraded") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+	if !strings.Contains(out.String(), "BIST quarantined plcg0/plcu0") {
+		t.Errorf("startup log: %q", out.String())
 	}
 }

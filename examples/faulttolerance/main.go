@@ -1,23 +1,26 @@
-// Fault-tolerance study: how the Albireo analog fabric degrades as
-// hardware defects accumulate. Analog photonic accelerators have no
+// Fault management walkthrough: detect -> localize -> quarantine ->
+// degrade gracefully. Analog photonic accelerators have no
 // architectural error detection - computation silently drifts - so the
-// failure-injection machinery of internal/core quantifies the blast
-// radius of each defect class.
+// repo pairs its failure-injection machinery (internal/core) with a
+// BIST engine (internal/health) that localizes defects from probe
+// responses, a quarantine scheduler that remaps work around bad PLCUs,
+// and an accuracy-guarded backend (internal/inference) that catches
+// whatever corruption remains.
 //
 //	go run ./examples/faulttolerance
 package main
 
 import (
 	"fmt"
-	"math"
 
 	"albireo/internal/core"
+	"albireo/internal/health"
 	"albireo/internal/inference"
 	"albireo/internal/tensor"
 )
 
 func main() {
-	inputs := make([]*tensor.Volume, 16)
+	inputs := make([]*tensor.Volume, 8)
 	for i := range inputs {
 		inputs[i] = tensor.RandomVolume(3, 16, 16, 500+int64(i))
 	}
@@ -25,76 +28,65 @@ func main() {
 	exact := inference.Exact{}
 
 	// Baseline: the healthy chip.
-	healthy := inference.NewAnalog(core.DefaultConfig())
-	top1, corr := inference.Agreement(net, exact, healthy, inputs)
-	fmt.Printf("healthy chip:           top-1 %.2f, logit corr %.4f\n\n", top1, corr)
+	cfg := core.DefaultConfig()
+	analog := inference.Analog{Chip: core.NewChip(cfg)}
+	top1, corr := inference.Agreement(net, exact, analog, inputs)
+	fmt.Printf("healthy chip:    top-1 %.2f, logit corr %.4f\n", top1, corr)
 
-	// Defect class A: stuck weight modulators in one PLCU.
-	fmt.Println("stuck MZMs (PLCG 0, unit 0, stuck at full transmission):")
-	for _, n := range []int{1, 3, 9} {
-		be := inference.NewAnalog(core.DefaultConfig())
-		unit := be.Chip.Groups()[0].Units()[0]
-		for tap := 0; tap < n; tap++ {
-			unit.InjectFault(core.Fault{Kind: core.StuckMZM, Tap: tap, Value: 1})
+	// Failure: switching rings on PLCU (0,0) drift off resonance as the
+	// chip runs - a broken thermal tuning loop. Columns 0..3 of every
+	// tap decay from full coupling to dark over ~1000 cycles.
+	unit := analog.Chip.Groups()[0].Units()[0]
+	for tap := 0; tap < cfg.Nm; tap++ {
+		for col := 0; col < cfg.Nd-1; col++ {
+			unit.InjectFault(core.Fault{Kind: core.DetunedRing, Tap: tap, Column: col, Value: 1.0, Drift: 1e-3})
 		}
-		top1, corr := inference.Agreement(net, exact, be, inputs)
-		fmt.Printf("  %d stuck: top-1 %.2f, corr %.4f\n", n, top1, corr)
+	}
+	a := tensor.RandomVolume(3, 16, 16, 7)
+	w := tensor.RandomKernels(9, 3, 3, 3, 8)
+	for unit.Cycles() < 1500 {
+		analog.Chip.Conv(a, w, tensor.ConvConfig{Pad: 1}, false)
+	}
+	top1, corr = inference.Agreement(net, exact, analog, inputs)
+	fmt.Printf("after drift:     top-1 %.2f, logit corr %.4f  (silent corruption)\n\n", top1, corr)
+
+	// Detect: a BIST scan probes every PLCU with deterministic vectors
+	// and localizes each deviation to an exact coordinate.
+	eng := health.New(analog.Chip, health.Options{})
+	report := eng.Scan()
+	fmt.Printf("BIST scan: %d units probed, %d probe cycles, %d faults localized\n",
+		report.UnitsChecked, report.Probes, len(report.Findings))
+	for i, f := range report.Findings {
+		if i >= 4 {
+			fmt.Printf("  ... and %d more on the same unit\n", len(report.Findings)-i)
+			break
+		}
+		fmt.Printf("  %v\n", f)
 	}
 
-	// Defect class B: dead switching rings spread across a PLCU.
-	fmt.Println("\ndead switching rings (PLCG 0, unit 0):")
-	for _, n := range []int{1, 9, 45} {
-		be := inference.NewAnalog(core.DefaultConfig())
-		unit := be.Chip.Groups()[0].Units()[0]
-		injected := 0
-		for tap := 0; tap < 9 && injected < n; tap++ {
-			for col := 0; col < 5 && injected < n; col++ {
-				unit.InjectFault(core.Fault{Kind: core.DeadRing, Tap: tap, Column: col})
-				injected++
-			}
-		}
-		top1, corr := inference.Agreement(net, exact, be, inputs)
-		fmt.Printf("  %2d dead: top-1 %.2f, corr %.4f\n", injected, top1, corr)
+	// Quarantine: take the bad unit out of service. The scheduler
+	// remaps its share of every layer onto the remaining healthy PLCUs.
+	quarantined, err := eng.QuarantineFindings(report)
+	if err != nil {
+		fmt.Println("quarantine incomplete:", err)
 	}
+	fmt.Printf("quarantined: %v (chip degraded: %v)\n", quarantined, analog.Chip.Degraded())
+	top1, corr = inference.Agreement(net, exact, analog, inputs)
+	fmt.Printf("after remap:     top-1 %.2f, logit corr %.4f  (fidelity restored)\n\n", top1, corr)
 
-	// Defect class C: a thermally drifted ring (partial detune) - the
-	// soft failure a tuning-control loop would cause.
-	fmt.Println("\ndetuned ring (PLCG 0, unit 0, tap 4, column 0):")
-	for _, residual := range []float64{0.9, 0.5, 0.1} {
-		be := inference.NewAnalog(core.DefaultConfig())
-		be.Chip.Groups()[0].Units()[0].InjectFault(core.Fault{
-			Kind: core.DetunedRing, Tap: 4, Column: 0, Value: residual,
-		})
-		top1, corr := inference.Agreement(net, exact, be, inputs)
-		fmt.Printf("  residual coupling %.1f: top-1 %.2f, corr %.4f\n", residual, top1, corr)
+	// Last line of defense: the accuracy-guarded backend. Wreck a unit
+	// on a fresh chip and do NOT quarantine it - the guard samples each
+	// layer against the digital reference and falls back when the
+	// divergence blows the budget, so inference stays correct even with
+	// an undetected fault.
+	wrecked := inference.NewAnalog(core.DefaultConfig())
+	bad := wrecked.Chip.Groups()[0].Units()[0]
+	for tap := 0; tap < cfg.Nm; tap++ {
+		bad.InjectFault(core.Fault{Kind: core.StuckMZM, Tap: tap, Value: 1})
 	}
-
-	// Redundancy check: remapping kernels away from the damaged PLCG
-	// restores fidelity - the architectural fix the fault model
-	// motivates. A 9-kernel layer on 9 groups cannot avoid group 0,
-	// but the same layer with the faulty group skipped (8 kernels)
-	// shows what remapping buys.
-	fmt.Println("\nblast radius: a dead ring only affects kernels mapped to its PLCG;")
-	fmt.Println("per-kernel max deviations on a uniform test layer:")
-	chip := core.NewChip(core.DefaultConfig())
-	chip.Groups()[0].Units()[0].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 4, Column: 2})
-	a := tensor.RandomVolume(3, 10, 10, 77)
-	w := tensor.RandomKernels(9, 3, 3, 3, 78)
-	faulty := chip.Conv(a, w, tensor.ConvConfig{Pad: 1}, false)
-	ref := core.NewChip(core.DefaultConfig()).Conv(a, w, tensor.ConvConfig{Pad: 1}, false)
-	for m := 0; m < 9; m++ {
-		var worst float64
-		for y := 0; y < faulty.Y; y++ {
-			for x := 0; x < faulty.X; x++ {
-				if d := math.Abs(faulty.At(m, y, x) - ref.At(m, y, x)); d > worst {
-					worst = d
-				}
-			}
-		}
-		marker := ""
-		if m == 0 {
-			marker = "  <- mapped to the faulty PLCG"
-		}
-		fmt.Printf("  kernel %d: %.4f%s\n", m, worst, marker)
-	}
+	guard := inference.Guard(wrecked, exact, 0.5)
+	top1, corr = inference.Agreement(net, exact, guard, inputs)
+	fmt.Printf("guarded backend over an unquarantined fault:\n")
+	fmt.Printf("  top-1 %.2f, corr %.4f; %d of %d sampled layers fell back to digital\n",
+		top1, corr, guard.Fallbacks(), guard.Checks())
 }

@@ -16,6 +16,9 @@ type Chip struct {
 	cfg    Config
 	groups []*PLCG
 	ins    *chipObs
+	// active lists the PLCG indices with healthy capacity, ascending:
+	// the kernel round-robin targets. All groups until quarantined.
+	active []int
 }
 
 // NewChip builds a functional chip.
@@ -24,12 +27,14 @@ func NewChip(cfg Config) *Chip {
 		panic(fmt.Sprintf("core: invalid config: %v", err)) //lint:ignore exit-hygiene constructor refuses a config Validate already rejected; caller bug
 	}
 	groups := make([]*PLCG, cfg.Ng)
+	active := make([]int, cfg.Ng)
 	for gi := range groups {
 		gcfg := cfg
 		gcfg.Seed = cfg.Seed*7919 + int64(gi)
 		groups[gi] = NewPLCG(gcfg)
+		active[gi] = gi
 	}
-	return &Chip{cfg: cfg, groups: groups}
+	return &Chip{cfg: cfg, groups: groups, active: active}
 }
 
 // Config returns the chip configuration.
@@ -135,15 +140,16 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 	chunks := c.tapChunks(w.Y, w.X)
 
 	for m := 0; m < w.M; m++ {
-		gi := m % c.cfg.Ng
+		gi := c.assignGroup(m)
 		g := c.groups[gi]
+		nug := g.Capacity()
 		c.ins.tile(sp, m, gi)
 		for oy := 0; oy < by; oy++ {
 			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
 				acc := make([]float64, c.cfg.Nd)
-				for z0 := 0; z0 < w.Z; z0 += c.cfg.Nu {
+				for z0 := 0; z0 < w.Z; z0 += nug {
 					for _, ch := range chunks {
-						nu := min(c.cfg.Nu, w.Z-z0)
+						nu := min(nug, w.Z-z0)
 						weights := make([][]float64, nu)
 						avals := make([][][]float64, nu)
 						for u := 0; u < nu; u++ {
@@ -258,7 +264,7 @@ func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Con
 	}
 	chunks := c.tapChunks(w.Y, w.X)
 	for z := 0; z < a.Z; z++ {
-		gi := z % c.cfg.Ng
+		gi := c.assignGroup(z)
 		g := c.groups[gi]
 		c.ins.tile(sp, z, gi)
 		for oy := 0; oy < by; oy++ {
@@ -305,10 +311,10 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 		return out
 	}
 	npix := a.Y * a.X
-	chPerCycle := c.cfg.Nu * c.cfg.Nm
 	for m := 0; m < w.M; m++ {
-		gi := m % c.cfg.Ng
+		gi := c.assignGroup(m)
 		g := c.groups[gi]
+		chPerCycle := g.Capacity() * c.cfg.Nm
 		c.ins.tile(sp, m, gi)
 		for p0 := 0; p0 < npix; p0 += c.cfg.Nd {
 			acc := make([]float64, c.cfg.Nd)
@@ -372,10 +378,10 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 		return out
 	}
 	n := a.Z * a.Y * a.X
-	elemsPerCycle := c.cfg.Nu * c.cfg.Nm
 	for m := 0; m < w.M; m++ {
-		gi := m % c.cfg.Ng
+		gi := c.assignGroup(m)
 		g := c.groups[gi]
+		elemsPerCycle := g.Capacity() * c.cfg.Nm
 		c.ins.tile(sp, m, gi)
 		var acc float64
 		for e0 := 0; e0 < n; e0 += elemsPerCycle {
@@ -449,20 +455,26 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 	chunks := c.tapChunks(w.Y, w.X)
 
 	var wg sync.WaitGroup
-	for gi := range c.groups {
-		gi := gi
+	for pos := range c.active {
+		pos := pos
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g := c.groups[gi]
-			for m := gi; m < w.M; m += c.cfg.Ng {
+			// Kernel ownership is by active-group position, the same
+			// assignment Conv's sequential assignGroup walk produces,
+			// so each PLCU sees its kernels in the same order and the
+			// noise draws stay bit-identical.
+			for m := pos; m < w.M; m += len(c.active) {
+				gi := c.assignGroup(m)
+				g := c.groups[gi]
+				nug := g.Capacity()
 				c.ins.tile(sp, m, gi)
 				for oy := 0; oy < by; oy++ {
 					for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
 						acc := make([]float64, c.cfg.Nd)
-						for z0 := 0; z0 < w.Z; z0 += c.cfg.Nu {
+						for z0 := 0; z0 < w.Z; z0 += nug {
 							for _, ch := range chunks {
-								nu := min(c.cfg.Nu, w.Z-z0)
+								nu := min(nug, w.Z-z0)
 								weights := make([][]float64, nu)
 								avals := make([][][]float64, nu)
 								for u := 0; u < nu; u++ {

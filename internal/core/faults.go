@@ -6,7 +6,9 @@ import "fmt"
 // the analog fabric. Analog photonic accelerators cannot detect most
 // of these faults architecturally - the computation silently degrades -
 // so the functional simulator exposes them for failure-injection
-// testing and for sizing redundancy.
+// testing and for sizing redundancy. internal/health builds the other
+// half of the story: a built-in self-test that localizes these defect
+// classes from probe responses so the chip can quarantine around them.
 type FaultKind int
 
 const (
@@ -45,23 +47,50 @@ type Fault struct {
 	// Column is the PD column for ring faults (ignored for StuckMZM).
 	Column int
 	// Value is the stuck transfer (StuckMZM) or residual coupling
-	// (DetunedRing).
+	// (DetunedRing). Both are transmission fractions in [0, 1].
 	Value float64
+	// Drift, for DetunedRing only, models progressive thermal detuning:
+	// the residual coupling decays by Drift per modulation cycle
+	// (clamped at 0), so a ring that starts healthy worsens as the
+	// chip runs - the soft failure a broken tuning-control loop causes.
+	Drift float64
 }
 
 // String implements fmt.Stringer.
 func (f Fault) String() string {
+	if f.Drift > 0 {
+		return fmt.Sprintf("%s{tap=%d col=%d v=%.2f drift=%.2e/cyc}", f.Kind, f.Tap, f.Column, f.Value, f.Drift)
+	}
 	return fmt.Sprintf("%s{tap=%d col=%d v=%.2f}", f.Kind, f.Tap, f.Column, f.Value)
 }
 
 // InjectFault adds a defect to the PLCU. Faults apply to every
-// subsequent Currents call until ClearFaults.
+// subsequent Currents call until ClearFaults. The fault must be
+// physically representable: taps and columns inside the device grid,
+// transfer values inside [0, 1], and drift (DetunedRing only)
+// non-negative.
 func (p *PLCU) InjectFault(f Fault) {
 	if f.Tap < 0 || f.Tap >= p.cfg.Nm {
 		panic(fmt.Sprintf("core: fault tap %d out of range", f.Tap)) //lint:ignore exit-hygiene fault tap outside hardware range; caller bug
 	}
 	if f.Kind != StuckMZM && (f.Column < 0 || f.Column >= p.cfg.Nd) {
 		panic(fmt.Sprintf("core: fault column %d out of range", f.Column)) //lint:ignore exit-hygiene fault column outside hardware range; caller bug
+	}
+	switch f.Kind {
+	case StuckMZM:
+		if f.Value < 0 || f.Value > 1 {
+			panic(fmt.Sprintf("core: stuck transfer %g outside [0,1]; an MZM transmits a fraction of its input", f.Value)) //lint:ignore exit-hygiene unphysical fault parameter; caller bug
+		}
+	case DetunedRing:
+		if f.Value < 0 || f.Value > 1 {
+			panic(fmt.Sprintf("core: residual coupling %g outside [0,1]; a detuned ring couples a fraction of its input", f.Value)) //lint:ignore exit-hygiene unphysical fault parameter; caller bug
+		}
+	}
+	if f.Drift < 0 {
+		panic(fmt.Sprintf("core: drift %g must be non-negative; thermal detuning only loses coupling", f.Drift)) //lint:ignore exit-hygiene unphysical fault parameter; caller bug
+	}
+	if f.Drift > 0 && f.Kind != DetunedRing {
+		panic("core: drift models progressive detuning; only DetunedRing faults drift") //lint:ignore exit-hygiene unphysical fault parameter; caller bug
 	}
 	p.faults = append(p.faults, f)
 }
@@ -89,7 +118,9 @@ func (p *PLCU) effectiveWeight(tap int, w float64) float64 {
 
 // ringGain returns the drop efficiency multiplier for the switching
 // ring at (tap, column): 1 when healthy, 0 for DeadRing, the residual
-// coupling for DetunedRing.
+// coupling for DetunedRing. A drifting detuned ring loses Drift of
+// residual coupling per elapsed modulation cycle, so the same fault
+// reads progressively worse as the chip runs.
 func (p *PLCU) ringGain(tap, column int) float64 {
 	g := 1.0
 	for _, f := range p.faults {
@@ -100,7 +131,11 @@ func (p *PLCU) ringGain(tap, column int) float64 {
 		case DeadRing:
 			g = 0
 		case DetunedRing:
-			g *= clampUnit(f.Value)
+			residual := f.Value
+			if f.Drift > 0 {
+				residual -= f.Drift * float64(p.cycles)
+			}
+			g *= clampUnit(residual)
 		}
 	}
 	return g

@@ -7,7 +7,7 @@ import (
 	"albireo/internal/tensor"
 )
 
-// faultField returns a uniform all-ones input field and a simple
+// faultFixture returns a uniform all-ones input field and a simple
 // weight vector for fault experiments.
 func faultFixture(p *PLCU) ([]float64, [][]float64) {
 	field := make([][]float64, 3)
@@ -98,11 +98,32 @@ func TestDetunedRingPartialLoss(t *testing.T) {
 	if math.Abs(faulty[0]-(healthy[0]-0.25)) > 0.05 {
 		t.Errorf("detuned ring should drop 0.25, got %.3f vs %.3f", faulty[0], healthy[0])
 	}
-	// A detune value outside [0,1] clamps.
-	p.ClearFaults()
-	p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 2})
-	if got := p.Dot(weights, avals)[0]; math.Abs(got-healthy[0]) > 0.05 {
-		t.Error("over-unity detune should clamp to healthy behaviour")
+}
+
+func TestDriftingDetunedRingWorsensOverCycles(t *testing.T) {
+	t.Parallel()
+	// A drifting detuned ring starts at full coupling and loses Drift
+	// of residual per modulation cycle: early cycles look healthy, late
+	// cycles look dead - the progressive failure BIST sweeps chase.
+	p := NewPLCU(idealConfig())
+	weights, avals := faultFixture(p)
+	healthy := NewPLCU(idealConfig()).Dot(weights, avals)
+
+	p.InjectFault(Fault{Kind: DetunedRing, Tap: 4, Column: 2, Value: 1.0, Drift: 0.01})
+	first := p.Dot(weights, avals) // cycle advances to 1 during this call
+	if math.Abs(first[2]-healthy[2]) > 0.06 {
+		t.Errorf("fresh drifting ring should still look healthy: %.3f vs %.3f", first[2], healthy[2])
+	}
+	for p.Cycles() < 100 { // run the residual down to zero
+		p.Dot(weights, avals)
+	}
+	late := p.Dot(weights, avals)
+	if math.Abs(late[2]-(healthy[2]-0.5)) > 0.05 {
+		t.Errorf("fully drifted ring should read dead: got %.3f, healthy %.3f", late[2], healthy[2])
+	}
+	// Other columns never degrade.
+	if math.Abs(late[0]-healthy[0]) > 1e-9 {
+		t.Error("drift must stay confined to its (tap, column)")
 	}
 }
 
@@ -121,6 +142,9 @@ func TestFaultAccounting(t *testing.T) {
 	if (Fault{Kind: DeadRing}).String() == "" || FaultKind(99).String() != "unknown" {
 		t.Error("fault display")
 	}
+	if (Fault{Kind: DetunedRing, Value: 1, Drift: 0.5}).String() == (Fault{Kind: DetunedRing, Value: 1}).String() {
+		t.Error("drifting faults should display their rate")
+	}
 }
 
 func TestFaultValidation(t *testing.T) {
@@ -137,6 +161,18 @@ func TestFaultValidation(t *testing.T) {
 	}
 	expectPanic("bad tap", func() { p.InjectFault(Fault{Kind: StuckMZM, Tap: 99}) })
 	expectPanic("bad column", func() { p.InjectFault(Fault{Kind: DeadRing, Tap: 0, Column: 9}) })
+	// Value ranges: an MZM transmits a fraction of its input and a
+	// detuned ring couples a fraction, so transfers outside [0,1] are
+	// unphysical and rejected rather than silently accepted.
+	expectPanic("negative stuck transfer", func() { p.InjectFault(Fault{Kind: StuckMZM, Tap: 0, Value: -0.5}) })
+	expectPanic("over-unity stuck transfer", func() { p.InjectFault(Fault{Kind: StuckMZM, Tap: 0, Value: 1.5}) })
+	expectPanic("negative residual", func() { p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: -0.1}) })
+	expectPanic("over-unity residual", func() { p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 2}) })
+	expectPanic("negative drift", func() { p.InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 1, Drift: -0.1}) })
+	expectPanic("drift on non-detuned", func() { p.InjectFault(Fault{Kind: DeadRing, Tap: 0, Column: 0, Drift: 0.1}) })
+	if len(p.Faults()) != 0 {
+		t.Error("rejected faults must not be recorded")
+	}
 }
 
 func TestFaultImpactOnConvolution(t *testing.T) {
@@ -176,5 +212,137 @@ func TestFaultImpactOnConvolution(t *testing.T) {
 	}
 	if worst1 > 1e-9 {
 		t.Errorf("kernel 1 should be untouched (different PLCG), worst delta %.4f", worst1)
+	}
+}
+
+// worstDelta returns the max absolute per-element difference between
+// two equal-shaped volumes, per channel m.
+func worstDelta(a, b *tensor.Volume, m int) float64 {
+	var worst float64
+	for y := 0; y < a.Y; y++ {
+		for x := 0; x < a.X; x++ {
+			if d := math.Abs(a.At(m, y, x) - b.At(m, y, x)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestFaultPropagatesThroughPointwise(t *testing.T) {
+	t.Parallel()
+	// The pointwise mapping spreads input channels across taps, so a
+	// dead ring in unit 0 of group 0 corrupts kernel 0's output pixels
+	// in the faulted column positions while kernel 1 (group 1) is
+	// untouched.
+	cfg := idealConfig()
+	a := tensor.NewVolume(3, 4, 4)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	w := tensor.NewKernels(2, 3, 1, 1)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	chip := NewChip(cfg)
+	chip.Groups()[0].Units()[0].InjectFault(Fault{Kind: DeadRing, Tap: 0, Column: 0})
+	out := chip.Pointwise(a, w, false)
+	ref := NewChip(cfg).Pointwise(a, w, false)
+	if worstDelta(out, ref, 0) < 0.05 {
+		t.Error("pointwise kernel 0 should be degraded by its group's fault")
+	}
+	if worstDelta(out, ref, 1) > 1e-9 {
+		t.Error("pointwise kernel 1 should be untouched (different PLCG)")
+	}
+}
+
+func TestFaultPropagatesThroughDepthwise(t *testing.T) {
+	t.Parallel()
+	// Depthwise maps channel z onto group z%Ng using one PLCU slot
+	// (the first healthy unit), so a unit-0 fault in group 0 corrupts
+	// only channel 0.
+	cfg := idealConfig()
+	a := tensor.NewVolume(3, 6, 6)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	w := tensor.NewKernels(3, 1, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	cc := tensor.ConvConfig{Pad: 1, Depthwise: true}
+	chip := NewChip(cfg)
+	chip.Groups()[0].Units()[0].InjectFault(Fault{Kind: DeadRing, Tap: 4, Column: 0})
+	out := chip.Conv(a, w, cc, false)
+	ref := NewChip(cfg).Conv(a, w, cc, false)
+	if worstDelta(out, ref, 0) < 0.1 {
+		t.Error("depthwise channel 0 should be degraded by its group's fault")
+	}
+	for z := 1; z < 3; z++ {
+		if worstDelta(out, ref, z) > 1e-9 {
+			t.Errorf("depthwise channel %d should be untouched", z)
+		}
+	}
+}
+
+func TestFaultPropagatesThroughGroupedConv(t *testing.T) {
+	t.Parallel()
+	// Grouped convolution runs each channel group as an independent
+	// dense conv; every sub-conv restarts its kernel round-robin at
+	// PLCG 0, so a group-0 fault touches the first kernel of *each*
+	// channel group (m=0 and m=2 here) and no others.
+	cfg := idealConfig()
+	a := tensor.NewVolume(4, 6, 6)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	w := tensor.NewKernels(4, 2, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	cc := tensor.ConvConfig{Pad: 1, Groups: 2}
+	chip := NewChip(cfg)
+	chip.Groups()[0].Units()[0].InjectFault(Fault{Kind: DeadRing, Tap: 4, Column: 0})
+	out := chip.Conv(a, w, cc, false)
+	ref := NewChip(cfg).Conv(a, w, cc, false)
+	for _, m := range []int{0, 2} {
+		if worstDelta(out, ref, m) < 0.1 {
+			t.Errorf("grouped-conv kernel %d (first of its channel group) should be degraded", m)
+		}
+	}
+	for _, m := range []int{1, 3} {
+		if worstDelta(out, ref, m) > 1e-9 {
+			t.Errorf("grouped-conv kernel %d should be untouched", m)
+		}
+	}
+}
+
+func TestConvConcurrentWithFaultsBitIdentical(t *testing.T) {
+	t.Parallel()
+	// Faults are deterministic transfer modifiers, so the concurrent
+	// schedule must reproduce the sequential faulty output bit for bit
+	// (noise enabled: the per-group noise streams see the same call
+	// order either way).
+	inject := func(c *Chip) {
+		c.Groups()[0].Units()[0].InjectFault(Fault{Kind: DeadRing, Tap: 4, Column: 1})
+		c.Groups()[1].Units()[1].InjectFault(Fault{Kind: StuckMZM, Tap: 2, Value: 0.8})
+		c.Groups()[2].Units()[2].InjectFault(Fault{Kind: DetunedRing, Tap: 0, Column: 0, Value: 0.9, Drift: 1e-4})
+	}
+	a := tensor.RandomVolume(6, 10, 10, 311)
+	w := tensor.RandomKernels(13, 6, 3, 3, 312)
+	cc := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	seqChip := NewChip(DefaultConfig())
+	inject(seqChip)
+	seq := seqChip.Conv(a, w, cc, true)
+
+	parChip := NewChip(DefaultConfig())
+	inject(parChip)
+	par := parChip.ConvConcurrent(a, w, cc, true)
+
+	for i := range seq.Data {
+		if seq.Data[i] != par.Data[i] {
+			t.Fatalf("faulty concurrent divergence at %d: %g vs %g", i, seq.Data[i], par.Data[i])
+		}
 	}
 }

@@ -32,6 +32,13 @@ const (
 	MetricLayerOps = "albireo_layer_ops_total"
 	// MetricFaultsInjected counts injected hardware defects.
 	MetricFaultsInjected = "albireo_faults_injected_total"
+	// MetricQuarantinedUnits counts Chip.Quarantine calls that took a
+	// PLCU out of service.
+	MetricQuarantinedUnits = "albireo_quarantined_units_total"
+	// MetricRemappedKernels counts kernel (or depthwise-channel) tiles
+	// scheduled onto a different PLCG than the healthy round-robin
+	// would have used - the work the quarantine scheduler moved.
+	MetricRemappedKernels = "albireo_remapped_kernels_total"
 )
 
 // chipObs holds the chip's resolved instruments. The per-PLCG counter
@@ -47,8 +54,10 @@ type chipObs struct {
 	pd    []*obs.Counter
 	adc   []*obs.Counter
 
-	layerOps map[string]*obs.Counter
-	faults   *obs.Counter
+	layerOps    map[string]*obs.Counter
+	faults      *obs.Counter
+	quarantines *obs.Counter
+	remaps      *obs.Counter
 
 	trace *obs.Trace
 }
@@ -65,10 +74,12 @@ func (c *Chip) Instrument(reg *obs.Registry, trace *obs.Trace) {
 		return
 	}
 	ins := &chipObs{
-		nm:     int64(c.cfg.Nm),
-		nd:     int64(c.cfg.Nd),
-		faults: reg.Counter(MetricFaultsInjected),
-		trace:  trace,
+		nm:          int64(c.cfg.Nm),
+		nd:          int64(c.cfg.Nd),
+		faults:      reg.Counter(MetricFaultsInjected),
+		quarantines: reg.Counter(MetricQuarantinedUnits),
+		remaps:      reg.Counter(MetricRemappedKernels),
+		trace:       trace,
 	}
 	perGroup := func(name string) []*obs.Counter {
 		cs := make([]*obs.Counter, c.cfg.Ng)

@@ -12,6 +12,10 @@ import (
 // currents across the PLCUs, and an aggregation unit (TIA -> ADC ->
 // digital adder) that accumulates partials depth-first over
 // ceil(Wz/Nu) cycles before applying the activation (Section III-B).
+//
+// A PLCG degrades gracefully: quarantined PLCUs are removed from the
+// slot mapping, so Step schedules work onto the remaining healthy
+// units only (fewer slots per cycle, more cycles per layer).
 type PLCG struct {
 	cfg   Config
 	units []*PLCU
@@ -19,6 +23,9 @@ type PLCG struct {
 	// fullScaleCurrent is the ADC input full scale: all Nu*Nm products
 	// at full amplitude on one polarity.
 	fullScaleCurrent float64
+	// avail lists the healthy (non-quarantined) unit indices in
+	// ascending order; Step slot i drives units[avail[i]].
+	avail []int
 }
 
 // NewPLCG builds a functional PLCG. Each PLCU gets a distinct noise
@@ -28,36 +35,64 @@ func NewPLCG(cfg Config) *PLCG {
 		panic(fmt.Sprintf("core: invalid config: %v", err)) //lint:ignore exit-hygiene constructor refuses a config Validate already rejected; caller bug
 	}
 	units := make([]*PLCU, cfg.Nu)
+	avail := make([]int, cfg.Nu)
 	for u := range units {
 		ucfg := cfg
 		ucfg.Seed = cfg.Seed*1000003 + int64(u)
 		units[u] = NewPLCU(ucfg)
+		avail[u] = u
 	}
 	return &PLCG{
 		cfg:              cfg,
 		units:            units,
 		adc:              photonics.ADC{Bits: cfg.ADCBits, SampleRate: cfg.ModulationRate()},
 		fullScaleCurrent: float64(cfg.Nu*cfg.Nm) * units[0].UnitCurrent(),
+		avail:            avail,
 	}
 }
 
 // Units exposes the PLCUs (read-only use).
 func (g *PLCG) Units() []*PLCU { return g.units }
 
-// Step performs one cycle: each PLCU u processes weights[u] against
-// avals[u] (shapes as in PLCU.Currents), the Nd per-column currents
-// are summed across units in the analog domain, digitized by the
-// shared ADC, and returned in the value domain (units of full-scale
-// products). Fewer than Nu entries are allowed for tail channel
-// groups; missing units idle.
+// Capacity returns the number of healthy (schedulable) PLCUs. It is
+// Nu until units are quarantined.
+func (g *PLCG) Capacity() int { return len(g.avail) }
+
+// quarantine removes unit u from the slot mapping. Reports whether
+// the unit was schedulable before the call.
+func (g *PLCG) quarantine(u int) bool {
+	for i, a := range g.avail {
+		if a == u {
+			g.avail = append(g.avail[:i:i], g.avail[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// restoreAll puts every unit back into the slot mapping.
+func (g *PLCG) restoreAll() {
+	g.avail = g.avail[:0]
+	for u := range g.units {
+		g.avail = append(g.avail, u)
+	}
+}
+
+// Step performs one cycle: healthy PLCU slot i processes weights[i]
+// against avals[i] (shapes as in PLCU.Currents), the Nd per-column
+// currents are summed across units in the analog domain, digitized by
+// the shared ADC, and returned in the value domain (units of
+// full-scale products). Fewer than Capacity entries are allowed for
+// tail channel groups; missing units idle. Quarantined units are
+// never driven.
 func (g *PLCG) Step(weights [][]float64, avals [][][]float64) []float64 {
-	if len(weights) > g.cfg.Nu || len(weights) != len(avals) {
+	if len(weights) > len(g.avail) || len(weights) != len(avals) {
 		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d", //lint:ignore exit-hygiene slot-count shape invariant; caller bug
-			g.cfg.Nu, len(weights), len(avals)))
+			len(g.avail), len(weights), len(avals)))
 	}
 	sum := make([]float64, g.cfg.Nd)
-	for u := range weights {
-		cur := g.units[u].Currents(weights[u], avals[u])
+	for i := range weights {
+		cur := g.units[g.avail[i]].Currents(weights[i], avals[i])
 		for d, c := range cur {
 			sum[d] += c
 		}

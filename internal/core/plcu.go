@@ -43,6 +43,9 @@ type PLCU struct {
 	rng         *rand.Rand
 	// faults holds injected hardware defects (see faults.go).
 	faults []Fault
+	// cycles counts Currents calls - the unit's elapsed modulation
+	// cycles, which progressive (drifting) faults key off.
+	cycles int64
 }
 
 // NewPLCU builds a functional PLCU for the given configuration. The
@@ -89,6 +92,16 @@ func NewPLCU(cfg Config) *PLCU {
 // calibration constant relating current to value domain.
 func (p *PLCU) UnitCurrent() float64 { return p.unitCurrent }
 
+// Cycles returns the unit's elapsed modulation cycles (Currents
+// calls). Progressive faults worsen as this advances.
+func (p *PLCU) Cycles() int64 { return p.cycles }
+
+// QuantizeWeight exposes the unit's DAC weight quantization: the
+// closed-form healthy response to a probe weight is its quantized
+// value, which the internal/health BIST engine compares observations
+// against.
+func (p *PLCU) QuantizeWeight(w float64) float64 { return p.quantizeWeight(w) }
+
 // quantizeWeight snaps a weight in [-1, 1] onto the DAC grid. The
 // default grid is uniform in value (a pre-distorted controller); with
 // Config.VoltageDomainWeights the grid is uniform in MZM drive voltage
@@ -122,6 +135,7 @@ func (p *PLCU) quantizeWeight(w float64) float64 {
 // field[t/Wx][t%Wx + d], the overlapping receptive fields of Figure 5.
 func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
 	cfg := p.cfg
+	p.cycles++
 	if len(weights) != cfg.Nm {
 		panic(fmt.Sprintf("core: want %d weights, got %d", cfg.Nm, len(weights))) //lint:ignore exit-hygiene weight-count shape invariant; caller bug
 	}

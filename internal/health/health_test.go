@@ -1,0 +1,266 @@
+package health
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+func TestHealthyScanIsClean(t *testing.T) {
+	t.Parallel()
+	// The default thresholds must ride out the default noise model: a
+	// pristine chip scans clean, with every unit checked.
+	chip := core.NewChip(core.DefaultConfig())
+	rep := New(chip, Options{}).Scan()
+	if !rep.Healthy() {
+		t.Fatalf("healthy chip produced findings: %v", rep.Findings)
+	}
+	cfg := chip.Config()
+	if rep.UnitsChecked != cfg.Ng*cfg.Nu {
+		t.Errorf("checked %d units, want %d", rep.UnitsChecked, cfg.Ng*cfg.Nu)
+	}
+	if rep.Probes == 0 {
+		t.Error("scan should count probe cycles")
+	}
+}
+
+func TestLocalizeDeadRing(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[1].Units()[2].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 3, Column: 4})
+	rep := New(chip, Options{}).Scan()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Unit != (core.UnitRef{Group: 1, Unit: 2}) || f.Kind != core.DeadRing || f.Tap != 3 || f.Column != 4 {
+		t.Errorf("localization wrong: %v", f)
+	}
+}
+
+func TestLocalizeDetunedRing(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[4].Units()[0].InjectFault(core.Fault{Kind: core.DetunedRing, Tap: 7, Column: 1, Value: 0.5})
+	rep := New(chip, Options{}).Scan()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Unit != (core.UnitRef{Group: 4, Unit: 0}) || f.Kind != core.DetunedRing || f.Tap != 7 || f.Column != 1 {
+		t.Errorf("localization wrong: %v", f)
+	}
+	if math.Abs(f.Value-0.5) > 0.1 {
+		t.Errorf("residual estimate %.3f, want ~0.5", f.Value)
+	}
+}
+
+func TestLocalizeStuckMZM(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[2].Units()[1].InjectFault(core.Fault{Kind: core.StuckMZM, Tap: 5, Value: 0.7})
+	rep := New(chip, Options{}).Scan()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Unit != (core.UnitRef{Group: 2, Unit: 1}) || f.Kind != core.StuckMZM || f.Tap != 5 {
+		t.Errorf("localization wrong: %v", f)
+	}
+	if f.Column != -1 {
+		t.Errorf("stuck MZM column should be -1 (whole tap), got %d", f.Column)
+	}
+	if math.Abs(f.Value-0.7) > 0.1 {
+		t.Errorf("stuck transfer estimate %.3f, want ~0.7", f.Value)
+	}
+}
+
+func TestLocalizeStuckDarkMZM(t *testing.T) {
+	t.Parallel()
+	// A modulator stuck at zero darkens its whole tap: classified stuck
+	// with transfer 0, not five independent dead rings.
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[0].Units()[0].InjectFault(core.Fault{Kind: core.StuckMZM, Tap: 0, Value: 0})
+	rep := New(chip, Options{}).Scan()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Kind != core.StuckMZM || f.Tap != 0 || f.Column != -1 || f.Value > 0.01 {
+		t.Errorf("stuck-dark classification wrong: %v", f)
+	}
+}
+
+func TestScanSkipsQuarantinedUnits(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[0].Units()[0].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 0, Column: 0})
+	if err := chip.Quarantine(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := New(chip, Options{}).Scan()
+	if !rep.Healthy() {
+		t.Errorf("quarantined unit should not be probed, got %v", rep.Findings)
+	}
+	cfg := chip.Config()
+	if rep.UnitsChecked != cfg.Ng*cfg.Nu-1 {
+		t.Errorf("checked %d units, want %d", rep.UnitsChecked, cfg.Ng*cfg.Nu-1)
+	}
+}
+
+func TestQuarantineFindings(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[3].Units()[2].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 1, Column: 1})
+	chip.Groups()[3].Units()[2].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 2, Column: 2})
+	chip.Groups()[5].Units()[0].InjectFault(core.Fault{Kind: core.StuckMZM, Tap: 8, Value: 1})
+	eng := New(chip, Options{})
+	rep := eng.Scan()
+	done, err := eng.QuarantineFindings(rep)
+	if err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	want := []core.UnitRef{{Group: 3, Unit: 2}, {Group: 5, Unit: 0}}
+	if len(done) != len(want) || done[0] != want[0] || done[1] != want[1] {
+		t.Errorf("quarantined %v, want %v", done, want)
+	}
+	if !chip.Degraded() {
+		t.Error("chip should be degraded after quarantine")
+	}
+	// Re-quarantining the same findings is refused but not fatal.
+	again, err := eng.QuarantineFindings(rep)
+	if err == nil || len(again) != 0 {
+		t.Error("double quarantine should surface scheduler refusals")
+	}
+}
+
+func TestScanObservability(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	chip.Groups()[1].Units()[1].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 2, Column: 3})
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+	eng := New(chip, Options{})
+	eng.Instrument(reg, trace)
+	rep := eng.Scan()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings: %v", rep.Findings)
+	}
+	snap := reg.Snapshot()
+	if snap.SumCounters(MetricScans) != 1 {
+		t.Error("scan counter")
+	}
+	if snap.SumCounters(MetricProbes) != rep.Probes {
+		t.Error("probe counter should match the report's probe count")
+	}
+	if snap.SumCounters(MetricFaultsDetected) != 1 {
+		t.Error("detection counter")
+	}
+	if trace.CountByKind()["fault-detected"] != 1 {
+		t.Error("each finding should emit a fault-detected event")
+	}
+	// Report serializes for the CI health artifact.
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 1 || back.Findings[0].KindName != "dead-ring" {
+		t.Errorf("report round-trip: %s", raw)
+	}
+}
+
+func TestUninstrumentedEngineWorks(t *testing.T) {
+	t.Parallel()
+	chip := core.NewChip(core.DefaultConfig())
+	rep := New(chip, Options{}).Scan() // no Instrument call: all no-ops
+	if !rep.Healthy() {
+		t.Errorf("findings: %v", rep.Findings)
+	}
+}
+
+// TestDriftDetectQuarantineRestore is the end-to-end graceful
+// degradation story: switching rings on one PLCU drift off resonance
+// as the chip runs, silently corrupting inference; a BIST scan
+// localizes every drifted ring to its exact coordinate; quarantining
+// the unit remaps its work onto the healthy fabric and restores
+// end-to-end fidelity. Fully seeded and deterministic.
+func TestDriftDetectQuarantineRestore(t *testing.T) {
+	cfg := core.DefaultConfig()
+	chip := core.NewChip(cfg)
+	net := inference.TinyCNN(3, 16, 42)
+	inputs := make([]*tensor.Volume, 8)
+	for i := range inputs {
+		inputs[i] = tensor.RandomVolume(3, 16, 16, 5000+int64(i))
+	}
+
+	// Rings on unit (0, 0) drift off resonance: columns 0..3 of every
+	// tap decay from full coupling to dark over ~1000 modulation
+	// cycles. Column 4 stays healthy so the tap's modulator is provably
+	// fine (the level-independence test needs a live column).
+	unit := chip.Groups()[0].Units()[0]
+	type coord struct{ tap, col int }
+	injected := map[coord]bool{}
+	for tap := 0; tap < cfg.Nm; tap++ {
+		for col := 0; col < cfg.Nd-1; col++ {
+			unit.InjectFault(core.Fault{Kind: core.DetunedRing, Tap: tap, Column: col, Value: 1.0, Drift: 1e-3})
+			injected[coord{tap, col}] = true
+		}
+	}
+
+	// Run real work until the drift has fully matured.
+	a := tensor.RandomVolume(3, 16, 16, 7)
+	w := tensor.RandomKernels(9, 3, 3, 3, 8)
+	for unit.Cycles() < 1500 {
+		chip.Conv(a, w, tensor.ConvConfig{Pad: 1}, false)
+	}
+
+	analog := inference.Analog{Chip: chip}
+	_, corrBad := inference.Agreement(net, inference.Exact{}, analog, inputs)
+
+	eng := New(chip, Options{})
+	rep := eng.Scan()
+	found := map[coord]bool{}
+	for _, f := range rep.Findings {
+		if f.Unit != (core.UnitRef{Group: 0, Unit: 0}) {
+			t.Fatalf("finding outside the drifting unit: %v", f)
+		}
+		if f.Column < 0 {
+			t.Fatalf("drifted rings misclassified as a stuck modulator: %v", f)
+		}
+		if !injected[coord{f.Tap, f.Column}] {
+			t.Fatalf("finding at a healthy coordinate: %v", f)
+		}
+		found[coord{f.Tap, f.Column}] = true
+	}
+	if len(found) != len(injected) {
+		t.Fatalf("localized %d of %d drifted rings", len(found), len(injected))
+	}
+
+	done, err := eng.QuarantineFindings(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done[0] != (core.UnitRef{Group: 0, Unit: 0}) {
+		t.Fatalf("quarantined %v", done)
+	}
+
+	top1Ok, corrOk := inference.Agreement(net, inference.Exact{}, analog, inputs)
+	if corrOk <= corrBad {
+		t.Errorf("quarantine should restore fidelity: corr %.3f -> %.3f", corrBad, corrOk)
+	}
+	if corrOk < 0.9 {
+		t.Errorf("restored logit correlation = %.3f, want >= 0.9", corrOk)
+	}
+	if top1Ok < 0.6 {
+		t.Errorf("restored top-1 agreement = %.2f, want >= 0.6", top1Ok)
+	}
+}

@@ -1,0 +1,149 @@
+package inference
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// Metric names emitted by the guarded backend.
+const (
+	// MetricGuardChecks counts layers whose divergence was sampled
+	// against the reference backend.
+	MetricGuardChecks = "albireo_inference_guard_checks_total"
+	// MetricGuardFallbacks counts layers rerouted to the reference
+	// because their divergence exceeded the budget.
+	MetricGuardFallbacks = "albireo_inference_guard_fallbacks_total"
+)
+
+// Guarded is an accuracy-guarded backend: layers execute on the analog
+// backend, and sampled layers are re-executed on a digital reference
+// and scored for RMS divergence. A layer over budget returns the
+// reference output instead - the network keeps computing correct
+// activations while the analog fabric degrades, at the energy cost of
+// the digital recompute. This is the last line of graceful
+// degradation: BIST + quarantine remove known-bad units, and the guard
+// catches whatever silent corruption remains.
+//
+// The guard is deterministic: sampling is layer-count-denominated (no
+// clocks, no randomness), and the analog backend still executes every
+// layer (its noise streams advance identically whether or not the
+// guard falls back), so guarded and unguarded runs of the same inputs
+// stay reproducible.
+type Guarded struct {
+	// Backend executes every layer (typically Analog).
+	Backend Backend
+	// Ref is the digital reference (typically Exact) used for sampled
+	// divergence checks and as the fallback output.
+	Ref Backend
+	// Budget is the maximum tolerated per-layer relative divergence:
+	// RMS(out - ref) / RMS(ref), a scale-free fraction (layer
+	// activations grow with fan-in, so an absolute budget would mean
+	// something different at every depth). At or under budget the
+	// analog output flows onward; over it the reference output does.
+	// Layers with an all-zero reference are scored on absolute RMS.
+	Budget float64
+	// SampleEvery checks every Nth layer (1 = every layer). Unchecked
+	// layers always pass the analog output through.
+	SampleEvery int
+
+	reg       *obs.Registry
+	trace     *obs.Trace
+	layers    atomic.Int64
+	checks    atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// Guard wraps an analog backend with an accuracy guard against ref.
+// SampleEvery defaults to 1 (every layer checked).
+func Guard(b, ref Backend, budget float64) *Guarded {
+	return &Guarded{Backend: b, Ref: ref, Budget: budget, SampleEvery: 1}
+}
+
+// Instrument attaches an observability registry and/or trace and
+// returns the backend for chaining. Either may be nil.
+func (g *Guarded) Instrument(reg *obs.Registry, trace *obs.Trace) *Guarded {
+	g.reg = reg
+	g.trace = trace
+	return g
+}
+
+// Name implements Backend.
+func (g *Guarded) Name() string { return "guarded(" + g.Backend.Name() + ")" }
+
+// Fallbacks returns how many layers have been rerouted to the
+// reference so far.
+func (g *Guarded) Fallbacks() int64 { return g.fallbacks.Load() }
+
+// Checks returns how many layers have been divergence-sampled.
+func (g *Guarded) Checks() int64 { return g.checks.Load() }
+
+// sampled reports whether this layer call is divergence-checked.
+func (g *Guarded) sampled() bool {
+	n := g.layers.Add(1)
+	every := int64(g.SampleEvery)
+	if every <= 1 {
+		return true
+	}
+	return (n-1)%every == 0
+}
+
+// guard scores the analog output against the reference and picks the
+// survivor. Both slices must be equal length.
+func (g *Guarded) guard(kind string, out, ref []float64) bool {
+	g.checks.Add(1)
+	g.reg.Counter(MetricGuardChecks).Inc()
+	d := rms(out, ref)
+	if scale := rmsMagnitude(ref); scale > 0 {
+		d /= scale
+	}
+	g.reg.Histogram(MetricLayerDivergence, obs.DefaultBuckets).Observe(d)
+	if d <= g.Budget {
+		return false
+	}
+	g.fallbacks.Add(1)
+	g.reg.Counter(MetricGuardFallbacks).Inc()
+	if g.trace != nil {
+		sp := g.trace.StartSpan("inference/guard")
+		sp.Event(obs.BackendFallback, kind,
+			obs.String("backend", g.Backend.Name()),
+			obs.String("divergence_rms", fmt.Sprintf("%.3e", d)),
+			obs.String("budget", fmt.Sprintf("%.3e", g.Budget)))
+		sp.End()
+	}
+	return true
+}
+
+// rmsMagnitude returns the root-mean-square of a vector (its signal
+// scale), 0 for empty input.
+func rmsMagnitude(v []float64) float64 {
+	return rms(v, make([]float64, len(v)))
+}
+
+// Conv implements Backend.
+func (g *Guarded) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	out := g.Backend.Conv(a, w, cfg, relu)
+	if !g.sampled() {
+		return out
+	}
+	ref := g.Ref.Conv(a, w, cfg, relu)
+	if g.guard("conv", out.Data, ref.Data) {
+		return ref
+	}
+	return out
+}
+
+// FullyConnected implements Backend.
+func (g *Guarded) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
+	out := g.Backend.FullyConnected(a, w, relu)
+	if !g.sampled() {
+		return out
+	}
+	ref := g.Ref.FullyConnected(a, w, relu)
+	if g.guard("fc", out, ref) {
+		return ref
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package inference
+
+import (
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+func TestGuardPassesHealthyLayers(t *testing.T) {
+	t.Parallel()
+	// A healthy chip under a generous budget never falls back, and the
+	// guarded output is bit-identical to the raw analog output.
+	net := TinyCNN(3, 16, 42)
+	in := tensor.RandomVolume(3, 16, 16, 6000)
+	raw := net.Run(NewAnalog(core.DefaultConfig()), in)
+	g := Guard(NewAnalog(core.DefaultConfig()), Exact{}, 1.0)
+	guarded := net.Run(g, in)
+	if g.Fallbacks() != 0 {
+		t.Fatalf("healthy run fell back %d times", g.Fallbacks())
+	}
+	if g.Checks() == 0 {
+		t.Fatal("guard should sample layers")
+	}
+	for i := range raw {
+		if raw[i] != guarded[i] {
+			t.Fatalf("guarded healthy output diverged at %d", i)
+		}
+	}
+}
+
+func TestGuardFallsBackOverBudget(t *testing.T) {
+	t.Parallel()
+	// Wreck a unit without quarantining it: the guard catches the
+	// corrupted layers and reroutes them to the exact reference, so the
+	// final logits match the digital network closely.
+	analog := NewAnalog(core.DefaultConfig())
+	unit := analog.Chip.Groups()[0].Units()[0]
+	for tap := 0; tap < 9; tap++ {
+		unit.InjectFault(core.Fault{Kind: core.StuckMZM, Tap: tap, Value: 1})
+	}
+	net := TinyCNN(3, 16, 42)
+	in := tensor.RandomVolume(3, 16, 16, 6100)
+
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+	g := Guard(analog, Exact{}, 0.5).Instrument(reg, trace)
+	got := net.Run(g, in)
+	if g.Fallbacks() == 0 {
+		t.Fatal("corrupted layers should exceed the budget")
+	}
+	want := net.Run(Exact{}, in)
+	if Argmax(got) != Argmax(want) {
+		t.Error("guarded inference should track the exact classification")
+	}
+	snap := reg.Snapshot()
+	if snap.SumCounters(MetricGuardChecks) != g.Checks() {
+		t.Error("check counter")
+	}
+	if snap.SumCounters(MetricGuardFallbacks) != g.Fallbacks() {
+		t.Error("fallback counter")
+	}
+	if trace.CountByKind()["backend-fallback"] != g.Fallbacks() {
+		t.Error("each fallback should emit a backend-fallback event")
+	}
+}
+
+func TestGuardSampling(t *testing.T) {
+	t.Parallel()
+	// SampleEvery=2 checks layers 1, 3, 5, ... of the call sequence;
+	// TinyCNN has 3 compute layers (2 conv + fc), so 2 are sampled.
+	g := Guard(NewAnalog(core.DefaultConfig()), Exact{}, 1.0)
+	g.SampleEvery = 2
+	net := TinyCNN(3, 16, 42)
+	net.Run(g, tensor.RandomVolume(3, 16, 16, 6200))
+	if g.Checks() != 2 {
+		t.Errorf("sampled %d layers, want 2", g.Checks())
+	}
+}
+
+func TestGuardIsDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() []float64 {
+		analog := NewAnalog(core.DefaultConfig())
+		analog.Chip.Groups()[2].Units()[0].InjectFault(core.Fault{Kind: core.DeadRing, Tap: 4, Column: 2})
+		g := Guard(analog, Exact{}, 0.02)
+		return TinyCNN(3, 16, 42).Run(g, tensor.RandomVolume(3, 16, 16, 6300))
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("guarded runs diverged at %d", i)
+		}
+	}
+}

@@ -85,6 +85,17 @@ func TestObsDeterminismOutOfScope(t *testing.T) {
 	}
 }
 
+func TestObsDeterminismCoversHealth(t *testing.T) {
+	t.Parallel()
+	// internal/health is inside the rule's scope: BIST reports and
+	// counters must be probe/cycle-denominated, never wall-clocked.
+	got := fixture(t, "healthobs.go", "internal/health/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"10: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+		"11: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+	})
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

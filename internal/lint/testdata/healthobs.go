@@ -1,0 +1,15 @@
+// Fixture pinning the obs-determinism rule's coverage of
+// internal/health: BIST telemetry must be probe/cycle-denominated so
+// identical scans of identical chips produce bit-identical reports and
+// counters. A wall clock anywhere in the scan path would break that.
+package fixture
+
+import "time"
+
+func scanWithWallClock(probes int64) {
+	start := time.Now()
+	_ = time.Since(start)
+	recordProbes(probes) // allowed: probe-count-denominated
+}
+
+func recordProbes(n int64) { _ = n }

@@ -20,6 +20,13 @@ const (
 	DataMove
 	// FaultInjected marks a hardware defect being injected.
 	FaultInjected
+	// FaultDetected marks a BIST probe localizing a defect.
+	FaultDetected
+	// UnitQuarantined marks a PLCU being taken out of service.
+	UnitQuarantined
+	// BackendFallback marks a layer rerouted to the digital reference
+	// because its divergence exceeded the accuracy budget.
+	BackendFallback
 	// Mark is a free-form point event.
 	Mark
 )
@@ -37,6 +44,12 @@ func (k EventKind) String() string {
 		return "data-move"
 	case FaultInjected:
 		return "fault-injected"
+	case FaultDetected:
+		return "fault-detected"
+	case UnitQuarantined:
+		return "unit-quarantined"
+	case BackendFallback:
+		return "backend-fallback"
 	case Mark:
 		return "mark"
 	default:
