@@ -7,6 +7,7 @@
 package albireo_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/device"
 	"albireo/internal/experiments"
+	"albireo/internal/fleet"
 	"albireo/internal/inference"
 	"albireo/internal/nn"
 	"albireo/internal/obs"
@@ -369,6 +371,46 @@ func BenchmarkEndToEndInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = net.Run(backend, input)
+	}
+}
+
+// BenchmarkFleetInfer serves tiny-CNN inferences through the fleet
+// scheduler at pool sizes 1/2/4: BenchmarkEndToEndInference's workload
+// plus the serving path (admission, micro-batching, quarantine-aware
+// routing). Startup BIST scans run outside the timer.
+func BenchmarkFleetInfer(b *testing.B) {
+	for _, pool := range []int{1, 2, 4} {
+		pool := pool
+		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
+			units := make([]fleet.Unit, pool)
+			for i := range units {
+				cfg := core.DefaultConfig()
+				cfg.Seed = int64(1 + i)
+				analog := inference.NewAnalog(cfg)
+				units[i] = fleet.Unit{Backend: analog, Chip: analog.Chip}
+			}
+			sched, err := fleet.New(fleet.Options{MaxBatch: 8, QueueDepth: 64}, units...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sched.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer sched.Close(context.Background())
+			net := inference.TinyCNN(3, 16, 42)
+			input := tensor.RandomVolume(3, 16, 16, 9)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					bound := sched.Bind(context.Background())
+					_ = net.Run(bound, input)
+					if err := bound.Err(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

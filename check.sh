@@ -12,8 +12,11 @@
 #              bit-rot; output lands in bench.out, archived by CI)
 #   fault demo smoke-run of the detect -> quarantine -> remap
 #              walkthrough (examples/faulttolerance)
-#   health     BIST scan of the default chip (report lands in
-#              health.out, archived by CI)
+#   fleet      load-generator sweep through a 2-chip fleet with a
+#              detuned worker serving degraded (metrics in fleet.out,
+#              archived by CI)
+#   health     per-worker BIST scan of the default pool (report lands
+#              in health.out, archived by CI)
 #
 # CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
@@ -36,6 +39,9 @@ go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out
 
 echo "==> fault-management demo smoke (detect -> quarantine -> remap)"
 go run ./examples/faulttolerance
+
+echo "==> fleet serve smoke (degraded 2-chip pool, output in fleet.out)"
+go run ./cmd/albireo-serve -addr "" -sweeps 1 -sweep-batch 1 -size 8 -pool 2 -detune "0,0,4,2,0.4" | tee fleet.out
 
 echo "==> BIST health report (output in health.out)"
 go run ./cmd/albireo-serve -addr "" -sweeps 0 -bist | tee health.out

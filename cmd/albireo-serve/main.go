@@ -1,36 +1,49 @@
-// Command albireo-serve exposes the simulator's observability surface
-// over HTTP: Prometheus-format device-activity metrics, the structured
-// event trace, the BIST health report, liveness/readiness probes, and
-// the standard pprof handlers.
+// Command albireo-serve is the inference front end: it owns a fleet of
+// analog chips (internal/fleet) and serves requests onto them, while
+// exposing the simulator's observability surface over HTTP -
+// Prometheus-format device-activity metrics, the structured event
+// trace, per-worker BIST health, liveness/readiness probes, and the
+// standard pprof handlers.
 //
-// On startup it builds one shared analog chip, optionally injects
-// faults (-detune), runs a BIST scan and quarantines whatever it
-// localizes, then runs a configurable number of accuracy-guarded
-// sweeps - tiny networks through the degraded chip with a digital
-// reference guarding each layer - so the endpoints have real telemetry
-// to show. With -addr "" it skips listening and prints the metrics (or,
-// with -bist, the BIST health report) to stdout, which is the
+// On startup it builds -pool chips (each seeded distinctly), optionally
+// injects faults into worker 0 (-detune), and starts the fleet: every
+// chip gets a BIST scan, faulty workers are drained from the routing
+// set, and the survivors serve. Inference arrives two ways:
+//
+//   - POST /v1/infer with a JSON tensor {"z":3,"y":12,"x":12,
+//     "data":[...]} returns the served model's logits and top-1 class.
+//     Requests coalesce into micro-batches (-batch, -linger), the
+//     admission queue is bounded (-queue), and overload sheds with 503.
+//   - -sweeps runs the built-in load generator (fleet.Sweep) through
+//     the pool at startup so the endpoints have telemetry to show.
+//
+// With -addr "" it skips listening and prints the metrics (or, with
+// -bist, the per-worker BIST health JSON) to stdout, which is the
 // scriptable/CI mode:
 //
-//	albireo-serve -addr :8080            # serve http://localhost:8080/metrics
+//	albireo-serve -addr :8080            # serve http://localhost:8080/v1/infer
 //	albireo-serve -addr "" -sweeps 1     # one sweep, metrics to stdout
-//	albireo-serve -addr "" -bist         # BIST health report JSON to stdout
-//	albireo-serve -detune "0,0,4,2,0.4"  # start with a detuned ring
+//	albireo-serve -addr "" -bist         # per-worker BIST JSON to stdout
+//	albireo-serve -pool 4 -linger 1ms    # 4 chips, 1ms batch linger
+//	albireo-serve -detune "0,0,4,2,0.4"  # worker 0 starts with a detuned ring
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the readiness
-// probe flips to 503, in-flight requests drain (bounded by -drain),
-// and only then does the process exit. /healthz stays 200 while the
-// fabric is degraded (the process is alive and serving around the
-// quarantined units) but reports the degradation; /readyz reflects
-// serving state.
+// probe flips to 503, in-flight requests drain (bounded by -drain), the
+// fleet flushes its pending batches, and only then does the process
+// exit. /healthz stays 200 while the fleet is degraded (the pool is
+// alive and serving around the drained workers) but reports the
+// degradation; /readyz reflects serving state.
 //
 // All simulation telemetry is cycle/event-denominated and
-// deterministic; wall time exists only here at the cmd boundary,
-// injected through obs.Clock for the uptime gauge.
+// deterministic; wall time exists only here at the cmd boundary - the
+// uptime gauge reads the injected obs.Clock, and the fleet's batch
+// linger is advanced by a wall ticker calling Scheduler.Tick (tests
+// tick the scheduler directly).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,11 +60,9 @@ import (
 	"time"
 
 	"albireo/internal/core"
-	"albireo/internal/health"
+	"albireo/internal/fleet"
 	"albireo/internal/inference"
-	"albireo/internal/nn"
 	"albireo/internal/obs"
-	"albireo/internal/sim"
 	"albireo/internal/tensor"
 )
 
@@ -68,24 +79,48 @@ func main() {
 // exempt (profiles legitimately run long).
 const handlerTimeout = 10 * time.Second
 
+// maxInferBody bounds a /v1/infer request body.
+const maxInferBody = 8 << 20
+
+// reprobeInterval is roughly how often drained workers are re-scanned
+// for return-to-service (rounded to whole linger ticks).
+const reprobeInterval = 5 * time.Second
+
 // run is the whole tool behind a single exit point so tests can drive
 // it end to end.
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("albireo-serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", `listen address; "" runs the sweeps and prints to stdout instead of serving`)
-	sweeps := fs.Int("sweeps", 1, "instrumented inference sweeps to run at startup")
-	batch := fs.Int("batch", 2, "inputs per sweep")
-	size := fs.Int("size", 12, "input spatial size")
-	seed := fs.Int64("seed", 1, "weight/input seed")
+	pool := fs.Int("pool", 2, "number of chip workers in the fleet")
+	queue := fs.Int("queue", 64, "admission queue depth; submissions past it shed with 503")
+	batch := fs.Int("batch", 8, "max requests coalesced into one micro-batch")
+	linger := fs.Duration("linger", 2*time.Millisecond, "max time a partial batch waits for more compatible requests; 0 dispatches immediately")
+	sweeps := fs.Int("sweeps", 1, "load-generator sweeps to run through the fleet at startup")
+	sweepBatch := fs.Int("sweep-batch", 2, "inputs per load-generator sweep")
+	size := fs.Int("size", 12, "served model input spatial size")
+	seed := fs.Int64("seed", 1, "weight/input seed (worker i's chip uses seed+i)")
 	budget := fs.Float64("budget", 0.5, "accuracy-guard relative divergence budget per layer")
-	detune := fs.String("detune", "", `inject faults before the BIST scan: "group,unit,tap,column,residual[,driftPerCycle]", semicolon-separated`)
-	bist := fs.Bool("bist", false, `with -addr "": print the BIST health report JSON instead of metrics`)
+	detune := fs.String("detune", "", `inject faults into worker 0 before the BIST scan: "group,unit,tap,column,residual[,driftPerCycle]", semicolon-separated`)
+	keepDegraded := fs.Bool("keep-degraded", true, "keep faulty workers serving on their surviving units at reduced weight; false drains the whole worker")
+	bist := fs.Bool("bist", false, `with -addr "": print the per-worker BIST health JSON instead of metrics`)
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *pool < 1 {
+		return fmt.Errorf("pool must be >= 1, got %d", *pool)
+	}
+	if *queue < 1 {
+		return fmt.Errorf("queue must be >= 1, got %d", *queue)
+	}
 	if *batch < 1 {
 		return fmt.Errorf("batch must be >= 1, got %d", *batch)
+	}
+	if *linger < 0 {
+		return fmt.Errorf("linger must be >= 0, got %v", *linger)
+	}
+	if *sweepBatch < 1 {
+		return fmt.Errorf("sweep-batch must be >= 1, got %d", *sweepBatch)
 	}
 	if *size < 8 {
 		return fmt.Errorf("size must be >= 8, got %d", *size)
@@ -100,38 +135,78 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	reg := obs.NewRegistry()
 	trace := obs.NewTrace()
 
-	// One shared chip behind every endpoint: the health report, the
-	// degradation state, and the sweeps all describe the same fabric.
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	analog := inference.NewAnalog(cfg)
-	analog.Chip.Instrument(reg, trace)
-	if err := injectFaultSpecs(analog.Chip, cfg, *detune); err != nil {
+	// Build the pool: each worker is an accuracy-guarded, observed
+	// analog backend on its own distinctly seeded chip. Chip activity
+	// counters share the registry and sum fleet-wide.
+	units := make([]fleet.Unit, *pool)
+	for i := range units {
+		cfg := core.DefaultConfig()
+		cfg.Seed = *seed + int64(i)
+		analog := inference.NewAnalog(cfg)
+		analog.Chip.Instrument(reg, trace)
+		if i == 0 {
+			if err := injectFaultSpecs(analog.Chip, cfg, *detune); err != nil {
+				return err
+			}
+		}
+		guarded := inference.Guard(analog, inference.Exact{}, *budget).Instrument(reg, trace)
+		units[i] = fleet.Unit{
+			Backend: inference.Observe(guarded, reg, trace),
+			Chip:    analog.Chip,
+		}
+	}
+
+	// Linger is denominated in ticks inside the fleet; the wall ticker
+	// below advances one tick per -linger period, so MaxLinger 1 tick
+	// realizes the flag. Stdout mode runs no ticker and dispatches
+	// immediately.
+	opt := fleet.Options{MaxBatch: *batch, QueueDepth: *queue, KeepDegraded: *keepDegraded}
+	tickEvery := *linger
+	if *addr != "" {
+		if tickEvery > 0 {
+			opt.MaxLinger = 1
+		} else {
+			tickEvery = 100 * time.Millisecond // reprobe-only ticks
+		}
+		opt.ReprobeEvery = int(reprobeInterval / tickEvery)
+		if opt.ReprobeEvery < 1 {
+			opt.ReprobeEvery = 1
+		}
+	}
+	sched, err := fleet.New(opt, units...)
+	if err != nil {
 		return err
 	}
-
-	eng := health.New(analog.Chip, health.Options{})
-	eng.Instrument(reg, trace)
-	report := eng.Scan()
-	if !report.Healthy() {
-		quarantined, err := eng.QuarantineFindings(report)
-		for _, u := range quarantined {
-			fmt.Fprintf(out, "albireo-serve: BIST quarantined %v\n", u)
-		}
-		if err != nil {
-			fmt.Fprintf(out, "albireo-serve: quarantine incomplete: %v\n", err)
+	sched.Instrument(reg, trace)
+	if err := sched.Start(); err != nil {
+		return err
+	}
+	for _, wi := range sched.Info() {
+		if !wi.InService {
+			fmt.Fprintf(out, "albireo-serve: BIST drained worker %d (%d finding(s))\n", wi.Worker, len(wi.Report.Findings))
+		} else if wi.Degraded {
+			fmt.Fprintf(out, "albireo-serve: worker %d serving degraded (weight %d)\n", wi.Worker, wi.Weight)
 		}
 	}
 
-	guarded := inference.Guard(analog, inference.Exact{}, *budget).Instrument(reg, trace)
-	be := inference.Observe(guarded, reg, trace)
-	for i := 0; i < *sweeps; i++ {
-		sweep(reg, trace, be, *batch, *size, *seed+int64(i))
+	// Load generation through the fleet: sequential, so stdout-mode
+	// telemetry is deterministic.
+	bound := sched.Bind(ctx)
+	if err := fleet.Sweeps(ctx, reg, trace, bound, *sweeps, *sweepBatch, *size, *seed); err != nil {
+		sched.Close(context.Background())
+		return err
+	}
+	if err := bound.Err(); err != nil {
+		sched.Close(context.Background())
+		return fmt.Errorf("startup sweeps: %w", err)
 	}
 
 	if *addr == "" {
+		if err := sched.Close(ctx); err != nil {
+			return err
+		}
 		if *bist {
-			raw, err := report.JSON()
+			raw, err := json.MarshalIndent(bistDoc{Workers: sched.Info()}, "", "  ")
 			if err != nil {
 				return err
 			}
@@ -143,19 +218,55 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	clock := obs.WallClock{}
 	st := &serveState{
-		reg:    reg,
-		trace:  trace,
-		clock:  clock,
-		start:  clock.Now(),
-		chip:   analog.Chip,
-		report: report,
+		reg:   reg,
+		trace: trace,
+		clock: clock,
+		start: clock.Now(),
+		fleet: sched,
+		model: inference.TinyCNN(3, *size, *seed),
+		inZ:   3,
+		size:  *size,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		sched.Close(context.Background())
 		return err
 	}
-	fmt.Fprintf(out, "albireo-serve listening on %s (endpoints: /metrics /trace /bist /healthz /readyz /debug/pprof/)\n", ln.Addr())
-	return serveGracefully(ctx, ln, newServer(st), *drain, &st.ready, out)
+
+	// The wall ticker is the fleet's clock: one Tick per period drives
+	// batch linger and re-probe scheduling. It lives only here at the
+	// cmd boundary.
+	tickerDone := make(chan struct{})
+	tickerStop := make(chan struct{})
+	ticker := time.NewTicker(tickEvery)
+	go func() {
+		defer close(tickerDone)
+		for {
+			select {
+			case <-ticker.C:
+				st.fleet.Tick()
+			case <-tickerStop:
+				return
+			}
+		}
+	}()
+
+	fmt.Fprintf(out, "albireo-serve listening on %s (pool %d; endpoints: /v1/infer /metrics /trace /bist /healthz /readyz /debug/pprof/)\n", ln.Addr(), *pool)
+	serveErr := serveGracefully(ctx, ln, newServer(st), *drain, &st.ready, out)
+
+	ticker.Stop()
+	close(tickerStop)
+	<-tickerDone
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := sched.Close(dctx); err != nil {
+		if serveErr == nil {
+			serveErr = fmt.Errorf("fleet drain incomplete: %w", err)
+		}
+	} else {
+		fmt.Fprintln(out, "albireo-serve: fleet drained")
+	}
+	return serveErr
 }
 
 // injectFaultSpecs parses and injects the -detune fault list. Each
@@ -210,34 +321,91 @@ func injectFaultSpecs(chip *core.Chip, cfg core.Config, specs string) error {
 	return nil
 }
 
-// sweep runs one instrumented batch: the tiny CNN through the given
-// backend (device-activity counters, layer spans, guard checks) and a
-// dataflow simulation of MobileNet (cycle, SRAM-traffic, and
-// kernel-cache-locality counters).
-func sweep(reg *obs.Registry, trace *obs.Trace, be inference.Backend, batch, size int, seed int64) {
-	net := inference.TinyCNN(3, size, seed)
-	for i := 0; i < batch; i++ {
-		in := tensor.RandomVolume(3, size, size, seed*1000+int64(i))
-		net.Run(be, in)
-	}
-
-	p := sim.DefaultParams()
-	p.Obs = reg
-	p.Trace = trace
-	sim.SimulateModel(p, nn.MobileNet())
+// bistDoc is the /bist (and -bist) wire shape: one report per worker.
+type bistDoc struct {
+	Workers []fleet.WorkerInfo `json:"workers"`
 }
 
 // serveState is everything the HTTP surface reads: instruments, the
-// shared chip (live quarantine state), the startup BIST report, and
-// the readiness flag serveGracefully toggles.
+// fleet (live routing and health state), the served model, and the
+// readiness flag serveGracefully toggles.
 type serveState struct {
-	reg    *obs.Registry
-	trace  *obs.Trace
-	clock  obs.Clock
-	start  time.Time
-	chip   *core.Chip
-	report health.Report
-	ready  atomic.Bool
+	reg   *obs.Registry
+	trace *obs.Trace
+	clock obs.Clock
+	start time.Time
+	fleet *fleet.Scheduler
+	model *inference.Network
+	inZ   int
+	size  int
+	ready atomic.Bool
+}
+
+// inferRequest is the /v1/infer input: one activation volume.
+type inferRequest struct {
+	Z    int       `json:"z"`
+	Y    int       `json:"y"`
+	X    int       `json:"x"`
+	Data []float64 `json:"data"`
+}
+
+// inferResponse is the /v1/infer output.
+type inferResponse struct {
+	Model  string    `json:"model"`
+	Logits []float64 `json:"logits"`
+	Top1   int       `json:"top1"`
+}
+
+// inferStatus maps a fleet submission failure to an HTTP status.
+func inferStatus(err error) int {
+	switch {
+	case errors.Is(err, fleet.ErrOverloaded), errors.Is(err, fleet.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleInfer is POST /v1/infer: decode the tensor, run the served
+// model through the fleet under the request's context, return logits
+// and the top-1 class.
+func (st *serveState) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req inferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInferBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Z != st.inZ || req.Y != st.size || req.X != st.size {
+		http.Error(w, fmt.Sprintf("input shape %dx%dx%d, served model wants %dx%dx%d",
+			req.Z, req.Y, req.X, st.inZ, st.size, st.size), http.StatusBadRequest)
+		return
+	}
+	if len(req.Data) != req.Z*req.Y*req.X {
+		http.Error(w, fmt.Sprintf("data length %d, want %d", len(req.Data), req.Z*req.Y*req.X), http.StatusBadRequest)
+		return
+	}
+	vol := &tensor.Volume{Z: req.Z, Y: req.Y, X: req.X, Data: req.Data}
+
+	bound := st.fleet.Bind(r.Context())
+	logits := st.model.Run(bound, vol)
+	if err := bound.Err(); err != nil {
+		http.Error(w, err.Error(), inferStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(inferResponse{
+		Model:  st.model.Name,
+		Logits: logits,
+		Top1:   inference.Argmax(logits),
+	})
 }
 
 // newServer builds the HTTP surface. The clock is injected so tests
@@ -249,6 +417,7 @@ func newServer(st *serveState) http.Handler {
 	timed := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, http.TimeoutHandler(h, handlerTimeout, "request timed out"))
 	}
+	timed("/v1/infer", st.handleInfer)
 	timed("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		st.reg.Gauge("albireo_serve_uptime_seconds").Set(st.clock.Now().Sub(st.start).Seconds())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -266,7 +435,7 @@ func newServer(st *serveState) http.Handler {
 		w.Write(raw)
 	})
 	timed("/bist", func(w http.ResponseWriter, r *http.Request) {
-		raw, err := st.report.JSON()
+		raw, err := json.MarshalIndent(bistDoc{Workers: st.fleet.Info()}, "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -279,17 +448,21 @@ func newServer(st *serveState) http.Handler {
 		// restarts don't fix broken analog hardware. The body carries
 		// the degradation detail for operators.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		q := st.chip.Quarantined()
-		if len(q) == 0 {
+		if !st.fleet.Degraded() {
 			fmt.Fprintln(w, "ok")
 			return
 		}
-		refs := make([]string, len(q))
-		for i, u := range q {
-			refs[i] = u.String()
+		var drained, degraded []string
+		for _, wi := range st.fleet.Info() {
+			id := strconv.Itoa(wi.Worker)
+			if !wi.InService {
+				drained = append(drained, id)
+			} else if wi.Degraded {
+				degraded = append(degraded, id)
+			}
 		}
-		fmt.Fprintf(w, "degraded: %d unit(s) quarantined (%s); %d fault(s) localized\n",
-			len(q), strings.Join(refs, ", "), len(st.report.Findings))
+		fmt.Fprintf(w, "degraded: drained workers [%s], degraded workers [%s]\n",
+			strings.Join(drained, ","), strings.Join(degraded, ","))
 	})
 	timed("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -298,7 +471,7 @@ func newServer(st *serveState) http.Handler {
 			fmt.Fprintln(w, "not ready")
 			return
 		}
-		if st.chip.Degraded() {
+		if st.fleet.Degraded() {
 			fmt.Fprintln(w, "ready (degraded)")
 			return
 		}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"albireo/internal/inference"
+	"albireo/internal/tensor"
+)
+
+// Bind adapts the scheduler to the inference.Backend interface so a
+// whole inference.Network can run through the fleet unchanged. The
+// Backend signatures have no error returns, so a bound backend records
+// the first submission failure (sticky, readable via Err) and computes
+// the affected layer on the exact digital reference locally - callers
+// always get shape-correct tensors, and can distinguish a clean run
+// from a degraded one afterwards.
+func (s *Scheduler) Bind(ctx context.Context) *BoundBackend {
+	return &BoundBackend{s: s, ctx: ctx}
+}
+
+// BoundBackend is a Scheduler bound to one submission context. Safe
+// for concurrent use; each network run should use its own bound
+// backend so Err attribution stays per-run.
+type BoundBackend struct {
+	s   *Scheduler
+	ctx context.Context
+
+	mu       sync.Mutex
+	err      error
+	fallback inference.Exact
+}
+
+// Name implements inference.Backend.
+func (b *BoundBackend) Name() string { return "fleet(" + b.s.name() + ")" }
+
+// Conv submits the layer to the fleet and waits; on submission failure
+// it falls back to the local exact reference.
+func (b *BoundBackend) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	out, err := b.s.Conv(b.ctx, a, w, cfg, relu)
+	if err != nil {
+		b.record(err)
+		return b.fallback.Conv(a, w, cfg, relu)
+	}
+	return out
+}
+
+// FullyConnected submits the classifier layer to the fleet and waits;
+// on submission failure it falls back to the local exact reference.
+func (b *BoundBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
+	out, err := b.s.FullyConnected(b.ctx, a, w, relu)
+	if err != nil {
+		b.record(err)
+		return b.fallback.FullyConnected(a, w, relu)
+	}
+	return out
+}
+
+// record keeps the first failure.
+func (b *BoundBackend) record(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+// Err returns the first submission failure this bound backend hit, or
+// nil if every layer ran on the fleet.
+func (b *BoundBackend) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// name summarizes the pool for Backend naming.
+func (s *Scheduler) name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.workers) == 1 {
+		return s.workers[0].backend.Name()
+	}
+	return s.workers[0].backend.Name() + " x" + strconv.Itoa(len(s.workers))
+}

@@ -1,0 +1,74 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"albireo/internal/fleet"
+	"albireo/internal/inference"
+	"albireo/internal/inference/backendtest"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// newFleetBackend builds a started two-worker pool bound to a
+// background context, closed at test cleanup. MaxLinger 0 dispatches
+// each request on submission, so a single blocking caller never waits
+// on ticks.
+func newFleetBackend(t *testing.T) inference.Backend {
+	t.Helper()
+	s, err := fleet.New(fleet.Options{MaxLinger: 0, QueueDepth: 8},
+		analogUnit(31), analogUnit(32))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s.Bind(context.Background())
+}
+
+// TestFleetBackendConformance runs the shared inference.Backend
+// conformance suite against the fleet-bound backend - the same table
+// Exact, Analog, Observed, and Guarded pass.
+func TestFleetBackendConformance(t *testing.T) {
+	backendtest.Run(t, newFleetBackend)
+}
+
+// TestBoundBackendFallback checks the Backend adapter's degraded path:
+// when a submission fails (scheduler closed), the bound backend
+// computes the layer on the exact reference, keeps serving
+// shape-correct tensors, and surfaces the sticky error via Err.
+func TestBoundBackendFallback(t *testing.T) {
+	t.Parallel()
+	s, err := fleet.New(fleet.Options{MaxLinger: 0, QueueDepth: 8}, analogUnit(33))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	b := s.Bind(context.Background())
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+	out := b.Conv(in, w, cfg, false)
+	ref := inference.Exact{}.Conv(in, w, cfg, false)
+	if out.Z != ref.Z || out.Y != ref.Y || out.X != ref.X {
+		t.Fatalf("fallback shape %dx%dx%d, want %dx%dx%d", out.Z, out.Y, out.X, ref.Z, ref.Y, ref.X)
+	}
+	if !errors.Is(b.Err(), fleet.ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", b.Err())
+	}
+}

@@ -1,0 +1,526 @@
+// Package fleet is the multi-chip serving subsystem: it owns a pool
+// of analog chips (each wrapped in an inference.Backend) and schedules
+// inference work onto them. The paper's throughput story is a
+// utilization argument - Table 7's comparison against DEAP-CNN and
+// HolyLight hinges on keeping many photonic units busy at once - and
+// this package makes that utilization a first-class, measurable
+// quantity: compatible layer requests coalesce into micro-batches that
+// amortize MZM weight programming, a bounded admission queue sheds
+// load explicitly instead of collapsing, and routing consumes BIST
+// health reports so a faulty chip is drained from the pool while the
+// rest keep serving.
+//
+// Determinism contract. The scheduler never reads a wall clock: the
+// micro-batcher's linger is denominated in ticks of an injected
+// logical clock (Tick is called by the cmd boundary on a wall timer in
+// production and directly by tests), and routing is a deterministic
+// weighted round-robin over the in-service workers. Given the same
+// request trace (the same sequence of Submit and Tick calls), the
+// fleet produces bit-identical results and bit-identical registry
+// snapshots across runs; and because a drained worker is never driven,
+// results are bit-identical to a healthy pool built from the surviving
+// workers only. Cancellation (ctx deadlines) is the one wall-driven
+// escape hatch and is excluded from the invariant.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"albireo/internal/core"
+	"albireo/internal/health"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// Metric names emitted by the fleet scheduler.
+const (
+	// MetricQueueDepth gauges admitted-but-unfinished requests.
+	MetricQueueDepth = "albireo_fleet_queue_depth"
+	// MetricBatchSize is the histogram of dispatched batch sizes.
+	MetricBatchSize = "albireo_fleet_batch_size"
+	// MetricAdmitted counts requests accepted into the queue.
+	MetricAdmitted = "albireo_fleet_admitted_total"
+	// MetricShed counts requests refused with ErrOverloaded.
+	MetricShed = "albireo_fleet_shed_total"
+	// MetricCompleted counts requests executed to completion.
+	MetricCompleted = "albireo_fleet_completed_total"
+	// MetricCanceled counts requests dropped by their context before a
+	// worker executed them.
+	MetricCanceled = "albireo_fleet_canceled_total"
+	// MetricBatches counts batches dispatched per worker (label worker).
+	MetricBatches = "albireo_fleet_batches_total"
+	// MetricRequests counts requests executed per worker (label worker).
+	MetricRequests = "albireo_fleet_requests_total"
+	// MetricTicks counts linger-clock ticks.
+	MetricTicks = "albireo_fleet_ticks_total"
+	// MetricDrains counts workers taken out of service by a probe.
+	MetricDrains = "albireo_fleet_worker_drains_total"
+	// MetricRestores counts drained workers returned to service.
+	MetricRestores = "albireo_fleet_worker_restores_total"
+	// MetricReprobes counts re-probe scans scheduled on drained workers.
+	MetricReprobes = "albireo_fleet_reprobes_total"
+	// MetricWorkerInService gauges routing eligibility per worker
+	// (label worker; 1 in service, 0 drained).
+	MetricWorkerInService = "albireo_fleet_worker_in_service"
+	// MetricWorkerWeight gauges routing weight per worker (label
+	// worker; healthy PLCU count for chip-backed workers).
+	MetricWorkerWeight = "albireo_fleet_worker_weight"
+)
+
+// Typed admission errors. Submissions also fail with the caller's
+// context error when the deadline expires first.
+var (
+	// ErrOverloaded is returned when the admission queue is full: the
+	// fleet sheds the request instead of queueing unboundedly.
+	ErrOverloaded = errors.New("fleet: overloaded, admission queue full")
+	// ErrClosed is returned for submissions after Close (or before
+	// Start).
+	ErrClosed = errors.New("fleet: scheduler closed")
+)
+
+// BatchSizeBuckets is the bucket ladder for the batch-size histogram.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// Options tunes the scheduler. The zero value of each field falls back
+// to the stated default.
+type Options struct {
+	// MaxBatch caps a micro-batch: a pending batch that reaches this
+	// size is dispatched immediately (default 8).
+	MaxBatch int
+	// MaxLinger is how many Tick calls a partial batch may wait for
+	// more compatible requests before being dispatched anyway. 0 means
+	// no lingering: every request dispatches on submission.
+	MaxLinger int
+	// QueueDepth bounds admitted-but-unfinished requests; submissions
+	// past it are shed with ErrOverloaded (default 64).
+	QueueDepth int
+	// ReprobeEvery re-scans drained workers every this many ticks so a
+	// recovered chip returns to service automatically. 0 disables
+	// re-probing.
+	ReprobeEvery int
+	// KeepDegraded keeps a worker whose BIST scan found faults in
+	// service - its faulty units quarantined and its routing weight
+	// reduced to the surviving PLCU count - instead of draining it.
+	// The default (false) drains the whole worker on any finding.
+	KeepDegraded bool
+	// Health tunes the BIST probes used for startup scans and
+	// re-probes (zero value: health.DefaultOptions).
+	Health health.Options
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxLinger < 0 {
+		o.MaxLinger = 0
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Unit is one pool member: the backend that executes layer ops and,
+// optionally, the chip behind it for BIST probing. A Unit with a nil
+// Chip is never probed and stays in service at weight 1.
+type Unit struct {
+	Backend inference.Backend
+	Chip    *core.Chip
+}
+
+// request is one admitted layer op waiting for a worker.
+type request struct {
+	fc   bool
+	a    *tensor.Volume
+	w    *tensor.Kernels
+	cfg  tensor.ConvConfig
+	relu bool
+	ctx  context.Context
+	done chan result // buffered 1: delivery never blocks a worker
+}
+
+// result is the outcome delivered back to the submitter.
+type result struct {
+	vol *tensor.Volume
+	vec []float64
+	err error
+}
+
+// batchKey identifies coalescible requests: the same weight tensor,
+// geometry, and activation - exactly the work whose MZM programming a
+// worker can amortize by running the inputs back to back.
+type batchKey struct {
+	fc   bool
+	w    *tensor.Kernels
+	cfg  tensor.ConvConfig
+	relu bool
+}
+
+// pendingBatch accumulates compatible requests until it fills or its
+// linger expires.
+type pendingBatch struct {
+	key  batchKey
+	reqs []*request
+	age  int // ticks spent waiting
+}
+
+// Scheduler owns the worker pool, the micro-batcher, and the admission
+// queue. Build with New, optionally Instrument, then Start.
+type Scheduler struct {
+	opt Options
+
+	mu      sync.Mutex
+	workers []*worker
+	pending []*pendingBatch
+	byKey   map[batchKey]*pendingBatch
+	queued  int
+	ticks   int64
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+
+	reg   *obs.Registry
+	trace *obs.Trace
+	span  *obs.Span
+
+	depth     *obs.Gauge
+	batchSize *obs.Histogram
+	admitted  *obs.Counter
+	shed      *obs.Counter
+	completed *obs.Counter
+	canceled  *obs.Counter
+	ticksC    *obs.Counter
+	drains    *obs.Counter
+	restores  *obs.Counter
+	reprobes  *obs.Counter
+}
+
+// New builds a scheduler over the given pool members. At least one
+// unit with a non-nil Backend is required.
+func New(opt Options, units ...Unit) (*Scheduler, error) {
+	if len(units) == 0 {
+		return nil, errors.New("fleet: need at least one unit")
+	}
+	s := &Scheduler{
+		opt:   opt.withDefaults(),
+		byKey: make(map[batchKey]*pendingBatch),
+	}
+	for i, u := range units {
+		if u.Backend == nil {
+			return nil, fmt.Errorf("fleet: unit %d has no backend", i)
+		}
+		w := &worker{
+			id:      i,
+			backend: u.Backend,
+			chip:    u.Chip,
+			// Capacity bounds worst-case occupancy: every admitted
+			// request in its own batch plus one outstanding probe, so a
+			// dispatch under the scheduler lock never blocks.
+			queue: make(chan workItem, s.opt.QueueDepth+1),
+		}
+		if u.Chip != nil {
+			w.eng = health.New(u.Chip, s.opt.Health)
+		}
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+// Instrument attaches an observability registry and/or trace (either
+// may be nil) and returns the scheduler for chaining. Call before
+// Start so the startup BIST scans are counted.
+func (s *Scheduler) Instrument(reg *obs.Registry, trace *obs.Trace) *Scheduler {
+	s.reg = reg
+	s.trace = trace
+	s.depth = reg.Gauge(MetricQueueDepth)
+	s.batchSize = reg.Histogram(MetricBatchSize, BatchSizeBuckets)
+	s.admitted = reg.Counter(MetricAdmitted)
+	s.shed = reg.Counter(MetricShed)
+	s.completed = reg.Counter(MetricCompleted)
+	s.canceled = reg.Counter(MetricCanceled)
+	s.ticksC = reg.Counter(MetricTicks)
+	s.drains = reg.Counter(MetricDrains)
+	s.restores = reg.Counter(MetricRestores)
+	s.reprobes = reg.Counter(MetricReprobes)
+	for _, w := range s.workers {
+		w.instrument(reg, trace)
+	}
+	return s
+}
+
+// Start runs a BIST scan over every chip-backed worker, applies the
+// drain/weight policy to the findings, and launches the worker
+// goroutines. It fails if the scans leave no worker in service.
+func (s *Scheduler) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return ErrClosed
+	}
+	s.span = s.trace.StartSpan("fleet/serve", obs.Int("pool", int64(len(s.workers))))
+	for _, w := range s.workers {
+		// Presumed in service until the scan says otherwise, so a
+		// startup drain registers as a drain transition.
+		w.inService = true
+		if w.eng == nil {
+			w.weight = 1
+			w.syncGauges()
+			continue
+		}
+		s.applyReportLocked(w, w.eng.Scan())
+	}
+	if len(s.inServiceLocked()) == 0 {
+		s.span.End(obs.String("error", "no in-service workers"))
+		return errors.New("fleet: startup BIST left no worker in service")
+	}
+	s.started = true
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go s.serveWorker(w)
+	}
+	return nil
+}
+
+// Tick advances the linger clock by one tick: pending batches age, and
+// those that reach MaxLinger dispatch. Every ReprobeEvery ticks,
+// drained workers are scheduled for a BIST re-probe. In production a
+// wall timer at the cmd boundary calls Tick; tests call it directly,
+// which is what keeps batching deterministic.
+func (s *Scheduler) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.closed {
+		return
+	}
+	s.ticks++
+	s.ticksC.Inc()
+	for _, pb := range s.pending {
+		pb.age++
+	}
+	s.flushLocked(false)
+	if s.opt.ReprobeEvery > 0 && s.ticks%int64(s.opt.ReprobeEvery) == 0 {
+		for _, w := range s.workers {
+			if !w.inService && w.eng != nil && !w.probePending {
+				w.probePending = true
+				s.reprobes.Inc()
+				w.queue <- workItem{probe: true}
+			}
+		}
+	}
+}
+
+// Ticks returns the logical time in ticks.
+func (s *Scheduler) Ticks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Conv submits a convolution and waits for its result.
+func (s *Scheduler) Conv(ctx context.Context, a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) (*tensor.Volume, error) {
+	return s.ConvAsync(ctx, a, w, cfg, relu).Volume()
+}
+
+// FullyConnected submits a classifier layer and waits for its result.
+func (s *Scheduler) FullyConnected(ctx context.Context, a *tensor.Volume, w *tensor.Kernels, relu bool) ([]float64, error) {
+	return s.FullyConnectedAsync(ctx, a, w, relu).Logits()
+}
+
+// ConvAsync submits a convolution without waiting. Submission order is
+// batch order: calls from one goroutine coalesce deterministically.
+func (s *Scheduler) ConvAsync(ctx context.Context, a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *Future {
+	return s.submit(ctx, &request{a: a, w: w, cfg: cfg, relu: relu, ctx: ctx})
+}
+
+// FullyConnectedAsync submits a classifier layer without waiting.
+func (s *Scheduler) FullyConnectedAsync(ctx context.Context, a *tensor.Volume, w *tensor.Kernels, relu bool) *Future {
+	return s.submit(ctx, &request{fc: true, a: a, w: w, relu: relu, ctx: ctx})
+}
+
+// submit runs admission control and batching for one request.
+func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
+	if err := ctx.Err(); err != nil {
+		return &Future{err: err}
+	}
+	req.done = make(chan result, 1)
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return &Future{err: ErrClosed}
+	}
+	if s.queued >= s.opt.QueueDepth {
+		s.shed.Inc()
+		s.span.Event(obs.RequestShed, opName(req), obs.Int("queued", int64(s.queued)))
+		s.mu.Unlock()
+		return &Future{err: ErrOverloaded}
+	}
+	s.queued++
+	s.depth.Set(float64(s.queued))
+	s.admitted.Inc()
+	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu}
+	pb := s.byKey[key]
+	if pb == nil {
+		pb = &pendingBatch{key: key}
+		s.byKey[key] = pb
+		s.pending = append(s.pending, pb)
+	}
+	pb.reqs = append(pb.reqs, req)
+	s.flushLocked(false)
+	s.mu.Unlock()
+	return &Future{req: req}
+}
+
+// flushLocked dispatches every pending batch that is due - full, past
+// its linger, lingering disabled, or force (shutdown) - to a worker
+// chosen by the routing policy. Batches stay pending when no worker is
+// in service; they are retried on the next tick or restore.
+func (s *Scheduler) flushLocked(force bool) {
+	kept := s.pending[:0]
+	for _, pb := range s.pending {
+		due := force || s.opt.MaxLinger == 0 ||
+			len(pb.reqs) >= s.opt.MaxBatch || pb.age >= s.opt.MaxLinger
+		if !due || !s.dispatchLocked(pb) {
+			kept = append(kept, pb)
+			continue
+		}
+		delete(s.byKey, pb.key)
+	}
+	s.pending = kept
+}
+
+// dispatchLocked routes one batch to the in-service worker with the
+// smallest weighted backlog (deficit round-robin: the worker
+// minimizing assigned/weight, ties to the lowest id). Integer
+// cross-multiplication keeps the comparison exact and deterministic.
+func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
+	var best *worker
+	for _, w := range s.workers {
+		if !w.inService || w.weight <= 0 {
+			continue
+		}
+		if best == nil || w.assigned*best.weight < best.assigned*w.weight {
+			best = w
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.assigned++
+	s.batchSize.Observe(float64(len(pb.reqs)))
+	best.batches.Inc()
+	s.span.Event(obs.BatchDispatched, opName(pb.reqs[0]),
+		obs.Int("worker", int64(best.id)),
+		obs.Int("size", int64(len(pb.reqs))),
+		obs.Int("age_ticks", int64(pb.age)))
+	best.queue <- workItem{batch: pb.reqs}
+	return true
+}
+
+// inServiceLocked lists workers eligible for routing.
+func (s *Scheduler) inServiceLocked() []*worker {
+	var out []*worker
+	for _, w := range s.workers {
+		if w.inService {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Close stops admission, dispatches every pending batch, and waits for
+// the workers to drain - bounded by ctx. Requests that cannot be
+// dispatched (no worker left in service) fail with ErrClosed. A nil
+// error means every worker exited.
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.started {
+		s.flushLocked(true)
+	}
+	// Whatever could not dispatch fails now rather than hanging.
+	for _, pb := range s.pending {
+		for _, req := range pb.reqs {
+			s.deliverLocked(req, result{err: ErrClosed})
+		}
+		delete(s.byKey, pb.key)
+	}
+	s.pending = nil
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.span.End(obs.Int("ticks", s.ticks))
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// deliverLocked hands a result to the submitter and releases the
+// queue slot.
+func (s *Scheduler) deliverLocked(req *request, res result) {
+	req.done <- res
+	s.queued--
+	s.depth.Set(float64(s.queued))
+}
+
+// opName labels a request for trace events.
+func opName(req *request) string {
+	if req.fc {
+		return "fc"
+	}
+	return "conv"
+}
+
+// Future is a pending submission. Exactly one of Volume or Logits
+// matches the submitted op kind.
+type Future struct {
+	req *request
+	err error // admission failure; set instead of req
+}
+
+// wait blocks until the result arrives or the request's context ends.
+func (f *Future) wait() result {
+	if f.err != nil {
+		return result{err: f.err}
+	}
+	select {
+	case res := <-f.req.done:
+		return res
+	case <-f.req.ctx.Done():
+		return result{err: f.req.ctx.Err()}
+	}
+}
+
+// Volume waits for a convolution result.
+func (f *Future) Volume() (*tensor.Volume, error) {
+	res := f.wait()
+	return res.vol, res.err
+}
+
+// Logits waits for a fully-connected result.
+func (f *Future) Logits() ([]float64, error) {
+	res := f.wait()
+	return res.vec, res.err
+}

@@ -1,0 +1,491 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"albireo/internal/core"
+	"albireo/internal/fleet"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// analogUnit builds one pool member: an analog backend on a chip
+// seeded distinctly per worker.
+func analogUnit(seed int64) fleet.Unit {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	a := inference.NewAnalog(cfg)
+	return fleet.Unit{Backend: a, Chip: a.Chip}
+}
+
+// detune injects a detuned-ring fault that a BIST scan localizes.
+func detune(t *testing.T, u fleet.Unit, group, unit int) {
+	t.Helper()
+	f := core.Fault{Kind: core.DetunedRing, Tap: 4, Column: 2, Value: 0.3}
+	if err := u.Chip.InjectFault(group, unit, f); err != nil {
+		t.Fatalf("InjectFault: %v", err)
+	}
+}
+
+// defaultOpt is the scripted-trace configuration: small batches, a
+// two-tick linger, and a queue deep enough for the trace.
+func defaultOpt() fleet.Options {
+	return fleet.Options{MaxBatch: 8, MaxLinger: 2, QueueDepth: 16}
+}
+
+// runTrace drives a fixed request trace - two coalescible 3x3 convs,
+// two pointwise convs, two classifier calls, with explicit ticks -
+// through a pool built from seeds, and returns every output plus the
+// final registry snapshot. prep may inject faults before Start;
+// inspect may examine the started scheduler.
+func runTrace(t *testing.T, seeds []int64, prep func([]fleet.Unit), inspect func(*fleet.Scheduler), opt fleet.Options) ([][]float64, obs.Snapshot) {
+	t.Helper()
+	units := make([]fleet.Unit, len(seeds))
+	for i, s := range seeds {
+		units[i] = analogUnit(s)
+	}
+	if prep != nil {
+		prep(units)
+	}
+	reg := obs.NewRegistry()
+	s, err := fleet.New(opt, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(reg, obs.NewTrace())
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if inspect != nil {
+		inspect(s)
+	}
+
+	ctx := context.Background()
+	in1 := tensor.RandomVolume(3, 10, 10, 7)
+	in2 := tensor.RandomVolume(3, 10, 10, 8)
+	w1 := tensor.RandomKernels(4, 3, 3, 3, 70)
+	w2 := tensor.RandomKernels(5, 4, 1, 1, 71)
+	wfc := tensor.RandomKernels(6, 5, 10, 10, 72)
+	cfg3 := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	f1 := s.ConvAsync(ctx, in1, w1, cfg3, true)
+	f2 := s.ConvAsync(ctx, in2, w1, cfg3, true)
+	s.Tick()
+	s.Tick()
+	v1, err := f1.Volume()
+	if err != nil {
+		t.Fatalf("conv 1: %v", err)
+	}
+	v2, err := f2.Volume()
+	if err != nil {
+		t.Fatalf("conv 2: %v", err)
+	}
+
+	p1 := s.ConvAsync(ctx, v1, w2, tensor.ConvConfig{}, true)
+	p2 := s.ConvAsync(ctx, v2, w2, tensor.ConvConfig{}, true)
+	s.Tick()
+	s.Tick()
+	u1, err := p1.Volume()
+	if err != nil {
+		t.Fatalf("pointwise 1: %v", err)
+	}
+	u2, err := p2.Volume()
+	if err != nil {
+		t.Fatalf("pointwise 2: %v", err)
+	}
+
+	g1 := s.FullyConnectedAsync(ctx, u1, wfc, false)
+	g2 := s.FullyConnectedAsync(ctx, u2, wfc, false)
+	s.Tick()
+	s.Tick()
+	l1, err := g1.Logits()
+	if err != nil {
+		t.Fatalf("fc 1: %v", err)
+	}
+	l2, err := g2.Logits()
+	if err != nil {
+		t.Fatalf("fc 2: %v", err)
+	}
+
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return [][]float64{v1.Data, v2.Data, u1.Data, u2.Data, l1, l2}, reg.Snapshot()
+}
+
+// requireBitsEqual fails unless every output pair is bit-identical.
+func requireBitsEqual(t *testing.T, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("output counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("output %d sizes differ: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("output %d[%d] differs: %g vs %g", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// eventually polls cond until it holds or the deadline passes. Wall
+// time is confined to test pacing; every asserted quantity is
+// event-denominated.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetDeterministicTrace is the deterministic-throughput
+// invariant: the same request trace against the same pool yields
+// bit-identical results and bit-identical registry snapshots.
+func TestFleetDeterministicTrace(t *testing.T) {
+	t.Parallel()
+	r1, s1 := runTrace(t, []int64{11, 12, 13}, nil, nil, defaultOpt())
+	r2, s2 := runTrace(t, []int64{11, 12, 13}, nil, nil, defaultOpt())
+	requireBitsEqual(t, r1, r2)
+	if !s1.Equal(s2) {
+		t.Fatal("registry snapshots differ across identical runs")
+	}
+}
+
+// TestFleetDrainedMatchesSmallerPool is the quarantine half of the
+// invariant: a pool whose middle worker carries a detuned ring (found
+// and drained by the startup BIST scan) serves the same trace with
+// results bit-identical to a healthy pool of the surviving chips.
+func TestFleetDrainedMatchesSmallerPool(t *testing.T) {
+	t.Parallel()
+	faulty, sf := runTrace(t, []int64{11, 12, 13},
+		func(units []fleet.Unit) { detune(t, units[1], 2, 1) },
+		func(s *fleet.Scheduler) {
+			info := s.Info()
+			if info[1].InService {
+				t.Fatal("faulty worker 1 still in service after startup scan")
+			}
+			if !info[0].InService || !info[2].InService {
+				t.Fatal("healthy workers drained")
+			}
+			if !s.Degraded() {
+				t.Fatal("fleet not reported degraded")
+			}
+		},
+		defaultOpt())
+	healthy, _ := runTrace(t, []int64{11, 13}, nil, nil, defaultOpt())
+	requireBitsEqual(t, faulty, healthy)
+	if got := sf.Counters[fleet.MetricDrains]; got != 1 {
+		t.Fatalf("drains counter = %d, want 1", got)
+	}
+}
+
+// TestFleetBatchCoalescing checks the micro-batcher: compatible
+// requests coalesce up to MaxBatch, incompatible ones do not, and
+// partial batches wait out MaxLinger ticks.
+func TestFleetBatchCoalescing(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	s, err := fleet.New(fleet.Options{MaxBatch: 2, MaxLinger: 5, QueueDepth: 16}, analogUnit(21))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(reg, nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	wa := tensor.RandomKernels(4, 3, 3, 3, 50)
+	wb := tensor.RandomKernels(4, 3, 3, 3, 51)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	// Two compatible requests: fills MaxBatch, dispatches immediately.
+	f1 := s.ConvAsync(ctx, in, wa, cfg, false)
+	f2 := s.ConvAsync(ctx, in, wa, cfg, false)
+	// A third on different weights: incompatible, lingers.
+	f3 := s.ConvAsync(ctx, in, wb, cfg, false)
+	if _, err := f1.Volume(); err != nil {
+		t.Fatalf("conv 1: %v", err)
+	}
+	if _, err := f2.Volume(); err != nil {
+		t.Fatalf("conv 2: %v", err)
+	}
+	if got := reg.Snapshot().SumCounters(fleet.MetricBatches); got != 1 {
+		t.Fatalf("batches after full batch = %d, want 1 (lingering batch dispatched early?)", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Tick()
+	}
+	if _, err := f3.Volume(); err != nil {
+		t.Fatalf("conv 3: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	h := reg.Snapshot().Histograms[fleet.MetricBatchSize]
+	if h.Count != 2 || math.Float64bits(h.Sum) != math.Float64bits(3) {
+		t.Fatalf("batch-size histogram count=%d sum=%g, want count=2 sum=3", h.Count, h.Sum)
+	}
+}
+
+// TestFleetOverloadSheds checks bounded admission: submissions past
+// QueueDepth fail fast with ErrOverloaded and count as shed.
+func TestFleetOverloadSheds(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, MaxLinger: 10, QueueDepth: 2}, analogUnit(22))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(reg, nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	f1 := s.ConvAsync(ctx, in, w, cfg, false)
+	f2 := s.ConvAsync(ctx, in, w, cfg, false)
+	f3 := s.ConvAsync(ctx, in, w, cfg, false)
+	if _, err := f3.Volume(); !errors.Is(err, fleet.ErrOverloaded) {
+		t.Fatalf("third submission: err = %v, want ErrOverloaded", err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Tick()
+	}
+	if _, err := f1.Volume(); err != nil {
+		t.Fatalf("conv 1: %v", err)
+	}
+	if _, err := f2.Volume(); err != nil {
+		t.Fatalf("conv 2: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[fleet.MetricShed]; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	if got := snap.Counters[fleet.MetricAdmitted]; got != 2 {
+		t.Fatalf("admitted counter = %d, want 2", got)
+	}
+	if got := snap.Gauges[fleet.MetricQueueDepth]; got != 0 {
+		t.Fatalf("queue depth after drain = %g, want 0", got)
+	}
+}
+
+// TestFleetCancellation checks per-request deadlines: a request whose
+// context ends while queued is delivered its context error, not run.
+func TestFleetCancellation(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, MaxLinger: 3, QueueDepth: 8}, analogUnit(23))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(reg, nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	f := s.ConvAsync(ctx, in, w, cfg, false)
+	cancel()
+	for i := 0; i < 3; i++ {
+		s.Tick()
+	}
+	if _, err := f.Volume(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled request: err = %v, want context.Canceled", err)
+	}
+	eventually(t, 2*time.Second, func() bool {
+		return reg.Snapshot().Counters[fleet.MetricCanceled] == 1
+	}, "canceled counter never reached 1")
+
+	// A pre-canceled context fails at submission without queueing.
+	f2 := s.ConvAsync(ctx, in, w, cfg, false)
+	if _, err := f2.Volume(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled submission: err = %v, want context.Canceled", err)
+	}
+	if got := reg.Snapshot().Counters[fleet.MetricAdmitted]; got != 1 {
+		t.Fatalf("admitted counter = %d, want 1", got)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestFleetShutdownDrains checks Close: pending batches dispatch and
+// complete, later submissions fail with ErrClosed, and the worker
+// goroutines exit (counted before and after).
+func TestFleetShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, MaxLinger: 100, QueueDepth: 8},
+		analogUnit(24), analogUnit(25))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), obs.NewTrace())
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	cfg := tensor.ConvConfig{Stride: 1, Pad: 1}
+
+	// Left pending by the long linger; Close must flush and run them.
+	futs := []*fleet.Future{
+		s.ConvAsync(ctx, in, w, cfg, false),
+		s.ConvAsync(ctx, in, w, cfg, false),
+		s.ConvAsync(ctx, in, w, cfg, false),
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, f := range futs {
+		if _, err := f.Volume(); err != nil {
+			t.Fatalf("pending conv %d after Close: %v", i, err)
+		}
+	}
+	if _, err := s.ConvAsync(ctx, in, w, cfg, false).Volume(); !errors.Is(err, fleet.ErrClosed) {
+		t.Fatalf("submission after Close: err = %v, want ErrClosed", err)
+	}
+	eventually(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	}, "worker goroutines leaked after Close")
+}
+
+// TestFleetReprobeRestores checks return-to-service: a worker drained
+// at startup is re-probed every ReprobeEvery ticks and rejoins the
+// pool once its fault clears.
+func TestFleetReprobeRestores(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	units := []fleet.Unit{analogUnit(26), analogUnit(27)}
+	detune(t, units[1], 2, 1)
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, MaxLinger: 0, QueueDepth: 8, ReprobeEvery: 2}, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(reg, obs.NewTrace())
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if s.Info()[1].InService {
+		t.Fatal("faulty worker in service after startup scan")
+	}
+
+	// Repair the hardware (the detuned ring re-locks), then tick past
+	// the re-probe period and wait for the worker to rejoin.
+	units[1].Chip.Groups()[2].Units()[1].ClearFaults()
+	s.Tick()
+	s.Tick()
+	eventually(t, 10*time.Second, func() bool {
+		s.Tick()
+		return s.Info()[1].InService
+	}, "repaired worker never returned to service")
+	if got := reg.Snapshot().Counters[fleet.MetricRestores]; got != 1 {
+		t.Fatalf("restores counter = %d, want 1", got)
+	}
+	if s.Degraded() {
+		t.Fatal("fleet still degraded after restore")
+	}
+
+	ctx := context.Background()
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	if _, err := s.Conv(ctx, in, w, tensor.ConvConfig{Stride: 1, Pad: 1}, false); err != nil {
+		t.Fatalf("conv after restore: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestFleetKeepDegraded checks the weighted alternative to draining:
+// with KeepDegraded, a faulty worker keeps serving on its surviving
+// units at reduced routing weight.
+func TestFleetKeepDegraded(t *testing.T) {
+	t.Parallel()
+	units := []fleet.Unit{analogUnit(28)}
+	detune(t, units[0], 2, 1)
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, MaxLinger: 0, QueueDepth: 8, KeepDegraded: true}, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	info := s.Info()[0]
+	if !info.InService {
+		t.Fatal("degraded worker drained despite KeepDegraded")
+	}
+	if !info.Degraded {
+		t.Fatal("worker chip not degraded")
+	}
+	full := int64(core.DefaultConfig().Ng * core.DefaultConfig().Nu)
+	if info.Weight >= full {
+		t.Fatalf("weight = %d, want < %d after quarantine", info.Weight, full)
+	}
+	ctx := context.Background()
+	in := tensor.RandomVolume(3, 9, 9, 5)
+	w := tensor.RandomKernels(4, 3, 3, 3, 50)
+	out, err := s.Conv(ctx, in, w, tensor.ConvConfig{Stride: 1, Pad: 1}, false)
+	if err != nil {
+		t.Fatalf("conv: %v", err)
+	}
+	for i, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("output[%d] = %g not finite", i, v)
+		}
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestFleetStartFailsAllFaulty checks that Start refuses to serve when
+// the startup scans drain every worker.
+func TestFleetStartFailsAllFaulty(t *testing.T) {
+	t.Parallel()
+	units := []fleet.Unit{analogUnit(29)}
+	detune(t, units[0], 2, 1)
+	s, err := fleet.New(fleet.Options{}, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("Start succeeded with every worker faulty")
+	}
+}
+
+// TestFleetNewValidates checks constructor validation.
+func TestFleetNewValidates(t *testing.T) {
+	t.Parallel()
+	if _, err := fleet.New(fleet.Options{}); err == nil {
+		t.Fatal("New accepted an empty pool")
+	}
+	if _, err := fleet.New(fleet.Options{}, fleet.Unit{}); err == nil {
+		t.Fatal("New accepted a unit with no backend")
+	}
+}

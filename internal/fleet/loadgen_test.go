@@ -1,0 +1,45 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"albireo/internal/fleet"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+)
+
+// TestSweepRecordsTelemetry checks the extracted load generator: one
+// sweep populates both the inference-side and the dataflow-simulation
+// counters.
+func TestSweepRecordsTelemetry(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace()
+	if err := fleet.Sweep(context.Background(), reg, trace, inference.Exact{}, 1, 8, 3); err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Fatal("sweep recorded no counters")
+	}
+	if trace.Len() == 0 {
+		t.Fatal("sweep recorded no trace events")
+	}
+}
+
+// TestSweepHonorsCancellation checks that a canceled context stops the
+// sweep between iterations with the context error.
+func TestSweepHonorsCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := fleet.Sweep(ctx, obs.NewRegistry(), nil, inference.Exact{}, 4, 8, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if err := fleet.Sweeps(ctx, obs.NewRegistry(), nil, inference.Exact{}, 3, 1, 8, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweeps on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

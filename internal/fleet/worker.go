@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"strconv"
+
+	"albireo/internal/core"
+	"albireo/internal/health"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+)
+
+// workItem is one unit of work on a worker queue: either a batch of
+// requests to execute or a BIST re-probe.
+type workItem struct {
+	batch []*request
+	probe bool
+}
+
+// worker is one pool member plus its routing state. Routing state
+// (inService, weight, assigned, probePending) is guarded by the
+// scheduler mutex; the goroutine owns backend execution.
+type worker struct {
+	id      int
+	backend inference.Backend
+	chip    *core.Chip
+	eng     *health.Engine
+	queue   chan workItem
+
+	inService    bool
+	weight       int64 // healthy PLCU count (1 for chipless workers)
+	assigned     int64 // batches routed here, for deficit round-robin
+	probePending bool
+	degraded     bool // cached chip.Degraded(); the chip itself is
+	// only touched by its owning goroutine
+	report health.Report
+
+	batches    *obs.Counter
+	requests   *obs.Counter
+	inServiceG *obs.Gauge
+	weightG    *obs.Gauge
+}
+
+// instrument resolves the worker's per-id instruments.
+func (w *worker) instrument(reg *obs.Registry, trace *obs.Trace) {
+	label := obs.L("worker", strconv.Itoa(w.id))
+	w.batches = reg.Counter(MetricBatches, label)
+	w.requests = reg.Counter(MetricRequests, label)
+	w.inServiceG = reg.Gauge(MetricWorkerInService, label)
+	w.weightG = reg.Gauge(MetricWorkerWeight, label)
+	if w.eng != nil {
+		w.eng.Instrument(reg, trace)
+	}
+}
+
+// syncGauges publishes the worker's routing state.
+func (w *worker) syncGauges() {
+	v := 0.0
+	if w.inService {
+		v = 1
+	}
+	w.inServiceG.Set(v)
+	w.weightG.Set(float64(w.weight))
+}
+
+// healthyUnits counts the PLCUs still in service on the worker's chip.
+func (w *worker) healthyUnits() int64 {
+	if w.chip == nil {
+		return 1
+	}
+	cfg := w.chip.Config()
+	return int64(cfg.Ng*cfg.Nu - len(w.chip.Quarantined()))
+}
+
+// run executes one request on the worker's backend.
+func (w *worker) run(req *request) result {
+	if req.fc {
+		return result{vec: w.backend.FullyConnected(req.a, req.w, req.relu)}
+	}
+	return result{vol: w.backend.Conv(req.a, req.w, req.cfg, req.relu)}
+}
+
+// serveWorker is the worker goroutine: it drains the queue until Close
+// closes it, executing batches and probes in dispatch order.
+func (s *Scheduler) serveWorker(w *worker) {
+	defer s.wg.Done()
+	for item := range w.queue {
+		if item.probe {
+			s.runProbe(w)
+			continue
+		}
+		s.runBatch(w, item.batch)
+	}
+}
+
+// runBatch executes a dispatched batch request by request. Requests
+// whose context ended while queued are skipped and delivered their
+// context error; the rest run back to back on the backend - the
+// amortization the batchKey compatibility rule exists to enable.
+func (s *Scheduler) runBatch(w *worker, batch []*request) {
+	sp := s.span.StartSpan("fleet/execute",
+		obs.Int("worker", int64(w.id)),
+		obs.Int("size", int64(len(batch))))
+	executed := 0
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			s.mu.Lock()
+			s.canceled.Inc()
+			s.deliverLocked(req, result{err: err})
+			s.mu.Unlock()
+			continue
+		}
+		res := w.run(req)
+		executed++
+		w.requests.Inc()
+		s.mu.Lock()
+		s.completed.Inc()
+		s.deliverLocked(req, res)
+		s.mu.Unlock()
+	}
+	sp.End(obs.Int("executed", int64(executed)))
+}
+
+// runProbe re-scans a drained worker's chip and applies the verdict.
+// Quarantine is cleared first so the scan sees every unit: a fault
+// that has decayed away (thermal drift settling) is re-admitted, a
+// persistent one is re-quarantined by applyReportLocked.
+func (s *Scheduler) runProbe(w *worker) {
+	w.chip.ClearQuarantine()
+	rep := w.eng.Scan()
+	s.mu.Lock()
+	w.probePending = false
+	s.applyReportLocked(w, rep)
+	// A restored worker may unblock batches stranded with no route.
+	s.flushLocked(false)
+	s.mu.Unlock()
+}
+
+// applyReportLocked turns a BIST report into a routing decision:
+// healthy workers serve at full weight; faulty units are quarantined
+// on the chip, and the worker is drained unless KeepDegraded keeps it
+// serving at reduced weight. Transitions emit drain/restore events.
+func (s *Scheduler) applyReportLocked(w *worker, rep health.Report) {
+	w.report = rep
+	wasInService := w.inService
+	inService := true
+	if !rep.Healthy() {
+		if _, err := w.eng.QuarantineFindings(rep); err != nil || !s.opt.KeepDegraded {
+			inService = false
+		}
+	}
+	w.weight = w.healthyUnits()
+	if w.weight <= 0 {
+		inService = false
+	}
+	w.inService = inService
+	w.degraded = w.chip != nil && w.chip.Degraded()
+	switch {
+	case wasInService && !inService:
+		s.drains.Inc()
+		s.span.Event(obs.WorkerDrained, "worker "+strconv.Itoa(w.id),
+			obs.Int("worker", int64(w.id)),
+			obs.Int("findings", int64(len(rep.Findings))))
+	case !wasInService && inService && s.started:
+		s.restores.Inc()
+		s.span.Event(obs.WorkerRestored, "worker "+strconv.Itoa(w.id),
+			obs.Int("worker", int64(w.id)))
+		// Rejoin at the pool's current backlog level so the fresh
+		// worker is not flooded with every subsequent batch.
+		w.assigned = s.maxAssignedLocked()
+	}
+	w.syncGauges()
+}
+
+// maxAssignedLocked returns the largest assigned count among
+// in-service workers (0 when none).
+func (s *Scheduler) maxAssignedLocked() int64 {
+	var max int64
+	for _, w := range s.workers {
+		if w.inService && w.assigned > max {
+			max = w.assigned
+		}
+	}
+	return max
+}
+
+// WorkerInfo is one worker's externally visible state.
+type WorkerInfo struct {
+	// Worker is the pool index.
+	Worker int `json:"worker"`
+	// InService reports routing eligibility.
+	InService bool `json:"in_service"`
+	// Weight is the routing weight (healthy PLCU count).
+	Weight int64 `json:"weight"`
+	// Degraded mirrors the chip's quarantine state (false for
+	// chipless workers).
+	Degraded bool `json:"degraded"`
+	// Report is the last BIST report (zero if never probed).
+	Report health.Report `json:"report"`
+}
+
+// Info snapshots per-worker state for serving endpoints.
+func (s *Scheduler) Info() []WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerInfo, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = WorkerInfo{
+			Worker:    w.id,
+			InService: w.inService,
+			Weight:    w.weight,
+			Degraded:  w.degraded,
+			Report:    w.report,
+		}
+	}
+	return out
+}
+
+// Degraded reports whether any worker is drained or serving on a
+// degraded chip.
+func (s *Scheduler) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.workers {
+		if !w.inService || w.degraded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package inference_test
+
+import (
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/inference"
+	"albireo/internal/inference/backendtest"
+	"albireo/internal/obs"
+)
+
+// The conformance suite runs the same backend contract against every
+// implementation in this package; the fleet-bound backend runs it too
+// (internal/fleet/backend_test.go).
+
+func TestExactConformance(t *testing.T) {
+	t.Parallel()
+	backendtest.Run(t, func(t *testing.T) inference.Backend {
+		return inference.Exact{}
+	})
+}
+
+func TestAnalogConformance(t *testing.T) {
+	t.Parallel()
+	backendtest.Run(t, func(t *testing.T) inference.Backend {
+		return inference.NewAnalog(core.DefaultConfig())
+	})
+}
+
+func TestObservedConformance(t *testing.T) {
+	t.Parallel()
+	backendtest.Run(t, func(t *testing.T) inference.Backend {
+		return inference.Observe(inference.NewAnalog(core.DefaultConfig()), obs.NewRegistry(), obs.NewTrace())
+	})
+}
+
+func TestGuardedConformance(t *testing.T) {
+	t.Parallel()
+	backendtest.Run(t, func(t *testing.T) inference.Backend {
+		g := inference.Guard(inference.NewAnalog(core.DefaultConfig()), inference.Exact{}, 0.5)
+		return g.Instrument(obs.NewRegistry(), obs.NewTrace())
+	})
+}

@@ -96,6 +96,18 @@ func TestObsDeterminismCoversHealth(t *testing.T) {
 	})
 }
 
+func TestObsDeterminismCoversFleet(t *testing.T) {
+	t.Parallel()
+	// internal/fleet is inside the rule's scope: batch linger and
+	// re-probe cadence count injected Scheduler.Tick calls; the wall
+	// ticker realizing those ticks lives in cmd/albireo-serve.
+	got := fixture(t, "fleetobs.go", "internal/fleet/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"11: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+		"14: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+	})
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

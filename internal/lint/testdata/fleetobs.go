@@ -1,0 +1,18 @@
+// Fixture pinning the obs-determinism rule's coverage of
+// internal/fleet: scheduler telemetry (queue depth, batch sizes,
+// drain/restore events) must be tick/event-denominated so identical
+// request traces produce bit-identical registry snapshots. Batch
+// linger counts injected Tick calls, never wall time.
+package fixture
+
+import "time"
+
+func lingerWithWallClock(enqueued time.Time) bool {
+	if time.Since(enqueued) > time.Millisecond {
+		return true
+	}
+	_ = time.Now()
+	return countTicks(1) // allowed: tick-denominated
+}
+
+func countTicks(n int64) bool { return n > 0 }

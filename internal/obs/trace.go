@@ -27,6 +27,18 @@ const (
 	// BackendFallback marks a layer rerouted to the digital reference
 	// because its divergence exceeded the accuracy budget.
 	BackendFallback
+	// RequestShed marks an inference request refused at admission
+	// because the fleet queue was full.
+	RequestShed
+	// BatchDispatched marks a coalesced request batch handed to a
+	// fleet worker.
+	BatchDispatched
+	// WorkerDrained marks a fleet worker taken out of the routing set
+	// after a failed health probe.
+	WorkerDrained
+	// WorkerRestored marks a drained fleet worker returned to service
+	// after a clean re-probe.
+	WorkerRestored
 	// Mark is a free-form point event.
 	Mark
 )
@@ -50,6 +62,14 @@ func (k EventKind) String() string {
 		return "unit-quarantined"
 	case BackendFallback:
 		return "backend-fallback"
+	case RequestShed:
+		return "request-shed"
+	case BatchDispatched:
+		return "batch-dispatched"
+	case WorkerDrained:
+		return "worker-drained"
+	case WorkerRestored:
+		return "worker-restored"
 	case Mark:
 		return "mark"
 	default:

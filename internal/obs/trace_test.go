@@ -116,7 +116,8 @@ func TestCountByKindAndReset(t *testing.T) {
 
 func TestEventKindStrings(t *testing.T) {
 	t.Parallel()
-	kinds := []EventKind{SpanStart, SpanEnd, TileScheduled, DataMove, FaultInjected, Mark, EventKind(99)}
+	kinds := []EventKind{SpanStart, SpanEnd, TileScheduled, DataMove, FaultInjected, Mark,
+		RequestShed, BatchDispatched, WorkerDrained, WorkerRestored, EventKind(99)}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
