@@ -10,6 +10,10 @@
 #              README.md)
 #   bench      one-iteration smoke over every benchmark (catches bench
 #              bit-rot; output lands in bench.out, archived by CI)
+#   alloc gate the hot-path benchmarks at a fixed iteration count,
+#              parsed into BENCH_core.json (archived by CI) and checked
+#              against the committed bench_baseline.json: the build
+#              fails if any hot benchmark's allocs/op regresses
 #   fault demo smoke-run of the detect -> quarantine -> remap
 #              walkthrough (examples/faulttolerance)
 #   fleet      load-generator sweep through a 2-chip fleet with a
@@ -36,6 +40,13 @@ go run ./cmd/albireo-lint ./...
 
 echo "==> bench smoke (1 iteration, output in bench.out)"
 go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out
+
+echo "==> hot-path alloc gate (output in BENCH_core.json)"
+# Fixed -benchtime keeps allocs/op deterministic: the one-time weight
+# program compile amortizes over exactly 50 iterations, so the gate
+# compares like against like. ns/op is reported but never gated.
+go test -run '^$' -bench '^BenchmarkFunctional' -benchmem -benchtime 50x . |
+	go run ./cmd/albireo-bench -json BENCH_core.json -baseline bench_baseline.json
 
 echo "==> fault-management demo smoke (detect -> quarantine -> remap)"
 go run ./examples/faulttolerance

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"albireo/internal/obs"
+	"albireo/internal/quant"
 	"albireo/internal/tensor"
 )
 
@@ -12,6 +14,12 @@ import (
 // each applying a different kernel. Conv, Depthwise, Pointwise, and
 // FullyConnected execute real layers through the analog pipeline,
 // following the partitioning of Algorithm 2.
+//
+// The steady-state layer loops are weight-stationary and
+// allocation-free: weight programs are compiled once per kernel
+// tensor (see program.go), activations are normalized and
+// DAC-quantized once per layer into a chip-owned scratch volume, and
+// every per-tile buffer comes from the per-PLCG scratch arenas.
 type Chip struct {
 	cfg    Config
 	groups []*PLCG
@@ -19,6 +27,19 @@ type Chip struct {
 	// active lists the PLCG indices with healthy capacity, ascending:
 	// the kernel round-robin targets. All groups until quarantined.
 	active []int
+	// aq mirrors the PLCUs' activation DAC so whole input volumes can
+	// be pre-quantized once per layer instead of once per cycle.
+	aq quant.Quantizer
+	// qaVol is the chip-owned pre-quantized activation scratch; its
+	// backing array grows to the largest layer seen and is then
+	// reused.
+	qaVol tensor.Volume
+	// progs caches compiled weight programs keyed by kernel-tensor
+	// identity and mapping kind.
+	progs map[progKey]*weightProgram
+	// schedEpoch advances on every quarantine transition, invalidating
+	// compiled programs whose slot-to-unit assignment it changes.
+	schedEpoch int64
 }
 
 // NewChip builds a functional chip.
@@ -34,7 +55,12 @@ func NewChip(cfg Config) *Chip {
 		groups[gi] = NewPLCG(gcfg)
 		active[gi] = gi
 	}
-	return &Chip{cfg: cfg, groups: groups, active: active}
+	return &Chip{
+		cfg:    cfg,
+		groups: groups,
+		active: active,
+		aq:     quant.NewActivation(cfg.DACBits, 1),
+	}
 }
 
 // Config returns the chip configuration.
@@ -70,38 +96,36 @@ func (c *Chip) tapChunks(ky, kx int) []tapChunk {
 	return chunks
 }
 
-// normalizeInput returns the activation volume scaled into [0, 1] and
-// the scale. Negative activations are invalid: Albireo encodes
-// activations as optical power (Section II-B), so inputs must be
-// non-negative (post-ReLU, or pre-shifted images).
-func normalizeInput(a *tensor.Volume) (*tensor.Volume, float64) {
+// prequantizeInput validates, normalizes, and DAC-quantizes the whole
+// activation volume into the chip's scratch volume, returning it and
+// the normalization scale. Negative activations are invalid: Albireo
+// encodes activations as optical power (Section II-B), so inputs must
+// be non-negative (post-ReLU, or pre-shifted images). Doing the
+// quantization once per layer instead of once per cycle is
+// bit-identical - quantization is a pure pointwise function - and
+// removes it from the hot path entirely. A zero scale means an
+// all-zero input; the scratch contents are unused in that case
+// because callers early-return on a zero output scale.
+func (c *Chip) prequantizeInput(a *tensor.Volume) (*tensor.Volume, float64) {
 	for _, v := range a.Data {
 		if v < 0 {
 			panic("core: activations must be non-negative (optical power encoding)") //lint:ignore exit-hygiene non-negative activations are the optical power encoding invariant
 		}
 	}
 	scale := a.MaxAbs()
+	n := len(a.Data)
+	if cap(c.qaVol.Data) < n {
+		c.qaVol.Data = make([]float64, n)
+	}
+	c.qaVol.Data = c.qaVol.Data[:n]
+	c.qaVol.Z, c.qaVol.Y, c.qaVol.X = a.Z, a.Y, a.X
 	if scale == 0 {
-		return a.Clone(), 0
+		return &c.qaVol, 0
 	}
-	n := a.Clone()
-	for i := range n.Data {
-		n.Data[i] /= scale
+	for i, v := range a.Data {
+		c.qaVol.Data[i] = c.aq.Quantize(v / scale)
 	}
-	return n, scale
-}
-
-// normalizeKernels returns kernels scaled into [-1, 1] and the scale.
-func normalizeKernels(w *tensor.Kernels) (*tensor.Kernels, float64) {
-	scale := w.MaxAbs()
-	if scale == 0 {
-		return w, 0
-	}
-	n := tensor.NewKernels(w.M, w.Z, w.Y, w.X)
-	for i := range w.Data {
-		n.Data[i] = w.Data[i] / scale
-	}
-	return n, scale
+	return &c.qaVol, scale
 }
 
 // Conv executes a convolution layer through the analog pipeline
@@ -125,9 +149,9 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 	if stride == 0 {
 		stride = 1
 	}
-	na, aScale := normalizeInput(a)
-	nw, wScale := normalizeKernels(w)
-	outScale := aScale * wScale
+	qa, aScale := c.prequantizeInput(a)
+	pr := c.programFor(progConv, w)
+	outScale := aScale * pr.wScale
 
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
@@ -137,69 +161,58 @@ func (c *Chip) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, 
 	if outScale == 0 {
 		return out
 	}
-	chunks := c.tapChunks(w.Y, w.X)
-
 	for m := 0; m < w.M; m++ {
-		gi := c.assignGroup(m)
-		g := c.groups[gi]
-		nug := g.Capacity()
-		c.ins.tile(sp, m, gi)
-		for oy := 0; oy < by; oy++ {
-			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
-				acc := make([]float64, c.cfg.Nd)
-				for z0 := 0; z0 < w.Z; z0 += nug {
-					for _, ch := range chunks {
-						nu := min(nug, w.Z-z0)
-						weights := make([][]float64, nu)
-						avals := make([][][]float64, nu)
-						for u := 0; u < nu; u++ {
-							weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
-						}
-						part := g.Step(weights, avals)
-						if c.ins != nil {
-							c.ins.step(gi, nu)
-						}
-						for d := range acc {
-							acc[d] += part[d]
-						}
-					}
-				}
-				for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
-					v := acc[d] * outScale
-					if relu && v < 0 {
-						v = 0
-					}
-					out.Set(m, oy, ox0+d, v)
-				}
-			}
-		}
+		c.convKernel(qa, pr, sp, out, m, by, bx, stride, cfg.Pad, relu, outScale)
 	}
 	return out
 }
 
-// buildSlot assembles the weight vector and activation matrix for one
-// PLCU slot: kernel m at kernel depth wz, reading activation channel
-// az, output row oy, output column base ox0, for the taps of chunk ch.
-// Dense convolutions use wz == az; depthwise uses wz = 0 with az the
-// filtered channel. Unused taps (chunk shorter than Nm) carry zero
-// weight; out-of-range output columns carry zero activations.
-func (c *Chip) buildSlot(a *tensor.Volume, w *tensor.Kernels, m, wz, az, oy, ox0, stride, pad int, ch tapChunk) ([]float64, [][]float64) {
-	weights := make([]float64, c.cfg.Nm)
-	avals := make([][]float64, c.cfg.Nm)
-	ay0 := oy*stride - pad
-	for t := 0; t < c.cfg.Nm; t++ {
-		row := make([]float64, c.cfg.Nd)
-		if t < len(ch.ky) {
-			ky, kx := ch.ky[t], ch.kx[t]
-			weights[t] = w.At(m, wz, ky, kx)
-			for d := 0; d < c.cfg.Nd; d++ {
-				ax := (ox0+d)*stride - pad + kx
-				row[d] = a.AtPadded(az, ay0+ky, ax)
+// convKernel streams every output tile of kernel m through its owning
+// PLCG: weights come from the compiled program, activations are
+// gathered into the group's scratch arena, and partial sums
+// accumulate across channel groups and tap chunks. Shared by Conv and
+// ConvConcurrent; in the concurrent path each goroutine owns exactly
+// one PLCG, so the group scratch needs no locking.
+//
+//hot: steady-state layer loop; per-tile work must not allocate.
+func (c *Chip) convKernel(qa *tensor.Volume, pr *weightProgram, sp *obs.Span, out *tensor.Volume, m, by, bx, stride, pad int, relu bool, outScale float64) {
+	gi := c.assignGroup(m)
+	g := c.groups[gi]
+	nug := g.Capacity()
+	sc := &g.conv
+	c.ins.tile(sp, m, gi)
+	nchunks := len(pr.chunks)
+	for oy := 0; oy < by; oy++ {
+		for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
+			acc := sc.acc
+			for d := range acc {
+				acc[d] = 0
+			}
+			for z0 := 0; z0 < pr.zDim; z0 += nug {
+				nu := min(nug, pr.zDim-z0)
+				for ci := 0; ci < nchunks; ci++ {
+					for u := 0; u < nu; u++ {
+						sc.weights[u] = pr.slot(m, (z0+u)*nchunks+ci)
+						fillWindow(sc.avals[u], qa, z0+u, oy, ox0, stride, pad, &pr.chunks[ci], c.cfg.Nd)
+					}
+					part := g.stepPrequantized(sc.part, sc.weights[:nu], sc.avals[:nu])
+					if c.ins != nil {
+						c.ins.step(gi, nu)
+					}
+					for d := range acc {
+						acc[d] += part[d]
+					}
+				}
+			}
+			for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
+				v := acc[d] * outScale
+				if relu && v < 0 {
+					v = 0
+				}
+				out.Set(m, oy, ox0+d, v)
 			}
 		}
-		avals[t] = row
 	}
-	return weights, avals
 }
 
 // groupedConv runs a grouped convolution as independent dense
@@ -251,9 +264,9 @@ func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Con
 	if stride == 0 {
 		stride = 1
 	}
-	na, aScale := normalizeInput(a)
-	nw, wScale := normalizeKernels(w)
-	outScale := aScale * wScale
+	qa, aScale := c.prequantizeInput(a)
+	pr := c.programFor(progDepthwise, w)
+	outScale := aScale * pr.wScale
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
 	out := tensor.NewVolume(a.Z, by, bx)
@@ -262,17 +275,22 @@ func (c *Chip) depthwiseConv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Con
 	if outScale == 0 {
 		return out
 	}
-	chunks := c.tapChunks(w.Y, w.X)
+	nchunks := len(pr.chunks)
 	for z := 0; z < a.Z; z++ {
 		gi := c.assignGroup(z)
 		g := c.groups[gi]
+		sc := &g.conv
 		c.ins.tile(sp, z, gi)
 		for oy := 0; oy < by; oy++ {
 			for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
-				acc := make([]float64, c.cfg.Nd)
-				for _, ch := range chunks {
-					weights, avals := c.buildSlot(na, nw, z, 0, z, oy, ox0, stride, cfg.Pad, ch)
-					part := g.Step([][]float64{weights}, [][][]float64{avals})
+				acc := sc.acc
+				for d := range acc {
+					acc[d] = 0
+				}
+				for ci := 0; ci < nchunks; ci++ {
+					sc.weights[0] = pr.slot(z, ci)
+					fillWindow(sc.avals[0], qa, z, oy, ox0, stride, cfg.Pad, &pr.chunks[ci], c.cfg.Nd)
+					part := g.stepPrequantized(sc.part, sc.weights[:1], sc.avals[:1])
 					if c.ins != nil {
 						c.ins.step(gi, 1)
 					}
@@ -301,9 +319,9 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 	if w.Y != 1 || w.X != 1 || w.Z != a.Z {
 		panic("core: pointwise wants 1x1 kernels of full depth") //lint:ignore exit-hygiene pointwise kernel shape invariant; caller bug
 	}
-	na, aScale := normalizeInput(a)
-	nw, wScale := normalizeKernels(w)
-	outScale := aScale * wScale
+	qa, aScale := c.prequantizeInput(a)
+	pr := c.programFor(progBlock, w)
+	outScale := aScale * pr.wScale
 	out := tensor.NewVolume(w.M, a.Y, a.X)
 	sp := c.ins.beginLayer("pointwise", w.M, w.Z, w.Y, w.X)
 	defer sp.End()
@@ -311,36 +329,44 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 		return out
 	}
 	npix := a.Y * a.X
+	nm, nd := c.cfg.Nm, c.cfg.Nd
 	for m := 0; m < w.M; m++ {
 		gi := c.assignGroup(m)
 		g := c.groups[gi]
-		chPerCycle := g.Capacity() * c.cfg.Nm
+		nug := g.Capacity()
+		sc := &g.conv
 		c.ins.tile(sp, m, gi)
-		for p0 := 0; p0 < npix; p0 += c.cfg.Nd {
-			acc := make([]float64, c.cfg.Nd)
-			for z0 := 0; z0 < a.Z; z0 += chPerCycle {
-				nu := (min(chPerCycle, a.Z-z0) + c.cfg.Nm - 1) / c.cfg.Nm
-				weights := make([][]float64, nu)
-				avals := make([][][]float64, nu)
+		for p0 := 0; p0 < npix; p0 += nd {
+			acc := sc.acc
+			for d := range acc {
+				acc[d] = 0
+			}
+			for b0 := 0; b0 < pr.slotsPer; b0 += nug {
+				nu := min(nug, pr.slotsPer-b0)
 				for u := 0; u < nu; u++ {
-					wv := make([]float64, c.cfg.Nm)
-					av := make([][]float64, c.cfg.Nm)
-					for t := 0; t < c.cfg.Nm; t++ {
-						row := make([]float64, c.cfg.Nd)
-						z := z0 + u*c.cfg.Nm + t
-						if z < a.Z {
-							wv[t] = nw.At(m, z, 0, 0)
-							for d := 0; d < c.cfg.Nd; d++ {
-								if p := p0 + d; p < npix {
-									row[d] = na.Data[z*npix+p]
-								}
+					b := b0 + u
+					sc.weights[u] = pr.slot(m, b)
+					rows := sc.avals[u]
+					for t := 0; t < nm; t++ {
+						row := rows[t]
+						z := b*nm + t
+						if z >= a.Z {
+							for d := range row {
+								row[d] = 0
+							}
+							continue
+						}
+						base := z * npix
+						for d := 0; d < nd; d++ {
+							if p0+d < npix {
+								row[d] = qa.Data[base+p0+d]
+							} else {
+								row[d] = 0
 							}
 						}
-						av[t] = row
 					}
-					weights[u], avals[u] = wv, av
 				}
-				part := g.Step(weights, avals)
+				part := g.stepPrequantized(sc.part, sc.weights[:nu], sc.avals[:nu])
 				if c.ins != nil {
 					c.ins.step(gi, nu)
 				}
@@ -348,7 +374,7 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 					acc[d] += part[d]
 				}
 			}
-			for d := 0; d < c.cfg.Nd && p0+d < npix; d++ {
+			for d := 0; d < nd && p0+d < npix; d++ {
 				v := acc[d] * outScale
 				if relu && v < 0 {
 					v = 0
@@ -368,9 +394,9 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 	if w.Z != a.Z || w.Y != a.Y || w.X != a.X {
 		panic("core: FC kernel shape must match the input volume") //lint:ignore exit-hygiene FC kernel shape invariant; caller bug
 	}
-	na, aScale := normalizeInput(a)
-	nw, wScale := normalizeKernels(w)
-	outScale := aScale * wScale
+	qa, aScale := c.prequantizeInput(a)
+	pr := c.programFor(progBlock, w)
+	outScale := aScale * pr.wScale
 	out := make([]float64, w.M)
 	sp := c.ins.beginLayer("fc", w.M, w.Z, w.Y, w.X)
 	defer sp.End()
@@ -378,31 +404,31 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 		return out
 	}
 	n := a.Z * a.Y * a.X
+	nm := c.cfg.Nm
 	for m := 0; m < w.M; m++ {
 		gi := c.assignGroup(m)
 		g := c.groups[gi]
-		elemsPerCycle := g.Capacity() * c.cfg.Nm
+		nug := g.Capacity()
+		sc := &g.conv
 		c.ins.tile(sp, m, gi)
 		var acc float64
-		for e0 := 0; e0 < n; e0 += elemsPerCycle {
-			nu := (min(elemsPerCycle, n-e0) + c.cfg.Nm - 1) / c.cfg.Nm
-			weights := make([][]float64, nu)
-			avals := make([][][]float64, nu)
+		for b0 := 0; b0 < pr.slotsPer; b0 += nug {
+			nu := min(nug, pr.slotsPer-b0)
 			for u := 0; u < nu; u++ {
-				wv := make([]float64, c.cfg.Nm)
-				av := make([][]float64, c.cfg.Nm)
-				for t := 0; t < c.cfg.Nm; t++ {
-					row := make([]float64, c.cfg.Nd)
-					e := e0 + u*c.cfg.Nm + t
-					if e < n {
-						wv[t] = nw.Data[m*n+e]
-						row[0] = na.Data[e]
+				b := b0 + u
+				sc.weights[u] = pr.slot(m, b)
+				rows := sc.avals[u]
+				for t := 0; t < nm; t++ {
+					row := rows[t]
+					for d := range row {
+						row[d] = 0
 					}
-					av[t] = row
+					if e := b*nm + t; e < n {
+						row[0] = qa.Data[e]
+					}
 				}
-				weights[u], avals[u] = wv, av
 			}
-			part := g.Step(weights, avals)
+			part := g.stepPrequantized(sc.part, sc.weights[:nu], sc.avals[:nu])
 			if c.ins != nil {
 				c.ins.step(gi, nu)
 			}
@@ -425,11 +451,11 @@ func min(a, b int) int {
 }
 
 // ConvConcurrent is Conv with the PLCGs driven by parallel goroutines.
-// PLCGs are independent hardware blocks with private noise streams, so
-// partitioning kernels by their owning group preserves every group's
-// sequential draw order: the result is bit-identical to Conv for the
-// dense stride/pad path. Grouped and depthwise layers fall back to the
-// sequential implementation.
+// PLCGs are independent hardware blocks with private noise streams and
+// private scratch arenas, so partitioning kernels by their owning
+// group preserves every group's sequential draw order: the result is
+// bit-identical to Conv for the dense stride/pad path. Grouped and
+// depthwise layers fall back to the sequential implementation.
 func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
 	if cfg.Depthwise || (cfg.Groups != 0 && cfg.Groups != 1) {
 		return c.Conv(a, w, cfg, relu)
@@ -441,9 +467,9 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 	if stride == 0 {
 		stride = 1
 	}
-	na, aScale := normalizeInput(a)
-	nw, wScale := normalizeKernels(w)
-	outScale := aScale * wScale
+	qa, aScale := c.prequantizeInput(a)
+	pr := c.programFor(progConv, w)
+	outScale := aScale * pr.wScale
 	by := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
 	bx := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
 	out := tensor.NewVolume(w.M, by, bx)
@@ -452,7 +478,6 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 	if outScale == 0 {
 		return out
 	}
-	chunks := c.tapChunks(w.Y, w.X)
 
 	var wg sync.WaitGroup
 	for pos := range c.active {
@@ -463,41 +488,10 @@ func (c *Chip) ConvConcurrent(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Co
 			// Kernel ownership is by active-group position, the same
 			// assignment Conv's sequential assignGroup walk produces,
 			// so each PLCU sees its kernels in the same order and the
-			// noise draws stay bit-identical.
+			// noise draws stay bit-identical - and each goroutine
+			// touches exactly one group's scratch arena.
 			for m := pos; m < w.M; m += len(c.active) {
-				gi := c.assignGroup(m)
-				g := c.groups[gi]
-				nug := g.Capacity()
-				c.ins.tile(sp, m, gi)
-				for oy := 0; oy < by; oy++ {
-					for ox0 := 0; ox0 < bx; ox0 += c.cfg.Nd {
-						acc := make([]float64, c.cfg.Nd)
-						for z0 := 0; z0 < w.Z; z0 += nug {
-							for _, ch := range chunks {
-								nu := min(nug, w.Z-z0)
-								weights := make([][]float64, nu)
-								avals := make([][][]float64, nu)
-								for u := 0; u < nu; u++ {
-									weights[u], avals[u] = c.buildSlot(na, nw, m, z0+u, z0+u, oy, ox0, stride, cfg.Pad, ch)
-								}
-								part := g.Step(weights, avals)
-								if c.ins != nil {
-									c.ins.step(gi, nu)
-								}
-								for d := range acc {
-									acc[d] += part[d]
-								}
-							}
-						}
-						for d := 0; d < c.cfg.Nd && ox0+d < bx; d++ {
-							v := acc[d] * outScale
-							if relu && v < 0 {
-								v = 0
-							}
-							out.Set(m, oy, ox0+d, v)
-						}
-					}
-				}
+				c.convKernel(qa, pr, sp, out, m, by, bx, stride, cfg.Pad, relu, outScale)
 			}
 		}()
 	}

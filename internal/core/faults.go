@@ -93,10 +93,14 @@ func (p *PLCU) InjectFault(f Fault) {
 		panic("core: drift models progressive detuning; only DetunedRing faults drift") //lint:ignore exit-hygiene unphysical fault parameter; caller bug
 	}
 	p.faults = append(p.faults, f)
+	p.faultEpoch++
 }
 
 // ClearFaults removes all injected defects.
-func (p *PLCU) ClearFaults() { p.faults = nil }
+func (p *PLCU) ClearFaults() {
+	p.faults = nil
+	p.faultEpoch++
+}
 
 // Faults returns the injected defects.
 func (p *PLCU) Faults() []Fault { return p.faults }

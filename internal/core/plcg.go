@@ -26,6 +26,16 @@ type PLCG struct {
 	// avail lists the healthy (non-quarantined) unit indices in
 	// ascending order; Step slot i drives units[avail[i]].
 	avail []int
+	// sumBuf and curBuf are the group's reduction scratch: the analog
+	// cross-unit sum and the per-unit currents StepInto reuses across
+	// cycles instead of allocating per call.
+	sumBuf, curBuf []float64
+	// conv is the group-owned scratch arena the chip's layer loops
+	// (Conv, ConvConcurrent, depthwise, Pointwise, FullyConnected)
+	// stage slot weights and activations in. Group-owned so
+	// ConvConcurrent's one-goroutine-per-PLCG partitioning keeps it
+	// race-free.
+	conv convScratch
 }
 
 // NewPLCG builds a functional PLCG. Each PLCU gets a distinct noise
@@ -48,6 +58,9 @@ func NewPLCG(cfg Config) *PLCG {
 		adc:              photonics.ADC{Bits: cfg.ADCBits, SampleRate: cfg.ModulationRate()},
 		fullScaleCurrent: float64(cfg.Nu*cfg.Nm) * units[0].UnitCurrent(),
 		avail:            avail,
+		sumBuf:           make([]float64, cfg.Nd),
+		curBuf:           make([]float64, cfg.Nd),
+		conv:             newConvScratch(cfg),
 	}
 }
 
@@ -86,31 +99,75 @@ func (g *PLCG) restoreAll() {
 // tail channel groups; missing units idle. Quarantined units are
 // never driven.
 func (g *PLCG) Step(weights [][]float64, avals [][][]float64) []float64 {
+	return g.StepInto(make([]float64, g.cfg.Nd), weights, avals)
+}
+
+// StepInto is the in-place variant of Step: it writes the Nd
+// aggregated values into dst (which must have length Nd) and returns
+// it. The reduction scratch is group-owned, so StepInto is not safe
+// for concurrent use on one PLCG.
+//
+//hot: steady-state per-cycle group entry point; must not allocate.
+func (g *PLCG) StepInto(dst []float64, weights [][]float64, avals [][][]float64) []float64 {
 	if len(weights) > len(g.avail) || len(weights) != len(avals) {
 		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d", //lint:ignore exit-hygiene slot-count shape invariant; caller bug
 			len(g.avail), len(weights), len(avals)))
 	}
-	sum := make([]float64, g.cfg.Nd)
+	sum := g.sumBuf
+	for d := range sum {
+		sum[d] = 0
+	}
 	for i := range weights {
-		cur := g.units[g.avail[i]].Currents(weights[i], avals[i])
+		cur := g.units[g.avail[i]].CurrentsInto(g.curBuf, weights[i], avals[i])
 		for d, c := range cur {
 			sum[d] += c
 		}
 	}
+	return g.aggregate(dst, sum, len(weights))
+}
+
+// stepPrequantized is StepInto for compiled weight-program slots and
+// pre-quantized activation rows: the quantization work is already
+// done, so healthy slots go straight to the analog datapath. Cycle
+// counts, noise draws, and ADC behaviour match Step bit for bit.
+//
+//hot: weight-stationary group inner loop; must not allocate.
+func (g *PLCG) stepPrequantized(dst []float64, qw [][]float64, qa [][][]float64) []float64 {
+	if len(qw) > len(g.avail) || len(qw) != len(qa) {
+		panic(fmt.Sprintf("core: step wants <=%d matched channel slots, got %d/%d", //lint:ignore exit-hygiene slot-count shape invariant; caller bug
+			len(g.avail), len(qw), len(qa)))
+	}
+	sum := g.sumBuf
+	for d := range sum {
+		sum[d] = 0
+	}
+	for i := range qw {
+		cur := g.units[g.avail[i]].currentsPrequantized(g.curBuf, qw[i], qa[i])
+		for d, c := range cur {
+			sum[d] += c
+		}
+	}
+	return g.aggregate(dst, sum, len(qw))
+}
+
+// aggregate applies the TIA + shared-ADC stage to the analog sum of
+// nslots active units and writes the value-domain result into dst.
+//
+//hot: shared aggregation tail; must not allocate.
+func (g *PLCG) aggregate(dst, sum []float64, nslots int) []float64 {
 	unit := g.units[0].UnitCurrent()
 	// The TIA gain is programmed per layer so the ADC full scale
 	// matches the active PLCU population: a depthwise layer driving a
 	// single PLCU digitizes against a 3x smaller range than a dense
 	// layer driving all Nu units.
-	fs := float64(len(weights)*g.cfg.Nm) * unit
+	fs := float64(nslots*g.cfg.Nm) * unit
 	if fs <= 0 {
 		fs = g.fullScaleCurrent
 	}
-	out := make([]float64, g.cfg.Nd)
 	for d, c := range sum {
-		out[d] = g.adc.Quantize(c, fs) / unit
+		dst[d] = g.adc.Quantize(c, fs) / unit
 	}
-	return out
+	return dst
 }
 
 // ValueLSB returns the aggregation-unit quantization step in the value

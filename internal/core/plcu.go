@@ -43,9 +43,19 @@ type PLCU struct {
 	rng         *rand.Rand
 	// faults holds injected hardware defects (see faults.go).
 	faults []Fault
+	// faultEpoch advances on every InjectFault/ClearFaults so the
+	// chip's weight-program cache can detect that previously compiled
+	// fault-effective weights are stale.
+	faultEpoch int64
 	// cycles counts Currents calls - the unit's elapsed modulation
 	// cycles, which progressive (drifting) faults key off.
 	cycles int64
+	// qwBuf and qaBuf are the unit's scratch arena: the quantized
+	// weight vector and activation matrix CurrentsInto reuses across
+	// cycles instead of allocating per call. qaBuf rows share one
+	// backing array.
+	qwBuf []float64
+	qaBuf [][]float64
 }
 
 // NewPLCU builds a functional PLCU for the given configuration. The
@@ -76,6 +86,12 @@ func NewPLCU(cfg Config) *PLCU {
 	np := noise.DefaultParams()
 	np.Bandwidth = cfg.ModulationRate()
 
+	qaData := make([]float64, cfg.Nm*cfg.Nd)
+	qaBuf := make([][]float64, cfg.Nm)
+	for t := 0; t < cfg.Nm; t++ {
+		qaBuf[t] = qaData[t*cfg.Nd : (t+1)*cfg.Nd : (t+1)*cfg.Nd]
+	}
+
 	return &PLCU{
 		cfg:         cfg,
 		unitCurrent: pd.Responsivity * delivered,
@@ -85,6 +101,8 @@ func NewPLCU(cfg Config) *PLCU {
 		wq:          quant.NewWeight(cfg.DACBits, 1),
 		aq:          quant.NewActivation(cfg.DACBits, 1),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		qwBuf:       make([]float64, cfg.Nm),
+		qaBuf:       qaBuf,
 	}
 }
 
@@ -134,6 +152,18 @@ func (p *PLCU) quantizeWeight(w float64) float64 {
 // weight t. For the native 3x3 stride-1 mapping, avals[t][d] =
 // field[t/Wx][t%Wx + d], the overlapping receptive fields of Figure 5.
 func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
+	return p.CurrentsInto(make([]float64, p.cfg.Nd), weights, avals)
+}
+
+// CurrentsInto is the in-place variant of Currents: it writes the Nd
+// differential currents into dst (which must have length Nd) and
+// returns it, allocating nothing. The quantized weight vector and
+// activation matrix live in the unit's scratch arena, so CurrentsInto
+// is not safe for concurrent use on one PLCU - which mirrors the
+// hardware: a unit executes one modulation cycle at a time.
+//
+//hot: steady-state per-cycle entry point; must not allocate.
+func (p *PLCU) CurrentsInto(dst, weights []float64, avals [][]float64) []float64 {
 	cfg := p.cfg
 	p.cycles++
 	if len(weights) != cfg.Nm {
@@ -145,23 +175,41 @@ func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
 
 	// DAC quantization at the electrical/optical boundary, then any
 	// stuck-modulator faults.
-	qw := make([]float64, cfg.Nm)
 	for t, w := range weights {
-		qw[t] = p.effectiveWeight(t, p.quantizeWeight(w))
+		p.qwBuf[t] = p.effectiveWeight(t, p.quantizeWeight(w))
 	}
-	qa := make([][]float64, cfg.Nm)
 	for t := range avals {
 		if len(avals[t]) != cfg.Nd {
 			panic(fmt.Sprintf("core: tap %d wants %d activations, got %d", t, cfg.Nd, len(avals[t]))) //lint:ignore exit-hygiene per-tap activation shape invariant; caller bug
 		}
-		row := make([]float64, cfg.Nd)
+		row := p.qaBuf[t]
 		for d, a := range avals[t] {
 			row[d] = p.aq.Quantize(a)
 		}
-		qa[t] = row
 	}
+	return p.accumulate(dst, p.qwBuf, p.qaBuf)
+}
 
-	out := make([]float64, cfg.Nd)
+// currentsPrequantized runs one cycle on weights and activations that
+// are already on the DAC grids: qw holds fault-effective quantized
+// weights (a compiled weight-program slot) and qa rows hold quantized
+// activations. It advances the same cycle counter and draws the same
+// noise samples as Currents, so outputs are bit-identical to the
+// quantize-on-entry path.
+//
+//hot: weight-stationary inner loop; must not allocate.
+func (p *PLCU) currentsPrequantized(dst []float64, qw []float64, qa [][]float64) []float64 {
+	p.cycles++
+	return p.accumulate(dst, qw, qa)
+}
+
+// accumulate is the shared analog datapath: MZM scaling, MRR routing
+// with crosstalk and ring faults, balanced detection, and noise. qw
+// and qa must already be quantized and fault-adjusted.
+//
+//hot: innermost per-column loop; must not allocate.
+func (p *PLCU) accumulate(dst []float64, qw []float64, qa [][]float64) []float64 {
+	cfg := p.cfg
 	for d := 0; d < cfg.Nd; d++ {
 		var pos, neg float64
 		for t := 0; t < cfg.Nm; t++ {
@@ -199,9 +247,9 @@ func (p *PLCU) Currents(weights []float64, avals [][]float64) []float64 {
 		if !cfg.DisableNoise {
 			i += p.np.Sample(p.rng, p.unitCurrent, cfg.Nm)
 		}
-		out[d] = i
+		dst[d] = i
 	}
-	return out
+	return dst
 }
 
 // Dot computes the Nd dot products in the value domain (no ADC): the
@@ -214,6 +262,17 @@ func (p *PLCU) Dot(weights []float64, avals [][]float64) []float64 {
 		cur[i] /= p.unitCurrent
 	}
 	return cur
+}
+
+// DotInto is the in-place variant of Dot: dst must have length Nd.
+// Like CurrentsInto it allocates nothing and is not safe for
+// concurrent use on one PLCU.
+func (p *PLCU) DotInto(dst, weights []float64, avals [][]float64) []float64 {
+	p.CurrentsInto(dst, weights, avals)
+	for i := range dst {
+		dst[i] /= p.unitCurrent
+	}
+	return dst
 }
 
 // ReceptiveFieldAVals lays out a KernelH x (Nd+KernelW-1) input field

@@ -40,6 +40,7 @@ func (c *Chip) Quarantine(group, unit int) error {
 		return fmt.Errorf("core: %v is already quarantined", UnitRef{group, unit})
 	}
 	c.rebuildActiveGroups()
+	c.schedEpoch++
 	if c.ins != nil {
 		c.ins.quarantines.Inc()
 		if c.ins.trace != nil {
@@ -60,6 +61,7 @@ func (c *Chip) ClearQuarantine() {
 		g.restoreAll()
 	}
 	c.rebuildActiveGroups()
+	c.schedEpoch++
 }
 
 // Quarantined lists the quarantined units in (group, unit) order.
@@ -109,9 +111,16 @@ func (c *Chip) rebuildActiveGroups() {
 // chip this is exactly m % Ng; under quarantine, work that would have
 // landed on a dead group is remapped and counted.
 func (c *Chip) assignGroup(m int) int {
-	gi := c.active[m%len(c.active)]
+	gi := c.activeGroup(m)
 	if c.ins != nil && gi != m%c.cfg.Ng {
 		c.ins.remaps.Inc()
 	}
 	return gi
+}
+
+// activeGroup is assignGroup without the remap accounting: the pure
+// round-robin mapping. Program compilation uses it so cache rebuilds
+// do not double-count remapped tiles.
+func (c *Chip) activeGroup(m int) int {
+	return c.active[m%len(c.active)]
 }

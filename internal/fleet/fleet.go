@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"albireo/internal/core"
 	"albireo/internal/health"
@@ -179,8 +180,14 @@ type Scheduler struct {
 	workers []*worker
 	pending []*pendingBatch
 	byKey   map[batchKey]*pendingBatch
-	queued  int
-	ticks   int64
+	// queued counts admitted-but-unfinished requests. It is atomic so
+	// workers can release queue slots on completion without taking the
+	// scheduler mutex - on a busy pool the per-request completion lock
+	// was the serialization point that kept added chips from adding
+	// throughput. Admission still checks it under mu, so the depth
+	// bound and the queue-capacity invariant are unchanged.
+	queued atomic.Int64
+	ticks  int64
 	started bool
 	closed  bool
 	wg      sync.WaitGroup
@@ -354,15 +361,37 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 		s.mu.Unlock()
 		return &Future{err: ErrClosed}
 	}
-	if s.queued >= s.opt.QueueDepth {
+	if s.queued.Load() >= int64(s.opt.QueueDepth) {
 		s.shed.Inc()
-		s.span.Event(obs.RequestShed, opName(req), obs.Int("queued", int64(s.queued)))
+		if s.trace != nil {
+			s.span.Event(obs.RequestShed, opName(req), obs.Int("queued", s.queued.Load()))
+		}
 		s.mu.Unlock()
 		return &Future{err: ErrOverloaded}
 	}
-	s.queued++
-	s.depth.Set(float64(s.queued))
+	s.queued.Add(1)
+	s.depth.Add(1)
 	s.admitted.Inc()
+	// No-linger fast path: with nothing pending (nothing could be
+	// stranded waiting for a route, so FIFO order is safe) the request
+	// is its own batch - route it directly and skip the coalescing
+	// map, the pendingBatch, and the one-element batch slice.
+	if s.opt.MaxLinger == 0 && len(s.pending) == 0 {
+		if best := s.pickWorkerLocked(); best != nil {
+			best.assigned++
+			s.batchSize.Observe(1)
+			best.batches.Inc()
+			if s.trace != nil {
+				s.span.Event(obs.BatchDispatched, opName(req),
+					obs.Int("worker", int64(best.id)),
+					obs.Int("size", 1),
+					obs.Int("age_ticks", 0))
+			}
+			best.queue <- workItem{single: req}
+			s.mu.Unlock()
+			return &Future{req: req}
+		}
+	}
 	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu}
 	pb := s.byKey[key]
 	if pb == nil {
@@ -399,6 +428,26 @@ func (s *Scheduler) flushLocked(force bool) {
 // minimizing assigned/weight, ties to the lowest id). Integer
 // cross-multiplication keeps the comparison exact and deterministic.
 func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
+	best := s.pickWorkerLocked()
+	if best == nil {
+		return false
+	}
+	best.assigned++
+	s.batchSize.Observe(float64(len(pb.reqs)))
+	best.batches.Inc()
+	if s.trace != nil {
+		s.span.Event(obs.BatchDispatched, opName(pb.reqs[0]),
+			obs.Int("worker", int64(best.id)),
+			obs.Int("size", int64(len(pb.reqs))),
+			obs.Int("age_ticks", int64(pb.age)))
+	}
+	best.queue <- workItem{batch: pb.reqs}
+	return true
+}
+
+// pickWorkerLocked returns the in-service worker with the smallest
+// weighted backlog, or nil when none is eligible.
+func (s *Scheduler) pickWorkerLocked() *worker {
 	var best *worker
 	for _, w := range s.workers {
 		if !w.inService || w.weight <= 0 {
@@ -408,18 +457,7 @@ func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
 			best = w
 		}
 	}
-	if best == nil {
-		return false
-	}
-	best.assigned++
-	s.batchSize.Observe(float64(len(pb.reqs)))
-	best.batches.Inc()
-	s.span.Event(obs.BatchDispatched, opName(pb.reqs[0]),
-		obs.Int("worker", int64(best.id)),
-		obs.Int("size", int64(len(pb.reqs))),
-		obs.Int("age_ticks", int64(pb.age)))
-	best.queue <- workItem{batch: pb.reqs}
-	return true
+	return best
 }
 
 // inServiceLocked lists workers eligible for routing.
@@ -450,7 +488,7 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	// Whatever could not dispatch fails now rather than hanging.
 	for _, pb := range s.pending {
 		for _, req := range pb.reqs {
-			s.deliverLocked(req, result{err: ErrClosed})
+			s.deliver(req, result{err: ErrClosed})
 		}
 		delete(s.byKey, pb.key)
 	}
@@ -477,12 +515,14 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	}
 }
 
-// deliverLocked hands a result to the submitter and releases the
-// queue slot.
-func (s *Scheduler) deliverLocked(req *request, res result) {
+// deliver hands a result to the submitter and releases the queue
+// slot. It takes no lock: the counter and the gauge are atomic, and
+// the gauge moves by increments (not absolute stores) so concurrent
+// completions cannot strand a stale depth reading.
+func (s *Scheduler) deliver(req *request, res result) {
 	req.done <- res
-	s.queued--
-	s.depth.Set(float64(s.queued))
+	s.queued.Add(-1)
+	s.depth.Add(-1)
 }
 
 // opName labels a request for trace events.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -488,4 +489,73 @@ func TestFleetNewValidates(t *testing.T) {
 	if _, err := fleet.New(fleet.Options{}, fleet.Unit{}); err == nil {
 		t.Fatal("New accepted a unit with no backend")
 	}
+}
+
+// TestFleetPoolScaling pins the scaling property the serving story
+// rests on: adding a second chip must not make the fleet slower. The
+// regression it guards against was real - cold per-worker weight
+// compiles inside the measurement window plus a per-request completion
+// lock made pool2 lose to pool1 outright. On a single-core host the
+// pools can only tie, so the assertion allows a grace margin; what it
+// forbids is pool2 losing decisively.
+func TestFleetPoolScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive pool-scaling check; skipped under -short")
+	}
+	net := inference.TinyCNN(3, 8, 42)
+	input := tensor.RandomVolume(3, 8, 8, 9)
+	const (
+		streams   = 4 // concurrent submitters
+		perStream = 5 // inferences per submitter per trial
+		trials    = 3 // best-of, to shed scheduler noise
+	)
+	measure := func(pool int) time.Duration {
+		units := make([]fleet.Unit, pool)
+		for i := range units {
+			units[i] = analogUnit(int64(1 + i))
+		}
+		s, err := fleet.New(fleet.Options{MaxBatch: 8, QueueDepth: 64}, units...)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		defer s.Close(context.Background())
+		// Warm every chip's weight-program cache so the timed trials
+		// measure steady-state serving, as production does.
+		for i := range units {
+			_ = net.Run(units[i].Backend, input)
+		}
+		best := time.Duration(math.MaxInt64)
+		for trial := 0; trial < trials; trial++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for st := 0; st < streams; st++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < perStream; k++ {
+						bound := s.Bind(context.Background())
+						_ = net.Run(bound, input)
+						if err := bound.Err(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	t1 := measure(1)
+	t2 := measure(2)
+	if float64(t2) > float64(t1)*1.25 {
+		t.Fatalf("pool2 decisively slower than pool1: pool1=%v pool2=%v (limit 1.25x)", t1, t2)
+	}
+	t.Logf("pool1=%v pool2=%v", t1, t2)
 }

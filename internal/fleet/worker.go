@@ -9,11 +9,13 @@ import (
 	"albireo/internal/obs"
 )
 
-// workItem is one unit of work on a worker queue: either a batch of
-// requests to execute or a BIST re-probe.
+// workItem is one unit of work on a worker queue: a batch of requests
+// to execute, a single directly dispatched request (the no-linger fast
+// path, which skips the batch slice), or a BIST re-probe.
 type workItem struct {
-	batch []*request
-	probe bool
+	batch  []*request
+	single *request
+	probe  bool
 }
 
 // worker is one pool member plus its routing state. Routing state
@@ -84,11 +86,14 @@ func (w *worker) run(req *request) result {
 func (s *Scheduler) serveWorker(w *worker) {
 	defer s.wg.Done()
 	for item := range w.queue {
-		if item.probe {
+		switch {
+		case item.probe:
 			s.runProbe(w)
-			continue
+		case item.single != nil:
+			s.runSingle(w, item.single)
+		default:
+			s.runBatch(w, item.batch)
 		}
-		s.runBatch(w, item.batch)
 	}
 }
 
@@ -97,27 +102,49 @@ func (s *Scheduler) serveWorker(w *worker) {
 // context error; the rest run back to back on the backend - the
 // amortization the batchKey compatibility rule exists to enable.
 func (s *Scheduler) runBatch(w *worker, batch []*request) {
+	if s.trace == nil {
+		for _, req := range batch {
+			s.runOne(w, req)
+		}
+		return
+	}
 	sp := s.span.StartSpan("fleet/execute",
 		obs.Int("worker", int64(w.id)),
 		obs.Int("size", int64(len(batch))))
 	executed := 0
 	for _, req := range batch {
-		if err := req.ctx.Err(); err != nil {
-			s.mu.Lock()
-			s.canceled.Inc()
-			s.deliverLocked(req, result{err: err})
-			s.mu.Unlock()
-			continue
-		}
-		res := w.run(req)
-		executed++
-		w.requests.Inc()
-		s.mu.Lock()
-		s.completed.Inc()
-		s.deliverLocked(req, res)
-		s.mu.Unlock()
+		executed += s.runOne(w, req)
 	}
 	sp.End(obs.Int("executed", int64(executed)))
+}
+
+// runSingle executes a directly dispatched request. The instrumented
+// path wraps it in a one-element batch so execute spans keep a single
+// shape; uninstrumented, the wrapper slice is skipped too.
+func (s *Scheduler) runSingle(w *worker, req *request) {
+	if s.trace == nil {
+		s.runOne(w, req)
+		return
+	}
+	s.runBatch(w, []*request{req})
+}
+
+// runOne executes one request and delivers its result, entirely
+// lock-free: the counters are atomic and deliver releases the queue
+// slot without the scheduler mutex, so workers never serialize on
+// completing work. Returns 1 if the backend ran the request, 0 if it
+// was skipped as canceled.
+func (s *Scheduler) runOne(w *worker, req *request) int {
+	if err := req.ctx.Err(); err != nil {
+		s.canceled.Inc()
+		s.deliver(req, result{err: err})
+		return 0
+	}
+	res := w.run(req)
+	w.requests.Inc()
+	s.completed.Inc()
+	s.deliver(req, res)
+	return 1
 }
 
 // runProbe re-scans a drained worker's chip and applies the verdict.

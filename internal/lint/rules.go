@@ -16,6 +16,7 @@ func Default() []*Rule {
 		FloatEquality(),
 		ExitHygiene(),
 		GoroutineHygiene(),
+		HotPathAlloc(),
 	}
 }
 
@@ -488,4 +489,54 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 		}
 	}
 	return nil
+}
+
+// HotPathAlloc flags heap allocation in the analog hot path. A
+// function whose doc comment carries a line starting "//hot:" declares
+// itself per-cycle code under the zero-allocation contract (see
+// internal/core/alloc_test.go); a make() inside it allocates on every
+// cycle and silently costs throughput long before the AllocsPerRun
+// tests catch the regression at the layer level. Advisory: the
+// AllocsPerRun tests are the enforcement; this points at the exact
+// site.
+func HotPathAlloc() *Rule {
+	return &Rule{
+		Name:     "hot-path-alloc",
+		Doc:      "make() inside a //hot:-marked function allocates per cycle; reuse a scratch arena or take a dst parameter (advisory)",
+		Severity: Warn,
+		Applies:  func(f *File) bool { return f.InPackage("internal/core") && !f.IsTest },
+		Check: func(f *File, r *Reporter) {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hotMarked(fd.Doc) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok || id.Name != "make" || id.Obj != nil {
+						return true
+					}
+					r.Reportf(call.Pos(), "make() in //hot: function %s; per-cycle code must reuse scratch (allocate in the constructor or take a dst parameter)", fd.Name.Name)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// hotMarked reports whether a doc comment contains a //hot: line.
+func hotMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//hot:") {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,29 @@
+// Fixture for the hot-path-alloc rule: make() inside a function whose
+// doc comment carries a //hot: line allocates per modulation cycle.
+package fixture
+
+// accumulate is the innermost loop.
+//
+//hot: per-cycle; must not allocate.
+func accumulate(dst []float64) []float64 {
+	tmp := make([]float64, len(dst))
+	for i := range tmp {
+		tmp[i] = dst[i] * 2
+	}
+	return tmp
+}
+
+//hot: per-cycle entry point.
+func entry(vals []float64) map[int]float64 {
+	//lint:ignore hot-path-alloc fixtures demonstrate suppression
+	out := make(map[int]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+// cold is unmarked: construction-time allocation is fine.
+func cold(n int) []float64 {
+	return make([]float64, n)
+}
