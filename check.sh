@@ -5,9 +5,12 @@
 #   vet        stdlib static analysis
 #   race test  the full suite under the race detector (the Conv vs
 #              ConvConcurrent bit-identity tests run here)
-#   lint       albireo-lint: determinism, obs-determinism, unit-safety,
-#              float-equality, exit-hygiene, goroutine-hygiene (see
-#              README.md)
+#   lint       albireo-lint: the type-aware module rules
+#              (hotpath-alloc-proof, lock-order,
+#              map-iteration-determinism) plus determinism,
+#              obs-determinism, unit-safety, float-equality,
+#              exit-hygiene, goroutine-hygiene (see README.md); the
+#              JSON report lands in lint.out, archived by CI
 #   bench      one-iteration smoke over every benchmark (catches bench
 #              bit-rot; output lands in bench.out, archived by CI)
 #   alloc gate the hot-path benchmarks at a fixed iteration count,
@@ -35,8 +38,8 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> albireo-lint ./..."
-go run ./cmd/albireo-lint ./...
+echo "==> albireo-lint ./... (JSON report in lint.out)"
+go run ./cmd/albireo-lint -json lint.out ./...
 
 echo "==> bench smoke (1 iteration, output in bench.out)"
 go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out

@@ -135,7 +135,8 @@ func (o *chipObs) tile(sp *obs.Span, m, gi int) {
 	if o == nil || o.trace == nil {
 		return
 	}
-	sp.Event(obs.TileScheduled, fmt.Sprintf("kernel%d", m), obs.Int("plcg", int64(gi)))
+	//lint:ignore hotpath-alloc-proof trace-gated: runs only with a trace attached, once per tile (not per cycle); attr packing is the Span API
+	sp.Event(obs.TileScheduled, "tile", obs.Int("kernel", int64(m)), obs.Int("plcg", int64(gi)))
 }
 
 // InjectFault injects a defect into PLCU unit of PLCG group and

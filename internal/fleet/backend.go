@@ -74,12 +74,17 @@ func (b *BoundBackend) Err() error {
 	return b.err
 }
 
-// name summarizes the pool for Backend naming.
+// name summarizes the pool for Backend naming. The worker snapshot is
+// taken under the lock but Name() runs outside it: a backend is free
+// to take its own locks (or, wrapped, come back through this
+// scheduler), so calling it with s.mu held invites lock-order cycles.
 func (s *Scheduler) name() string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.workers) == 1 {
-		return s.workers[0].backend.Name()
+	n := len(s.workers)
+	first := s.workers[0].backend
+	s.mu.Unlock()
+	if n == 1 {
+		return first.Name()
 	}
-	return s.workers[0].backend.Name() + " x" + strconv.Itoa(len(s.workers))
+	return first.Name() + " x" + strconv.Itoa(n)
 }

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	graphOnce sync.Once
+	graph     *CallGraph
+)
+
+// fixtureGraph builds the call graph over the fixture module once.
+func fixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	m := fixtureModule(t)
+	graphOnce.Do(func() { graph = BuildCallGraph(m) })
+	return graph
+}
+
+// nodeByName finds the unique graph node whose function has the given
+// name within the given package dir.
+func nodeByName(t *testing.T, g *CallGraph, dir, name string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range g.Nodes() {
+		if n.Obj.Name() == name && n.File.InPackage(dir) {
+			if found != nil {
+				t.Fatalf("ambiguous node %s in %s", name, dir)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node %s in %s", name, dir)
+	}
+	return found
+}
+
+// calleeNames renders an edge's fan-out as sorted full names.
+func calleeNames(e Edge) []string {
+	var out []string
+	for _, c := range e.Callees {
+		out = append(out, c.FullName())
+	}
+	return out
+}
+
+func TestCallGraphStaticEdge(t *testing.T) {
+	g := fixtureGraph(t)
+	drive := nodeByName(t, g, "internal/cg", "Drive")
+	var static []string
+	for _, e := range drive.Edges {
+		if e.Kind == EdgeStatic {
+			static = append(static, calleeNames(e)...)
+		}
+	}
+	if len(static) != 1 || !strings.HasSuffix(static[0], "cg.helper") {
+		t.Errorf("Drive static callees = %q, want exactly cg.helper", static)
+	}
+}
+
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	g := fixtureGraph(t)
+	drive := nodeByName(t, g, "internal/cg", "Drive")
+	var iface *Edge
+	for i := range drive.Edges {
+		if drive.Edges[i].Kind == EdgeInterface {
+			if iface != nil {
+				t.Fatal("Drive has more than one interface edge")
+			}
+			iface = &drive.Edges[i]
+		}
+	}
+	if iface == nil {
+		t.Fatal("Drive has no interface edge for r.Run")
+	}
+	got := calleeNames(*iface)
+	// CHA fan-out: both the value-receiver Fast.Run and the
+	// pointer-receiver (*Slow).Run implement Runner.
+	joined := strings.Join(got, " ")
+	if len(got) != 2 ||
+		!strings.Contains(joined, "Fast") || !strings.Contains(joined, "Slow") {
+		t.Errorf("interface fan-out = %q, want Fast.Run and (*Slow).Run", got)
+	}
+}
+
+func TestCallGraphFuncValueFanOut(t *testing.T) {
+	g := fixtureGraph(t)
+	ind := nodeByName(t, g, "internal/cg", "Indirect")
+	var fv *Edge
+	for i := range ind.Edges {
+		if ind.Edges[i].Kind == EdgeFuncValue {
+			fv = &ind.Edges[i]
+		}
+	}
+	if fv == nil {
+		t.Fatal("Indirect has no func-value edge")
+	}
+	got := calleeNames(*fv)
+	// twice is address-taken in Pick and signature-matches; thrice
+	// matches the signature but is never taken as a value, so RTA-lite
+	// excludes it.
+	if len(got) != 1 || !strings.HasSuffix(got[0], "cg.twice") {
+		t.Errorf("func-value fan-out = %q, want exactly cg.twice", got)
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := fixtureGraph(t)
+	drive := nodeByName(t, g, "internal/cg", "Drive")
+	paths := g.Reachable([]*types.Func{drive.Obj})
+	want := map[string]string{
+		"Drive":  "Drive",
+		"helper": "Drive -> helper",
+		"Run":    "", // two Run methods, both reachable; checked below
+	}
+	var runs int
+	for fn, path := range paths {
+		joined := strings.Join(path, " -> ")
+		switch fn.Name() {
+		case "Drive", "helper":
+			if joined != want[fn.Name()] {
+				t.Errorf("path to %s = %q, want %q", fn.Name(), joined, want[fn.Name()])
+			}
+		case "Run":
+			runs++
+			if joined != "Drive -> Run" {
+				t.Errorf("path to %s = %q, want Drive -> Run", fn.FullName(), joined)
+			}
+		default:
+			t.Errorf("unexpected reachable function %s via %q", fn.FullName(), joined)
+		}
+	}
+	if runs != 2 {
+		t.Errorf("reached %d Run methods, want 2", runs)
+	}
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// allocDenyPackages are standard-library packages whose exported
+// functions allocate as a matter of course (formatting, string
+// building, error construction, reflection). A call from hot code
+// into one of these fails the proof at the call site. Packages not
+// listed here (math, math/rand, sync/atomic, ...) are assumed
+// alloc-free; the dynamic AllocsPerRun gate in internal/core backs
+// that assumption at runtime.
+var allocDenyPackages = map[string]bool{
+	"bytes":         true,
+	"encoding/json": true,
+	"errors":        true,
+	"fmt":           true,
+	"log":           true,
+	"os":            true,
+	"reflect":       true,
+	"strconv":       true,
+	"strings":       true,
+}
+
+// HotPathAllocProof is the interprocedural zero-allocation proof for
+// //hot:-marked functions. From each hot root it walks the module
+// call graph (conservative fan-out for interface and function-value
+// calls) and reports every reachable construct the compiler lowers to
+// a heap allocation:
+//
+//   - make, new, append
+//   - slice and map composite literals, &T{...}
+//   - non-constant string concatenation
+//   - []byte(string) / string([]byte) / []rune conversions
+//   - interface boxing of a concrete argument at a call site
+//   - closure (func literal) creation
+//   - variadic argument packing (call without ...)
+//   - calls into allocating stdlib packages (fmt, strings, ...)
+//   - dynamic calls the graph cannot bound to module functions
+//
+// Constructs inside the arguments of a panic() call are exempt: a
+// panicking path has left the steady state, and the repo's invariant
+// panics format their message with fmt.Sprintf at the crash site.
+// Findings are reported at the allocating construct with the call
+// path from a sample hot root, so a //lint:ignore there covers every
+// root that reaches it.
+func HotPathAllocProof() *Rule {
+	rule := &Rule{
+		Name:     "hotpath-alloc-proof",
+		Doc:      "prove //hot:-marked functions transitively allocation-free over the module call graph; any reachable make/new/append, composite literal, string concat, boxing, closure, variadic packing, or fmt-class stdlib call is an error",
+		Severity: Error,
+	}
+	rule.ModuleCheck = func(m *Module, r *ModuleReporter) {
+		g := BuildCallGraph(m)
+		var roots []*types.Func
+		rootless := map[*types.Func]bool{}
+		for _, node := range g.Nodes() {
+			if node.File.IsTest {
+				continue
+			}
+			if hotMarked(node.Decl.Doc) {
+				roots = append(roots, node.Obj)
+			} else {
+				rootless[node.Obj] = true
+			}
+		}
+		if len(roots) == 0 {
+			return
+		}
+		paths := g.Reachable(roots)
+		// Deterministic order: visit reachable functions by position.
+		var reached []*FuncNode
+		for fn := range paths {
+			if node := g.Node(fn); node != nil {
+				reached = append(reached, node)
+			}
+		}
+		sort.Slice(reached, func(i, j int) bool { return reached[i].Decl.Pos() < reached[j].Decl.Pos() })
+		for _, node := range reached {
+			via := strings.Join(paths[node.Obj], " -> ")
+			scanAllocs(node, via, r)
+			reportCallPolicy(node, via, r)
+		}
+	}
+	return rule
+}
+
+// reportCallPolicy flags the call edges of one reachable function that
+// fail the proof: calls into allocating stdlib packages and dynamic
+// calls with no bounded module target.
+func reportCallPolicy(node *FuncNode, via string, r *ModuleReporter) {
+	exempt := panicArgRanges(node.Decl.Body, node.File)
+	for _, e := range node.Edges {
+		if exempt.covers(e.Site.Pos()) {
+			continue
+		}
+		switch e.Kind {
+		case EdgeExternal:
+			pkg := e.External.Pkg()
+			if pkg != nil && allocDenyPackages[pkg.Path()] {
+				r.Reportf(node.File, e.Site.Pos(), "call to %s.%s allocates, reachable from //hot: path %s",
+					pkg.Name(), e.External.Name(), via)
+			}
+		case EdgeInterface:
+			if len(e.Callees) == 0 {
+				r.Reportf(node.File, e.Site.Pos(), "dynamic interface call has no in-module implementation to prove alloc-free, reachable from //hot: path %s", via)
+			}
+		case EdgeFuncValue:
+			if len(e.Callees) == 0 {
+				r.Reportf(node.File, e.Site.Pos(), "indirect call cannot be bounded to module functions, so the alloc proof fails, reachable from //hot: path %s", via)
+			}
+		}
+	}
+}
+
+// posRanges is a set of source ranges (panic arguments) exempt from
+// the proof.
+type posRanges []posRange
+
+type posRange struct{ lo, hi token.Pos }
+
+func (rs posRanges) covers(p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// panicArgRanges collects the source ranges of arguments to builtin
+// panic calls in body.
+func panicArgRanges(body *ast.BlockStmt, f *File) posRanges {
+	var out posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" || !f.isBuiltin(id) {
+			return true
+		}
+		for _, arg := range call.Args {
+			out = append(out, posRange{arg.Pos(), arg.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// scanAllocs reports every allocating construct in one function body.
+func scanAllocs(node *FuncNode, via string, r *ModuleReporter) {
+	f := node.File
+	info := f.Info
+	exempt := panicArgRanges(node.Decl.Body, f)
+	report := func(pos token.Pos, what string) {
+		if exempt.covers(pos) {
+			return
+		}
+		r.Reportf(f, pos, "%s in %s, reachable from //hot: path %s", what, node.Obj.Name(), via)
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			scanCallAllocs(v, f, info, report)
+		case *ast.FuncLit:
+			report(v.Pos(), "closure literal allocates")
+			// Keep walking: the literal's body belongs to this
+			// declaration and runs on the hot path when invoked.
+		case *ast.CompositeLit:
+			scanCompositeAlloc(v, info, report)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := unparen(v.X).(*ast.CompositeLit); ok {
+					report(v.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && info != nil {
+				if tv, ok := info.Types[v]; ok && tv.Value == nil && isStringType(tv.Type) {
+					report(v.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCallAllocs handles the call-shaped constructs: builtins,
+// conversions, boxing, and variadic packing.
+func scanCallAllocs(call *ast.CallExpr, f *File, info *types.Info, report func(token.Pos, string)) {
+	fun := unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok && f.isBuiltin(id) {
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make() allocates")
+		case "new":
+			report(call.Pos(), "new() allocates")
+		case "append":
+			report(call.Pos(), "append() may grow past capacity and allocate")
+		}
+		return
+	}
+	if info == nil {
+		return
+	}
+	// Conversions that copy: string <-> []byte/[]rune.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if convAllocates(tv.Type, call, info) {
+			report(call.Pos(), "string/byte-slice conversion allocates")
+		}
+		return
+	}
+	sig := callSignature(call, info)
+	if sig == nil {
+		return
+	}
+	// Variadic packing: a call that packs >=1 argument into a fresh
+	// slice (f(a, b...) spreads and does not pack).
+	fixed := sig.Params().Len() - 1
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) > fixed {
+		report(call.Pos(), "variadic call packs arguments into a new slice")
+	}
+	// Interface boxing: a concrete, non-constant argument passed to an
+	// interface parameter.
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= fixed {
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			slice, ok := sig.Params().At(fixed).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) || atv.IsNil() {
+			continue
+		}
+		if pointerShaped(atv.Type) {
+			// Pointers, channels, maps, and funcs store directly in
+			// the interface word: no allocation.
+			continue
+		}
+		report(arg.Pos(), "interface boxing of concrete argument allocates")
+	}
+}
+
+// callSignature resolves the signature of a call's function
+// expression.
+func callSignature(call *ast.CallExpr, info *types.Info) *types.Signature {
+	tv, ok := info.Types[unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// convAllocates reports whether a conversion to target copies its
+// operand to the heap: string([]byte), []byte(string), []rune(string),
+// string([]rune).
+func convAllocates(target types.Type, call *ast.CallExpr, info *types.Info) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	atv, ok := info.Types[call.Args[0]]
+	if !ok || atv.Type == nil {
+		return false
+	}
+	// Constant-folded conversions don't allocate.
+	if atv.Value != nil && isStringType(target) {
+		return false
+	}
+	src := atv.Type
+	switch {
+	case isStringType(target) && isByteOrRuneSlice(src):
+		return true
+	case isByteOrRuneSlice(target) && isStringType(src):
+		return true
+	}
+	return false
+}
+
+// pointerShaped reports whether values of t fit the interface data
+// word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// scanCompositeAlloc flags composite literals whose kind always
+// allocates: slices and maps. Value struct literals live on the
+// stack (escape through & or boxing is caught separately).
+func scanCompositeAlloc(lit *ast.CompositeLit, info *types.Info, report func(token.Pos, string)) {
+	if info == nil {
+		return
+	}
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		report(lit.Pos(), "map literal allocates")
+	}
+}

@@ -4,9 +4,13 @@
 // Conv and ConvConcurrent, SI units on every physical quantity, and
 // noise draws that come only from injected *rand.Rand streams - are
 // invariants nothing in the compiler enforces. This package builds a
-// small analyzer framework on the standard library's go/parser,
-// go/ast, and go/token (no external dependencies; go.mod stays empty)
-// and ships the repo-specific rules that keep those invariants honest.
+// type-aware analyzer framework on the standard library's go/parser,
+// go/types, and go/importer (no external dependencies; go.mod stays
+// empty) and ships the repo-specific rules that keep those invariants
+// honest. LoadModule type-checks the whole module; per-file rules get
+// resolved identifiers, and module rules (hotpath-alloc-proof,
+// lock-order, map-iteration-determinism) get a static call graph over
+// the module (see callgraph.go).
 //
 // Each rule may be suppressed at a single site with a directive
 // comment carrying a mandatory reason:
@@ -24,7 +28,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
-	"io/fs"
+	"go/types"
 	"os"
 	"path"
 	"path/filepath"
@@ -68,7 +72,10 @@ func (f Finding) String() string {
 }
 
 // File is the per-file context handed to each rule: the parsed AST plus
-// the module-relative path rules use to scope themselves.
+// the module-relative path rules use to scope themselves. Files loaded
+// through LoadModule additionally carry go/types resolution (Info,
+// Pkg); files parsed standalone leave them nil and rules fall back to
+// syntactic heuristics.
 type File struct {
 	Fset *token.FileSet
 	AST  *ast.File
@@ -80,6 +87,11 @@ type File struct {
 	// Imports maps the local name of each import to its path, e.g.
 	// "rand" -> "math/rand".
 	Imports map[string]string
+	// Info is the package's type-checker resolution (nil when the file
+	// was parsed without loading its module).
+	Info *types.Info
+	// Pkg is the enclosing loaded package (nil without a module load).
+	Pkg *Package
 }
 
 // Dir returns the module-relative directory of the file.
@@ -103,15 +115,20 @@ func (f *File) ImportName(importPath string) string {
 }
 
 // Rule is one analyzer: a name findings are reported (and suppressed)
-// under, a severity, a scope predicate, and the check itself.
+// under, a severity, a scope predicate, and the check itself. A rule
+// is either per-file (Check set) or module-wide (ModuleCheck set);
+// module rules see the type-checked Module and run once per load.
 type Rule struct {
 	Name     string
 	Doc      string
 	Severity Severity
 	// Applies reports whether the rule should run on the file at all.
 	Applies func(*File) bool
-	// Check inspects the file and reports findings.
+	// Check inspects the file and reports findings (per-file rules).
 	Check func(*File, *Reporter)
+	// ModuleCheck inspects the whole loaded module (module rules:
+	// call-graph and cross-function analyses).
+	ModuleCheck func(*Module, *ModuleReporter)
 }
 
 // Reporter collects findings for one (file, rule) pair.
@@ -166,18 +183,74 @@ func NewFile(fset *token.FileSet, astF *ast.File, relPath string) *File {
 	}
 }
 
-// CheckFile runs every applicable rule on one parsed file and returns
-// the surviving findings after //lint:ignore suppression, sorted by
-// position.
+// ModuleReporter collects findings for one module rule. Positions are
+// resolved against the module's FileSet and reported under the file's
+// module-relative path.
+type ModuleReporter struct {
+	mod      *Module
+	rule     *Rule
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos inside file f.
+func (r *ModuleReporter) Reportf(f *File, pos token.Pos, format string, args ...any) {
+	p := f.Fset.Position(pos)
+	p.Filename = f.RelPath
+	*r.findings = append(*r.findings, Finding{
+		Pos:      p,
+		Rule:     r.rule.Name,
+		Severity: r.rule.Severity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckFile runs every applicable per-file rule on one parsed file and
+// returns the surviving findings after //lint:ignore suppression,
+// sorted by position. Module rules (ModuleCheck) are skipped; run them
+// through CheckModule.
 func CheckFile(f *File, rules []*Rule) []Finding {
 	var findings []Finding
 	for _, rule := range rules {
+		if rule.Check == nil {
+			continue
+		}
 		if rule.Applies != nil && !rule.Applies(f) {
 			continue
 		}
 		rule.Check(f, &Reporter{file: f, rule: rule, findings: &findings})
 	}
-	findings = applySuppressions(f, findings)
+	findings = filterSuppressed(findings, suppressionsOf(f))
+	sortFindings(findings)
+	return findings
+}
+
+// CheckModule runs per-file rules over every file of the module and
+// module rules over the module itself, applies //lint:ignore
+// suppression, and returns the surviving findings sorted by position.
+func CheckModule(m *Module, rules []*Rule) []Finding {
+	var findings []Finding
+	for _, f := range m.Files {
+		for _, rule := range rules {
+			if rule.Check == nil {
+				continue
+			}
+			if rule.Applies != nil && !rule.Applies(f) {
+				continue
+			}
+			rule.Check(f, &Reporter{file: f, rule: rule, findings: &findings})
+		}
+	}
+	for _, rule := range rules {
+		if rule.ModuleCheck == nil {
+			continue
+		}
+		rule.ModuleCheck(m, &ModuleReporter{mod: m, rule: rule, findings: &findings})
+	}
+	sup := suppressions{}
+	for _, f := range m.Files {
+		sup.merge(f.RelPath, suppressionsOf(f))
+	}
+	findings = filterSuppressedByFile(findings, sup)
 	sortFindings(findings)
 	return findings
 }
@@ -185,11 +258,24 @@ func CheckFile(f *File, rules []*Rule) []Finding {
 // ignoreDirectivePrefix introduces a suppression comment.
 const ignoreDirectivePrefix = "lint:ignore"
 
-// applySuppressions drops findings covered by a well-formed
-// //lint:ignore directive on the same line or the line above.
-func applySuppressions(f *File, findings []Finding) []Finding {
-	// suppressed maps rule name -> set of covered lines.
-	suppressed := make(map[string]map[int]bool)
+// fileSuppressions maps rule name -> set of covered lines in one file.
+type fileSuppressions map[string]map[int]bool
+
+// suppressions maps module-relative file path -> that file's
+// directive coverage.
+type suppressions map[string]fileSuppressions
+
+func (s suppressions) merge(rel string, fs fileSuppressions) {
+	if len(fs) > 0 {
+		s[rel] = fs
+	}
+}
+
+// suppressionsOf collects the lines covered by well-formed
+// //lint:ignore directives in f (the directive's own line and the
+// line below).
+func suppressionsOf(f *File) fileSuppressions {
+	suppressed := fileSuppressions{}
 	for _, group := range f.AST.Comments {
 		for _, c := range group.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
@@ -210,12 +296,33 @@ func applySuppressions(f *File, findings []Finding) []Finding {
 			suppressed[rule][line+1] = true
 		}
 	}
-	if len(suppressed) == 0 {
+	return suppressed
+}
+
+// filterSuppressed drops findings covered by one file's directives.
+func filterSuppressed(findings []Finding, sup fileSuppressions) []Finding {
+	if len(sup) == 0 {
 		return findings
 	}
 	kept := findings[:0]
 	for _, fd := range findings {
-		if suppressed[fd.Rule][fd.Pos.Line] {
+		if sup[fd.Rule][fd.Pos.Line] {
+			continue
+		}
+		kept = append(kept, fd)
+	}
+	return kept
+}
+
+// filterSuppressedByFile drops findings covered by the directives of
+// the file each finding lands in.
+func filterSuppressedByFile(findings []Finding, sup suppressions) []Finding {
+	if len(sup) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, fd := range findings {
+		if sup[fd.Pos.Filename][fd.Rule][fd.Pos.Line] {
 			continue
 		}
 		kept = append(kept, fd)
@@ -240,47 +347,35 @@ func sortFindings(findings []Finding) {
 }
 
 // Run lints every .go file under root (skipping testdata, vendor, and
-// dot-directories) with the given rules. Paths in the returned
-// findings are relative to the enclosing module root, located by
-// walking up from root to the nearest go.mod; if none is found, root
-// itself anchors the relative paths.
+// dot-directories) with the given rules. The enclosing module -
+// located by walking up from root to the nearest go.mod - is loaded
+// and type-checked once, per-file and module rules both run over it,
+// and the findings are filtered to the subtree under root. Paths in
+// the returned findings are relative to the module root; if no go.mod
+// is found, root itself anchors the relative paths.
 func Run(root string, rules []*Rule) ([]Finding, error) {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
-	modRoot := moduleRoot(absRoot)
-	fset := token.NewFileSet()
-	var findings []Finding
-	walkErr := filepath.WalkDir(absRoot, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if p != absRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(p, ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(modRoot, p)
-		if err != nil {
-			rel = p
-		}
-		f, err := ParseFile(fset, p, rel)
-		if err != nil {
-			return fmt.Errorf("parse %s: %w", rel, err)
-		}
-		findings = append(findings, CheckFile(f, rules)...)
-		return nil
-	})
-	if walkErr != nil {
-		return nil, walkErr
+	mod, err := LoadModule(absRoot)
+	if err != nil {
+		return nil, err
 	}
-	sortFindings(findings)
+	findings := CheckModule(mod, rules)
+	// Scope to the requested subtree (module rules see the whole
+	// module; reports outside root are dropped, matching the CLI's
+	// pattern semantics).
+	if rel, err := filepath.Rel(mod.Root, absRoot); err == nil && rel != "." {
+		prefix := filepath.ToSlash(rel) + "/"
+		kept := findings[:0]
+		for _, fd := range findings {
+			if strings.HasPrefix(fd.Pos.Filename, prefix) {
+				kept = append(kept, fd)
+			}
+		}
+		findings = kept
+	}
 	return findings, nil
 }
 

@@ -257,30 +257,7 @@ func TestRepositoryClean(t *testing.T) {
 	}
 }
 
-func TestHotPathAllocGolden(t *testing.T) {
-	t.Parallel()
-	got := fixture(t, "hotpath.go", "internal/core/fixture.go", []*Rule{HotPathAlloc()})
-	assertFindings(t, got, []string{
-		"9: [hot-path-alloc] make() in //hot: function accumulate; per-cycle code must reuse scratch (allocate in the constructor or take a dst parameter)",
-		// Line 19 is suppressed with a reason; cold() is unmarked and
-		// may allocate freely.
-	})
-}
-
-func TestHotPathAllocOutOfScope(t *testing.T) {
-	t.Parallel()
-	// The zero-allocation contract binds internal/core only, and not
-	// its tests.
-	for _, rel := range []string{"internal/fleet/fixture.go", "internal/core/fixture_test.go", "cmd/albireo-sim/main.go"} {
-		if got := fixture(t, "hotpath.go", rel, []*Rule{HotPathAlloc()}); len(got) != 0 {
-			t.Errorf("relpath %s: want no findings, got %q", rel, got)
-		}
-	}
-}
-
-func TestHotPathAllocSeverityWarn(t *testing.T) {
-	t.Parallel()
-	if sev := HotPathAlloc().Severity; sev != Warn {
-		t.Fatalf("hot-path-alloc severity = %v, want Warn (advisory rule)", sev)
-	}
-}
+// The hot-path allocation proof is a module rule; its golden tests
+// load the self-contained fixture module under testdata/mod and live
+// in hotalloc_test.go (with lockorder_test.go and maporder_test.go
+// for the other module rules, and callgraph_test.go for the graph).

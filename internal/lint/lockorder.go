@@ -1,0 +1,570 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrderPackages are the module subtrees whose mutex discipline is
+// machine-checked: the fleet scheduler (the lock graph multi-node
+// scale-out will multiply) and the core chip model.
+var lockOrderPackages = []string{"internal/fleet", "internal/core"}
+
+// maxLockPaths bounds the per-function path enumeration; functions
+// with more branch combinations are skipped (conservative: no
+// findings) rather than risking exponential blowup.
+const maxLockPaths = 512
+
+// LockOrder checks mutex discipline in the fleet and core packages:
+//
+//   - lock-inversion: mutex class A is acquired while B is held on one
+//     code path and B while A on another (classic deadlock cycle),
+//     including acquisitions made by callees while a lock is held
+//   - self-deadlock: a function (or a callee reachable from it)
+//     acquires a mutex class already held on the path
+//   - lock-without-unlock: a path reaches return (or the end of the
+//     function) with a mutex still held and no defer-unlock armed
+//   - double-unlock: a path unlocks a mutex it already released
+//
+// Mutex identity is type-aware: a selector like s.mu resolves to the
+// (named type, field) class, so s.mu in different methods is the same
+// lock class while two instances of different types are not.
+// Functions whose branch structure exceeds the path budget are
+// skipped. Helpers that only unlock (callback under a caller-held
+// lock) are not flagged: an unlock of a mutex the function never
+// locked is assumed caller-held.
+func LockOrder() *Rule {
+	rule := &Rule{
+		Name:     "lock-order",
+		Doc:      "type-aware mutex discipline for internal/fleet and internal/core: no lock-order inversions, no self-deadlock through the call graph, every Lock paired with Unlock or defer Unlock on every path, no double unlock",
+		Severity: Error,
+	}
+	rule.ModuleCheck = func(m *Module, r *ModuleReporter) {
+		g := BuildCallGraph(m)
+		an := &lockAnalysis{g: g, r: r, acquiresMemo: map[*types.Func]map[string]bool{}}
+		var nodes []*FuncNode
+		for _, node := range g.Nodes() {
+			if node.File.IsTest || !inLockScope(node.File) {
+				continue
+			}
+			nodes = append(nodes, node)
+		}
+		for _, node := range nodes {
+			an.checkFunc(node)
+		}
+		an.reportInversions()
+	}
+	return rule
+}
+
+func inLockScope(f *File) bool {
+	for _, pkg := range lockOrderPackages {
+		if f.InPackage(pkg) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockClass names a mutex for cross-function identity: for a field
+// selector, "pkg.Type.field"; for a plain identifier, a
+// function-local name that never matches across functions.
+func lockClass(info *types.Info, x ast.Expr) string {
+	x = unparen(x)
+	switch v := x.(type) {
+	case *ast.SelectorExpr:
+		if info != nil {
+			if sel, ok := info.Selections[v]; ok {
+				recv := sel.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if named, ok := recv.(*types.Named); ok {
+					return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Sel.Name
+				}
+			}
+		}
+		return exprString(v)
+	case *ast.Ident:
+		return "local:" + v.Name
+	}
+	return exprString(x)
+}
+
+// exprString renders a short, stable spelling of an expression.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	}
+	return "expr"
+}
+
+// mutexOp classifies a statement-level call as a Lock or Unlock on a
+// sync.Mutex/RWMutex-typed receiver. Returns the lock class, whether
+// it locks (vs unlocks), and ok.
+func mutexOp(f *File, call *ast.CallExpr) (class string, isLock bool, ok bool) {
+	sel, selOk := unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	if !isMutexExpr(f.Info, sel.X) {
+		return "", false, false
+	}
+	return lockClass(f.Info, sel.X), locks, true
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex or sync.RWMutex
+// (directly or through a pointer/embedded alias). Without type info
+// it falls back to the receiver being named "mu"-ish.
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	if info != nil {
+		if tv, ok := info.Types[unparen(e)]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	name := exprString(e)
+	return strings.HasSuffix(strings.ToLower(name), "mu")
+}
+
+// acquireSite is one Lock call while another class was held.
+type acquireSite struct {
+	held, acquired string
+	file           *File
+	pos            token.Pos
+	fn             string
+}
+
+type lockAnalysis struct {
+	g *lockGraphish
+	r *ModuleReporter
+	// orders records held->acquired edges for inversion detection.
+	orders []acquireSite
+	// acquiresMemo caches the transitive lock classes a function may
+	// acquire.
+	acquiresMemo map[*types.Func]map[string]bool
+}
+
+// lockGraphish aliases CallGraph (kept separate for clarity of what
+// the analysis needs).
+type lockGraphish = CallGraph
+
+// pathState is the per-path simulation state.
+type pathState struct {
+	// held maps class -> Lock position (acquisition order preserved
+	// in heldOrder).
+	held      map[string]token.Pos
+	heldOrder []string
+	// deferred counts armed defer-unlocks per class.
+	deferred map[string]int
+	// released marks classes this path locked and then unlocked (for
+	// double-unlock detection).
+	released map[string]bool
+	ended    bool
+}
+
+func (s *pathState) clone() *pathState {
+	c := &pathState{
+		held:      make(map[string]token.Pos, len(s.held)),
+		heldOrder: append([]string{}, s.heldOrder...),
+		deferred:  make(map[string]int, len(s.deferred)),
+		released:  make(map[string]bool, len(s.released)),
+	}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k := range s.released {
+		c.released[k] = true
+	}
+	return c
+}
+
+// checkFunc simulates every path through one function.
+func (an *lockAnalysis) checkFunc(node *FuncNode) {
+	paths := []*pathState{{
+		held:     map[string]token.Pos{},
+		deferred: map[string]int{},
+		released: map[string]bool{},
+	}}
+	paths = an.walkStmts(node, node.Decl.Body.List, paths)
+	for _, p := range paths {
+		if !p.ended {
+			an.checkExit(node, p)
+		}
+	}
+}
+
+// checkExit reports locks still held at a path's end without an armed
+// defer-unlock.
+func (an *lockAnalysis) checkExit(node *FuncNode, p *pathState) {
+	for _, class := range p.heldOrder {
+		pos, stillHeld := p.held[class]
+		if !stillHeld {
+			continue
+		}
+		if p.deferred[class] > 0 {
+			continue
+		}
+		an.r.Reportf(node.File, pos, "%s locked here is not released on every path (missing Unlock or defer Unlock)", displayClass(class))
+	}
+}
+
+// displayClass strips the local: prefix for messages.
+func displayClass(class string) string {
+	return strings.TrimPrefix(class, "local:")
+}
+
+// walkStmts threads every path state through a statement list,
+// branching at control flow. The returned states are the live paths
+// after the list (ended paths are checked and retained with
+// ended=true so callers stop extending them).
+func (an *lockAnalysis) walkStmts(node *FuncNode, stmts []ast.Stmt, paths []*pathState) []*pathState {
+	for _, stmt := range stmts {
+		if len(paths) > maxLockPaths {
+			return paths[:0] // budget exceeded: give up on this function
+		}
+		var next []*pathState
+		for _, p := range paths {
+			if p.ended {
+				next = append(next, p)
+				continue
+			}
+			next = append(next, an.walkStmt(node, stmt, p)...)
+		}
+		paths = next
+	}
+	return paths
+}
+
+// walkStmt advances one path through one statement, possibly
+// splitting it.
+func (an *lockAnalysis) walkStmt(node *FuncNode, stmt ast.Stmt, p *pathState) []*pathState {
+	switch v := stmt.(type) {
+	case *ast.ExprStmt:
+		an.applyExpr(node, v.X, p)
+		return []*pathState{p}
+	case *ast.DeferStmt:
+		if class, isLock, ok := mutexOp(node.File, v.Call); ok && !isLock {
+			p.deferred[class]++
+		} else {
+			an.applyCallEdges(node, v.Call, p)
+		}
+		return []*pathState{p}
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack with no locks
+		// held; its declaration-level discipline is checked when its
+		// enclosing declaration is (literals are part of this decl and
+		// conservatively skipped here).
+		return []*pathState{p}
+	case *ast.ReturnStmt:
+		for _, res := range v.Results {
+			an.applyExpr(node, res, p)
+		}
+		an.checkExit(node, p)
+		p.ended = true
+		return []*pathState{p}
+	case *ast.BranchStmt:
+		// break/continue/goto: end the path conservatively (no
+		// held-lock claim at a branch).
+		p.ended = true
+		return []*pathState{p}
+	case *ast.BlockStmt:
+		return an.walkStmts(node, v.List, []*pathState{p})
+	case *ast.IfStmt:
+		if v.Init != nil {
+			an.walkStmt(node, v.Init, p)
+		}
+		an.applyExpr(node, v.Cond, p)
+		thenPath := p.clone()
+		thenPaths := an.walkStmts(node, v.Body.List, []*pathState{thenPath})
+		var elsePaths []*pathState
+		if v.Else != nil {
+			elsePaths = an.walkStmt(node, v.Else, p)
+		} else {
+			elsePaths = []*pathState{p}
+		}
+		return append(thenPaths, elsePaths...)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return an.walkBranchy(node, stmt, p)
+	case *ast.ForStmt:
+		// Analyze the body once (0-or-1 iteration abstraction).
+		if v.Init != nil {
+			an.walkStmt(node, v.Init, p)
+		}
+		if v.Cond != nil {
+			an.applyExpr(node, v.Cond, p)
+		}
+		skip := p.clone()
+		bodyPaths := an.walkStmts(node, v.Body.List, []*pathState{p})
+		// A path that ended inside the loop via break is conservative;
+		// merge body-survivors with the skip path.
+		return append(bodyPaths, skip)
+	case *ast.RangeStmt:
+		skip := p.clone()
+		bodyPaths := an.walkStmts(node, v.Body.List, []*pathState{p})
+		return append(bodyPaths, skip)
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			an.applyExpr(node, rhs, p)
+		}
+		return []*pathState{p}
+	case *ast.LabeledStmt:
+		return an.walkStmt(node, v.Stmt, p)
+	default:
+		return []*pathState{p}
+	}
+}
+
+// walkBranchy handles switch/type-switch/select: each case body is an
+// alternative path, plus fall-through-none for switches without a
+// default.
+func (an *lockAnalysis) walkBranchy(node *FuncNode, stmt ast.Stmt, p *pathState) []*pathState {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	collect := func(body *ast.BlockStmt) {
+		for _, cc := range body.List {
+			switch c := cc.(type) {
+			case *ast.CaseClause:
+				bodies = append(bodies, c.Body)
+				if c.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				bodies = append(bodies, c.Body)
+				if c.Comm == nil {
+					hasDefault = true
+				}
+			}
+		}
+	}
+	switch v := stmt.(type) {
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			an.walkStmt(node, v.Init, p)
+		}
+		collect(v.Body)
+	case *ast.TypeSwitchStmt:
+		collect(v.Body)
+	case *ast.SelectStmt:
+		collect(v.Body)
+		hasDefault = true // select blocks until a case runs
+	}
+	var out []*pathState
+	for _, body := range bodies {
+		out = append(out, an.walkStmts(node, body, []*pathState{p.clone()})...)
+	}
+	if !hasDefault || len(bodies) == 0 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// applyExpr scans an expression for mutex operations and call edges
+// (in evaluation order as far as the AST preserves it).
+func (an *lockAnalysis) applyExpr(node *FuncNode, e ast.Expr, p *pathState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal bodies run later, not on this path
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, isLock, ok := mutexOp(node.File, call); ok {
+			if isLock {
+				an.lock(node, call, class, p)
+			} else {
+				an.unlock(node, call, class, p)
+			}
+			return false
+		}
+		an.applyCallEdges(node, call, p)
+		return true
+	})
+}
+
+// lock applies a Lock call to the path.
+func (an *lockAnalysis) lock(node *FuncNode, call *ast.CallExpr, class string, p *pathState) {
+	if _, already := p.held[class]; already {
+		an.r.Reportf(node.File, call.Pos(), "%s is already held on this path: locking it again self-deadlocks", displayClass(class))
+		return
+	}
+	for _, heldClass := range p.heldOrder {
+		if _, still := p.held[heldClass]; still {
+			an.orders = append(an.orders, acquireSite{
+				held: heldClass, acquired: class,
+				file: node.File, pos: call.Pos(), fn: node.Obj.Name(),
+			})
+		}
+	}
+	p.held[class] = call.Pos()
+	p.heldOrder = append(p.heldOrder, class)
+	delete(p.released, class)
+}
+
+// unlock applies an Unlock call to the path.
+func (an *lockAnalysis) unlock(node *FuncNode, call *ast.CallExpr, class string, p *pathState) {
+	if _, ok := p.held[class]; ok {
+		delete(p.held, class)
+		p.released[class] = true
+		return
+	}
+	if p.released[class] {
+		an.r.Reportf(node.File, call.Pos(), "%s is unlocked twice on this path", displayClass(class))
+		return
+	}
+	// Never locked here: assume a caller-held contract (the *Locked
+	// helper convention) and say nothing.
+}
+
+// applyCallEdges propagates lock acquisition through calls made while
+// holding a mutex: callee acquisitions order after every held class,
+// and re-acquiring a held class is a self-deadlock.
+func (an *lockAnalysis) applyCallEdges(node *FuncNode, call *ast.CallExpr, p *pathState) {
+	if len(p.held) == 0 {
+		return
+	}
+	callees := an.calleesAt(node, call)
+	for _, callee := range callees {
+		acq := an.transitiveAcquires(callee, map[*types.Func]bool{})
+		for class := range acq {
+			if _, held := p.held[class]; held {
+				an.r.Reportf(node.File, call.Pos(), "call to %s acquires %s while it is already held: self-deadlock", callee.Name(), displayClass(class))
+				continue
+			}
+			for _, heldClass := range p.heldOrder {
+				if _, still := p.held[heldClass]; still {
+					an.orders = append(an.orders, acquireSite{
+						held: heldClass, acquired: class,
+						file: node.File, pos: call.Pos(),
+						fn: node.Obj.Name() + " -> " + callee.Name(),
+					})
+				}
+			}
+		}
+	}
+}
+
+// calleesAt finds the resolved callees of one call site in the node's
+// edge list.
+func (an *lockAnalysis) calleesAt(node *FuncNode, call *ast.CallExpr) []*types.Func {
+	for _, e := range node.Edges {
+		if e.Site == call {
+			return e.Callees
+		}
+	}
+	return nil
+}
+
+// transitiveAcquires returns the lock classes a function may acquire,
+// directly or through callees (memoized; cycles cut by the visiting
+// set). Only cross-function (field-resolved) classes propagate -
+// local mutexes cannot collide with a caller's.
+func (an *lockAnalysis) transitiveAcquires(fn *types.Func, visiting map[*types.Func]bool) map[string]bool {
+	if memo, ok := an.acquiresMemo[fn]; ok {
+		return memo
+	}
+	if visiting[fn] {
+		return nil
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	node := an.g.Node(fn)
+	if node == nil {
+		return nil
+	}
+	out := map[string]bool{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, isLock, ok := mutexOp(node.File, call); ok && isLock && !strings.HasPrefix(class, "local:") {
+			out[class] = true
+		}
+		return true
+	})
+	for _, e := range node.Edges {
+		for _, callee := range e.Callees {
+			for class := range an.transitiveAcquires(callee, visiting) {
+				out[class] = true
+			}
+		}
+	}
+	an.acquiresMemo[fn] = out
+	return out
+}
+
+// reportInversions finds A-before-B vs B-before-A pairs in the
+// recorded acquisition orders and reports each inverted site pair
+// once.
+func (an *lockAnalysis) reportInversions() {
+	type key struct{ a, b string }
+	byPair := map[key][]acquireSite{}
+	for _, s := range an.orders {
+		byPair[key{s.held, s.acquired}] = append(byPair[key{s.held, s.acquired}], s)
+	}
+	reported := map[key]bool{}
+	var keys []key
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		rev := key{k.b, k.a}
+		if k.a == k.b || reported[k] || reported[rev] {
+			continue
+		}
+		revSites, ok := byPair[rev]
+		if !ok {
+			continue
+		}
+		reported[k] = true
+		site := byPair[k][0]
+		other := revSites[0]
+		otherPos := other.file.Fset.Position(other.pos)
+		an.r.Reportf(site.file, site.pos,
+			"lock-order inversion: %s acquired while %s is held (in %s), but the reverse order occurs in %s at %s:%d",
+			displayClass(k.b), displayClass(k.a), site.fn,
+			other.fn, other.file.RelPath, otherPos.Line)
+	}
+}

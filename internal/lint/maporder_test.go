@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestMapIterationGolden covers the three sink classes over a ranged
+// map - printing, appending without a sort, and channel sends - and
+// the silent cases: append-then-sort (CollectSorted), scalar
+// accumulation (Sum), map-to-map writes (Invert), and a suppressed
+// debug dump with a stated reason.
+func TestMapIterationGolden(t *testing.T) {
+	got := moduleFindings(t, []*Rule{MapIterationOrder()})
+	assertFindings(t, got, []string{
+		"internal/det/maps.go:17: [map-iteration-determinism] fmt.Printf inside a map range emits lines in randomized order; collect, sort, then print",
+		"internal/det/maps.go:25: [map-iteration-determinism] append inside a map range builds keys in randomized order; sort it after the loop (sort.Slice/slices.Sort) or iterate sorted keys",
+		"internal/det/maps.go:33: [map-iteration-determinism] channel send inside a map range publishes values in randomized order; collect into a slice, sort, then send",
+	})
+}
+
+// TestMapIterationNeedsTypes pins the graceful degradation: on a file
+// parsed without its module (no go/types resolution) the rule stays
+// silent rather than guessing what is a map.
+func TestMapIterationNeedsTypes(t *testing.T) {
+	t.Parallel()
+	got := fixture(t, "determinism.go", "internal/noise/fixture.go", []*Rule{MapIterationOrder()})
+	if len(got) != 0 {
+		t.Errorf("want no findings without type info, got %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -16,15 +17,45 @@ func Default() []*Rule {
 		FloatEquality(),
 		ExitHygiene(),
 		GoroutineHygiene(),
-		HotPathAlloc(),
+		HotPathAllocProof(),
+		LockOrder(),
+		MapIterationOrder(),
 	}
 }
 
 // shadowed reports whether an identifier used in package-selector
 // position actually resolves to a local declaration (a variable named
-// like the package) rather than the import.
-func shadowed(id *ast.Ident) bool {
+// like the package) rather than the import. With type information the
+// answer is exact: the identifier either Uses a *types.PkgName or it
+// does not. Without it (standalone-parsed file) the old go/ast object
+// heuristic is the fallback.
+func (f *File) shadowed(id *ast.Ident) bool {
+	if f.Info != nil {
+		if obj, ok := f.Info.Uses[id]; ok {
+			_, isPkg := obj.(*types.PkgName)
+			return !isPkg
+		}
+		// Unresolved identifier in a checked file: not a package name.
+		return true
+	}
 	return id.Obj != nil && id.Obj.Kind != ast.Pkg
+}
+
+// isBuiltin reports whether the identifier resolves to a Go builtin
+// (make, append, panic, close, ...) rather than a shadowing local
+// declaration. Exact under type information; syntactic Obj check as
+// the standalone-parse fallback.
+func (f *File) isBuiltin(id *ast.Ident) bool {
+	if f.Info != nil {
+		if obj, ok := f.Info.Uses[id]; ok {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+		// panic() and friends resolve through Uses; an absent entry in
+		// a checked file means a declaration or an unresolved name.
+		return false
+	}
+	return id.Obj == nil
 }
 
 // simulationFile reports whether the file is part of the simulator
@@ -93,7 +124,7 @@ func Determinism() *Rule {
 					return true
 				}
 				pkg, ok := sel.X.(*ast.Ident)
-				if !ok || shadowed(pkg) {
+				if !ok || f.shadowed(pkg) {
 					return true
 				}
 				switch {
@@ -147,7 +178,7 @@ func ObsDeterminism() *Rule {
 					return true
 				}
 				pkg, ok := sel.X.(*ast.Ident)
-				if !ok || shadowed(pkg) || pkg.Name != timeName {
+				if !ok || f.shadowed(pkg) || pkg.Name != timeName {
 					return true
 				}
 				switch sel.Sel.Name {
@@ -313,18 +344,18 @@ var nonFloatMathFuncs = map[string]bool{
 // type information, so comparisons between two plainly-named float
 // variables are not caught - the rule targets the common literal and
 // math.* forms.
-func floatExpr(e ast.Expr) bool {
+func floatExpr(f *File, e ast.Expr) bool {
 	switch v := e.(type) {
 	case *ast.BasicLit:
 		return v.Kind == token.FLOAT
 	case *ast.ParenExpr:
-		return floatExpr(v.X)
+		return floatExpr(f, v.X)
 	case *ast.UnaryExpr:
-		return floatExpr(v.X)
+		return floatExpr(f, v.X)
 	case *ast.BinaryExpr:
 		switch v.Op {
 		case token.ADD, token.SUB, token.MUL, token.QUO:
-			return floatExpr(v.X) || floatExpr(v.Y)
+			return floatExpr(f, v.X) || floatExpr(f, v.Y)
 		}
 		return false
 	case *ast.CallExpr:
@@ -332,7 +363,7 @@ func floatExpr(e ast.Expr) bool {
 			return true
 		}
 		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
-			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "math" && !shadowed(pkg) && !nonFloatMathFuncs[sel.Sel.Name] {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "math" && !f.shadowed(pkg) && !nonFloatMathFuncs[sel.Sel.Name] {
 				return true
 			}
 		}
@@ -355,7 +386,7 @@ func FloatEquality() *Rule {
 				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
 					return true
 				}
-				if floatExpr(be.X) || floatExpr(be.Y) {
+				if floatExpr(f, be.X) || floatExpr(f, be.Y) {
 					r.Reportf(be.Pos(), "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or compare integer representations", be.Op)
 				}
 				return true
@@ -391,12 +422,12 @@ func ExitHygiene() *Rule {
 				}
 				switch fun := call.Fun.(type) {
 				case *ast.Ident:
-					if fun.Name == "panic" && fun.Obj == nil {
+					if fun.Name == "panic" && f.isBuiltin(fun) {
 						r.Reportf(call.Pos(), "panic in library code; return an error to the caller")
 					}
 				case *ast.SelectorExpr:
 					pkg, ok := fun.X.(*ast.Ident)
-					if !ok || shadowed(pkg) {
+					if !ok || f.shadowed(pkg) {
 						return true
 					}
 					if pkg.Name == osName && osName != "" && fun.Sel.Name == "Exit" {
@@ -416,7 +447,7 @@ func ExitHygiene() *Rule {
 // of joining or communicating with the goroutines it launches:
 // WaitGroup calls, channel types or operations, select statements, or
 // close calls.
-func concurrencyEvidence(body *ast.BlockStmt) bool {
+func concurrencyEvidence(f *File, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -438,7 +469,7 @@ func concurrencyEvidence(body *ast.BlockStmt) bool {
 			// Ranging over a channel is a join; over a slice it is
 			// harmless noise for this heuristic.
 		case *ast.CallExpr:
-			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" && id.Obj == nil {
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" && f.isBuiltin(id) {
 				found = true
 			}
 		}
@@ -466,7 +497,7 @@ func GoroutineHygiene() *Rule {
 					return true
 				}
 				if g, ok := n.(*ast.GoStmt); ok {
-					if body := enclosingFuncBody(stack); body != nil && !concurrencyEvidence(body) {
+					if body := enclosingFuncBody(stack); body != nil && !concurrencyEvidence(f, body) {
 						r.Reportf(g.Pos(), "go statement with no WaitGroup or channel synchronization in the enclosing function; join the goroutine or document why not")
 					}
 				}
@@ -491,44 +522,10 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 	return nil
 }
 
-// HotPathAlloc flags heap allocation in the analog hot path. A
-// function whose doc comment carries a line starting "//hot:" declares
-// itself per-cycle code under the zero-allocation contract (see
-// internal/core/alloc_test.go); a make() inside it allocates on every
-// cycle and silently costs throughput long before the AllocsPerRun
-// tests catch the regression at the layer level. Advisory: the
-// AllocsPerRun tests are the enforcement; this points at the exact
-// site.
-func HotPathAlloc() *Rule {
-	return &Rule{
-		Name:     "hot-path-alloc",
-		Doc:      "make() inside a //hot:-marked function allocates per cycle; reuse a scratch arena or take a dst parameter (advisory)",
-		Severity: Warn,
-		Applies:  func(f *File) bool { return f.InPackage("internal/core") && !f.IsTest },
-		Check: func(f *File, r *Reporter) {
-			for _, decl := range f.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !hotMarked(fd.Doc) {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					id, ok := call.Fun.(*ast.Ident)
-					if !ok || id.Name != "make" || id.Obj != nil {
-						return true
-					}
-					r.Reportf(call.Pos(), "make() in //hot: function %s; per-cycle code must reuse scratch (allocate in the constructor or take a dst parameter)", fd.Name.Name)
-					return true
-				})
-			}
-		},
-	}
-}
-
-// hotMarked reports whether a doc comment contains a //hot: line.
+// hotMarked reports whether a doc comment contains a //hot: line. A
+// function so marked declares itself per-cycle code under the
+// zero-allocation contract; the hotpath-alloc-proof module rule
+// (hotalloc.go) uses the marks as call-graph roots.
 func hotMarked(doc *ast.CommentGroup) bool {
 	if doc == nil {
 		return false

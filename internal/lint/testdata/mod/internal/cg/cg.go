@@ -1,0 +1,50 @@
+// Package cg is the golden fixture for the call-graph builder:
+// direct calls, interface fan-out across two implementations, and
+// indirection through a stored function value.
+package cg
+
+// Runner has two module implementations; Drive's dynamic call must
+// fan out to both.
+type Runner interface {
+	Run(n int) int
+}
+
+// Fast is one implementation.
+type Fast struct{}
+
+// Run doubles.
+func (Fast) Run(n int) int { return n * 2 }
+
+// Slow is the other implementation (pointer receiver, so the method
+// set check must consider *Slow).
+type Slow struct{ bias int }
+
+// Run adds the bias.
+func (s *Slow) Run(n int) int { return n + s.bias }
+
+// Drive calls through the interface and then directly.
+func Drive(r Runner, n int) int {
+	return r.Run(n) + helper(n)
+}
+
+// helper is the static callee.
+func helper(n int) int { return n + 1 }
+
+// twice is address-taken in Pick, so Indirect's call through the
+// function value fans out to it.
+func twice(n int) int { return n * 2 }
+
+// thrice is never address-taken; the func-value fan-out must exclude
+// it even though the signature matches.
+func thrice(n int) int { return n * 3 }
+
+// Pick stores a function value.
+func Pick() func(int) int { return twice }
+
+// Indirect calls through a function-typed parameter.
+func Indirect(f func(int) int, n int) int { return f(n) }
+
+// use keeps thrice alive for the compiler without taking its address
+// in value position... it calls it directly, which is not an
+// address-taking use.
+func use(n int) int { return thrice(n) }

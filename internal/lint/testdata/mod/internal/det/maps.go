@@ -1,0 +1,86 @@
+// Package det is the golden fixture for map-iteration-determinism:
+// map ranges feeding output, unsorted appends, and channel sends are
+// findings; the collect-then-sort idiom, scalar accumulation, and
+// map-to-map writes stay silent. It also exercises the type-aware
+// shadowing resolution: a local value named rand is not the package.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Emit prints one line per entry straight out of map order.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Collect appends keys without sorting them.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Publish sends values in map order.
+func Publish(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// CollectSorted is the blessed idiom: append, then sort after the
+// loop.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates a scalar: order-insensitive, no finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map: order-insensitive, no finding.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Debug keeps one deliberately unsorted dump behind a suppression.
+func Debug(m map[string]int) {
+	for k := range m {
+		//lint:ignore map-iteration-determinism fixture: debug dump, order explicitly does not matter
+		fmt.Println(k)
+	}
+}
+
+// localShadow draws from a struct named rand, not the global source;
+// the type-aware shadowing check must stay silent here.
+func localShadow(r *rand.Rand) float64 {
+	rand := fakeSource{seed: r.Int63()}
+	return rand.Float64()
+}
+
+type fakeSource struct{ seed int64 }
+
+// Float64 is deterministic: derived from the injected seed only.
+func (f fakeSource) Float64() float64 {
+	return float64(f.seed%1000) / 1000
+}

@@ -1,0 +1,107 @@
+// Package fleet is the golden fixture for the lock-order module rule:
+// one inversion pair, one missing-unlock branch, one double unlock,
+// one self-deadlock through a callee, a suppressed site, and the
+// clean idioms (defer unlock, caller-held *Locked helpers) that must
+// stay silent.
+package fleet
+
+import "sync"
+
+// Pool owns two mutexes whose acquisition order the fixture inverts.
+type Pool struct {
+	mu    sync.Mutex
+	admit sync.Mutex
+	n     int
+}
+
+// Drain takes mu then admit: the forward order.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.admit.Lock()
+	p.n--
+	p.admit.Unlock()
+}
+
+// Admit takes admit then mu: the inverted order the rule must pair
+// with Drain's.
+func (p *Pool) Admit() {
+	p.admit.Lock()
+	defer p.admit.Unlock()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// LeakOnError locks and forgets the unlock on the error branch.
+func (p *Pool) LeakOnError(fail bool) error {
+	p.mu.Lock()
+	if fail {
+		return errFixture
+	}
+	p.n++
+	p.mu.Unlock()
+	return nil
+}
+
+// DoubleRelease unlocks twice on the fall-through path.
+func (p *Pool) DoubleRelease() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// Reenter calls a locking helper while already holding the lock.
+func (p *Pool) Reenter() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bump()
+}
+
+// bump takes the pool lock itself; calling it from under mu
+// self-deadlocks.
+func (p *Pool) bump() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// HandoffLocked mutates under a caller-held lock: the unlock-only /
+// no-op pattern must not be reported.
+func (p *Pool) HandoffLocked() {
+	p.n++
+}
+
+// Clean shows the blessed shapes: defer-paired lock and a branchy
+// unlock that covers every path.
+func (p *Pool) Clean(fast bool) int {
+	p.mu.Lock()
+	if fast {
+		n := p.n
+		p.mu.Unlock()
+		return n
+	}
+	n := p.n * 2
+	p.mu.Unlock()
+	return n
+}
+
+// Suppressed leaks by design and says why.
+func (p *Pool) Suppressed() {
+	//lint:ignore lock-order fixture: handoff protocol releases in HandoffUnlock
+	p.mu.Lock()
+	p.n++
+}
+
+// HandoffUnlock completes Suppressed's handoff.
+func (p *Pool) HandoffUnlock() {
+	p.n--
+	p.mu.Unlock()
+}
+
+var errFixture = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "fixture" }

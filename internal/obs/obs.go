@@ -441,6 +441,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, ok := byName[e.name]; !ok {
 			names = append(names, e.name)
 		}
+		//lint:ignore map-iteration-determinism per-name buckets are sorted by id before rendering, neutralizing map order
 		byName[e.name] = append(byName[e.name], sample{id: id, e: e})
 	}
 	r.mu.Unlock()

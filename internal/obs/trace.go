@@ -115,6 +115,7 @@ func itoa(v int64) string {
 		i--
 		buf[i] = '-'
 	}
+	//lint:ignore hotpath-alloc-proof attrs are built only on trace-attached paths; the string must outlive the stack buffer
 	return string(buf[i:])
 }
 
@@ -179,6 +180,7 @@ func (t *Trace) record(cycle int64, kind EventKind, name string, span, parent in
 		t.seq++
 		return
 	}
+	//lint:ignore hotpath-alloc-proof capped event buffer: growth is amortized and only happens while a trace is attached
 	t.events = append(t.events, Event{
 		Seq:    t.seq,
 		Cycle:  cycle,
