@@ -17,6 +17,15 @@
 #              parsed into BENCH_core.json (archived by CI) and checked
 #              against the committed bench_baseline.json: the build
 #              fails if any hot benchmark's allocs/op regresses
+#   serve gate open-loop tail-latency sweep (cmd/albireo-loadgen) in
+#              virtual time, parsed into BENCH_serve.json (archived by
+#              CI) and checked against the committed
+#              bench_serve_baseline.json: the build fails if any
+#              (pool, rate) point's p99 regresses
+#   loadgen selftest
+#              the same harness run twice from a fixed seed must emit
+#              byte-identical artifacts (the determinism the serve
+#              gate stands on)
 #   fault demo smoke-run of the detect -> quarantine -> remap
 #              walkthrough (examples/faulttolerance)
 #   fleet      load-generator sweep through a 2-chip fleet with a
@@ -50,6 +59,14 @@ echo "==> hot-path alloc gate (output in BENCH_core.json)"
 # compares like against like. ns/op is reported but never gated.
 go test -run '^$' -bench '^BenchmarkFunctional' -benchmem -benchtime 50x . |
 	go run ./cmd/albireo-bench -json BENCH_core.json -baseline bench_baseline.json
+
+echo "==> serve tail-latency gate (output in BENCH_serve.json)"
+# Virtual-time sweep: the artifact is a pure function of the flags and
+# seed, so p99 can be gated as strictly as allocs/op.
+go run ./cmd/albireo-loadgen -json BENCH_serve.json -baseline bench_serve_baseline.json
+
+echo "==> loadgen determinism selftest"
+go run ./cmd/albireo-loadgen -selftest
 
 echo "==> fault-management demo smoke (detect -> quarantine -> remap)"
 go run ./examples/faulttolerance

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps test sweeps fast: two rates, two pools, short window.
+func tinyArgs(extra ...string) []string {
+	args := []string{"-rates", "0.5,1.2", "-pools", "1,2", "-ticks", "150", "-seed", "9", "-queue", "16", "-batch", "4"}
+	return append(args, extra...)
+}
+
+func TestSelftestDeterministic(t *testing.T) {
+	t.Parallel()
+	var a, b bytes.Buffer
+	if err := run([]string{"-selftest"}, &a); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+	if err := run([]string{"-selftest"}, &b); err != nil {
+		t.Fatalf("selftest again: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("selftest output drifted:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "selftest ok") || !strings.Contains(a.String(), "sha256") {
+		t.Fatalf("selftest output %q", a.String())
+	}
+}
+
+// TestArtifactByteIdentical is the acceptance criterion: two runs with
+// the same seed write byte-identical BENCH_serve.json files.
+func TestArtifactByteIdentical(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	var out bytes.Buffer
+	if err := run(tinyArgs("-json", p1), &out); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if err := run(tinyArgs("-json", p2), &out); err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different artifacts")
+	}
+	if !strings.Contains(string(a), `"schema": "albireo-bench-serve/v1"`) {
+		t.Fatalf("artifact missing schema:\n%s", a)
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Fatal("artifact must end with a newline")
+	}
+}
+
+// TestGatePassesAtBaselineAndFailsPastIt writes a baseline, re-runs
+// against it (pass), then injects latency (fail).
+func TestGatePassesAtBaselineAndFailsPastIt(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run(tinyArgs("-json", base), &out); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	out.Reset()
+	if err := run(tinyArgs("-baseline", base), &out); err != nil {
+		t.Fatalf("gate at baseline: %v", err)
+	}
+	if !strings.Contains(out.String(), "within p99 baseline") {
+		t.Fatalf("gate output %q", out.String())
+	}
+	err := run(tinyArgs("-baseline", base, "-extra-latency", "4"), &out)
+	if err == nil || !strings.Contains(err.Error(), "p99 latency regression") {
+		t.Fatalf("gate with injected latency: err = %v, want p99 regression", err)
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-rates", "abc"},
+		{"-rates", "-1"},
+		{"-pools", "0"},
+		{"-pools", "x,y"},
+		{"-baseline", filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+// TestReportTableRendered checks the human-facing summary has one row
+// per (pool, rate) cell.
+func TestReportTableRendered(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(tinyArgs(), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+4 { // header + 2 pools x 2 rates
+		t.Fatalf("table = %d lines, want 5:\n%s", len(lines), out.String())
+	}
+}

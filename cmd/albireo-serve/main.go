@@ -218,14 +218,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	clock := obs.WallClock{}
 	st := &serveState{
-		reg:   reg,
-		trace: trace,
-		clock: clock,
-		start: clock.Now(),
-		fleet: sched,
-		model: inference.TinyCNN(3, *size, *seed),
-		inZ:   3,
-		size:  *size,
+		reg:        reg,
+		trace:      trace,
+		clock:      clock,
+		start:      clock.Now(),
+		fleet:      sched,
+		model:      inference.TinyCNN(3, *size, *seed),
+		inZ:        3,
+		size:       *size,
+		inferTicks: reg.Histogram("albireo_serve_infer_ticks", obs.LatencyBuckets),
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -339,6 +340,10 @@ type serveState struct {
 	inZ   int
 	size  int
 	ready atomic.Bool
+	// inferTicks is served-request latency denominated in fleet linger
+	// ticks (the delta of Scheduler.Ticks across the model run) - the
+	// deterministic sibling of a wall-time request histogram.
+	inferTicks *obs.Histogram
 }
 
 // inferRequest is the /v1/infer input: one activation volume.
@@ -394,12 +399,14 @@ func (st *serveState) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	vol := &tensor.Volume{Z: req.Z, Y: req.Y, X: req.X, Data: req.Data}
 
+	before := st.fleet.Ticks()
 	bound := st.fleet.Bind(r.Context())
 	logits := st.model.Run(bound, vol)
 	if err := bound.Err(); err != nil {
 		http.Error(w, err.Error(), inferStatus(err))
 		return
 	}
+	st.inferTicks.Observe(float64(st.fleet.Ticks() - before))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(inferResponse{
 		Model:  st.model.Name,

@@ -111,6 +111,18 @@ type Options struct {
 	// Health tunes the BIST probes used for startup scans and
 	// re-probes (zero value: health.DefaultOptions).
 	Health health.Options
+	// VirtualTime prices execution with ServiceModel in linger ticks
+	// instead of observing wall progress: dispatched batches are
+	// booked on a completion ledger that Tick settles, and admission
+	// slots release at virtual - not real - completion. Every latency
+	// stamp and every shedding decision then depends only on the
+	// request trace, which is what lets the open-loop load harness
+	// (internal/load) emit byte-identical reports from a seed. Real
+	// backends still execute and deliver real results.
+	VirtualTime bool
+	// ServiceModel prices batches in VirtualTime mode (zero value:
+	// ProgramTicks 2, RequestTicks 1). Ignored otherwise.
+	ServiceModel ServiceModel
 }
 
 // withDefaults fills unset options.
@@ -123,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	if o.VirtualTime {
+		o.ServiceModel = o.ServiceModel.withDefaults()
 	}
 	return o
 }
@@ -144,6 +159,12 @@ type request struct {
 	relu bool
 	ctx  context.Context
 	done chan result // buffered 1: delivery never blocks a worker
+
+	// st is the latency decomposition; final flips (with release
+	// semantics, after the last stamp) when st stops changing, so
+	// Future.Stages can read it race-free from any goroutine.
+	st    StageTicks
+	final atomic.Bool
 }
 
 // result is the outcome delivered back to the submitter.
@@ -187,25 +208,38 @@ type Scheduler struct {
 	// throughput. Admission still checks it under mu, so the depth
 	// bound and the queue-capacity invariant are unchanged.
 	queued atomic.Int64
-	ticks  int64
+	// ticks is written under mu (Tick) but read atomically by worker
+	// goroutines stamping wall-mode execution stages.
+	ticks   atomic.Int64
 	started bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// ledger is the virtual-time completion min-heap (VirtualTime
+	// mode only), guarded by mu; ledgerSeq breaks completion ties in
+	// booking order.
+	ledger    []*ledgerEntry
+	ledgerSeq int64
 
 	reg   *obs.Registry
 	trace *obs.Trace
 	span  *obs.Span
 
-	depth     *obs.Gauge
-	batchSize *obs.Histogram
-	admitted  *obs.Counter
-	shed      *obs.Counter
-	completed *obs.Counter
-	canceled  *obs.Counter
-	ticksC    *obs.Counter
-	drains    *obs.Counter
-	restores  *obs.Counter
-	reprobes  *obs.Counter
+	depth      *obs.Gauge
+	batchSize  *obs.Histogram
+	admitted   *obs.Counter
+	shed       *obs.Counter
+	completed  *obs.Counter
+	canceled   *obs.Counter
+	ticksC     *obs.Counter
+	drains     *obs.Counter
+	restores   *obs.Counter
+	reprobes   *obs.Counter
+	latE2E     *obs.Histogram
+	latLinger  *obs.Histogram
+	latWait    *obs.Histogram
+	latExec    *obs.Histogram
+	latDeliver *obs.Histogram
 }
 
 // New builds a scheduler over the given pool members. At least one
@@ -255,6 +289,11 @@ func (s *Scheduler) Instrument(reg *obs.Registry, trace *obs.Trace) *Scheduler {
 	s.drains = reg.Counter(MetricDrains)
 	s.restores = reg.Counter(MetricRestores)
 	s.reprobes = reg.Counter(MetricReprobes)
+	s.latE2E = reg.Histogram(MetricLatencyE2E, obs.LatencyBuckets)
+	s.latLinger = reg.Histogram(MetricLatencyLinger, obs.LatencyBuckets)
+	s.latWait = reg.Histogram(MetricLatencyQueueWait, obs.LatencyBuckets)
+	s.latExec = reg.Histogram(MetricLatencyExecute, obs.LatencyBuckets)
+	s.latDeliver = reg.Histogram(MetricLatencyDelivery, obs.LatencyBuckets)
 	for _, w := range s.workers {
 		w.instrument(reg, trace)
 	}
@@ -294,24 +333,26 @@ func (s *Scheduler) Start() error {
 	return nil
 }
 
-// Tick advances the linger clock by one tick: pending batches age, and
-// those that reach MaxLinger dispatch. Every ReprobeEvery ticks,
-// drained workers are scheduled for a BIST re-probe. In production a
-// wall timer at the cmd boundary calls Tick; tests call it directly,
-// which is what keeps batching deterministic.
+// Tick advances the linger clock by one tick: pending batches age,
+// those that reach MaxLinger dispatch, and in VirtualTime mode booked
+// batches whose virtual completion is due settle off the ledger. Every
+// ReprobeEvery ticks, drained workers are scheduled for a BIST
+// re-probe. In production a wall timer at the cmd boundary calls Tick;
+// tests call it directly, which is what keeps batching deterministic.
 func (s *Scheduler) Tick() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.started || s.closed {
 		return
 	}
-	s.ticks++
+	now := s.ticks.Add(1)
 	s.ticksC.Inc()
 	for _, pb := range s.pending {
 		pb.age++
 	}
+	s.settleLedgerLocked(now, false)
 	s.flushLocked(false)
-	if s.opt.ReprobeEvery > 0 && s.ticks%int64(s.opt.ReprobeEvery) == 0 {
+	if s.opt.ReprobeEvery > 0 && now%int64(s.opt.ReprobeEvery) == 0 {
 		for _, w := range s.workers {
 			if !w.inService && w.eng != nil && !w.probePending {
 				w.probePending = true
@@ -324,9 +365,7 @@ func (s *Scheduler) Tick() {
 
 // Ticks returns the logical time in ticks.
 func (s *Scheduler) Ticks() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ticks
+	return s.ticks.Load()
 }
 
 // Conv submits a convolution and waits for its result.
@@ -372,6 +411,7 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	s.queued.Add(1)
 	s.depth.Add(1)
 	s.admitted.Inc()
+	req.st.Arrive = s.ticks.Load()
 	// No-linger fast path: with nothing pending (nothing could be
 	// stranded waiting for a route, so FIFO order is safe) the request
 	// is its own batch - route it directly and skip the coalescing
@@ -381,6 +421,10 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 			best.assigned++
 			s.batchSize.Observe(1)
 			best.batches.Inc()
+			req.st.Dispatch = req.st.Arrive
+			if s.opt.VirtualTime {
+				s.bookLocked(best, []*request{req})
+			}
 			if s.trace != nil {
 				s.span.Event(obs.BatchDispatched, opName(req),
 					obs.Int("worker", int64(best.id)),
@@ -435,6 +479,13 @@ func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
 	best.assigned++
 	s.batchSize.Observe(float64(len(pb.reqs)))
 	best.batches.Inc()
+	now := s.ticks.Load()
+	for _, req := range pb.reqs {
+		req.st.Dispatch = now
+	}
+	if s.opt.VirtualTime {
+		s.bookLocked(best, pb.reqs)
+	}
 	if s.trace != nil {
 		s.span.Event(obs.BatchDispatched, opName(pb.reqs[0]),
 			obs.Int("worker", int64(best.id)),
@@ -489,14 +540,18 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	for _, pb := range s.pending {
 		for _, req := range pb.reqs {
 			s.deliver(req, result{err: ErrClosed})
+			s.releaseSlot()
 		}
 		delete(s.byKey, pb.key)
 	}
 	s.pending = nil
+	// Booked-but-unsettled virtual completions settle now so every
+	// admitted slot releases and every dispatched request finalizes.
+	s.settleLedgerLocked(s.ticks.Load(), true)
 	for _, w := range s.workers {
 		close(w.queue)
 	}
-	s.span.End(obs.Int("ticks", s.ticks))
+	s.span.End(obs.Int("ticks", s.ticks.Load()))
 	started := s.started
 	s.mu.Unlock()
 	if !started {
@@ -515,12 +570,20 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	}
 }
 
-// deliver hands a result to the submitter and releases the queue
-// slot. It takes no lock: the counter and the gauge are atomic, and
-// the gauge moves by increments (not absolute stores) so concurrent
-// completions cannot strand a stale depth reading.
+// deliver hands a result to the submitter. It takes no lock: the done
+// channel is buffered, so delivery never blocks a worker.
 func (s *Scheduler) deliver(req *request, res result) {
 	req.done <- res
+}
+
+// releaseSlot frees one admission-queue slot. In wall-time mode the
+// worker calls it right after delivering a result; in VirtualTime mode
+// the ledger calls it at virtual completion, so occupancy - and hence
+// shedding - tracks the priced service time, not wall progress. It
+// takes no lock: the counter and the gauge are atomic, and the gauge
+// moves by increments (not absolute stores) so concurrent completions
+// cannot strand a stale depth reading.
+func (s *Scheduler) releaseSlot() {
 	s.queued.Add(-1)
 	s.depth.Add(-1)
 }

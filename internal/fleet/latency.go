@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"albireo/internal/obs"
+)
+
+// Per-stage latency metric names. Every value is denominated in ticks
+// of the scheduler's injected linger clock - the same logical time the
+// micro-batcher runs on - so the decomposition is deterministic for a
+// deterministic request trace and reconciles exactly:
+//
+//	e2e = linger + queue_wait + execute + delivery
+//
+// per request, and therefore histogram-sum by histogram-sum (the
+// invariant TestLatencyStagesReconcile enforces with zero tolerance).
+const (
+	// MetricLatencyE2E is end-to-end latency: admission to delivery.
+	MetricLatencyE2E = "albireo_fleet_latency_e2e_ticks"
+	// MetricLatencyLinger is time spent in a pending batch waiting to
+	// coalesce with compatible requests and be routed.
+	MetricLatencyLinger = "albireo_fleet_latency_linger_ticks"
+	// MetricLatencyQueueWait is time spent dispatched but behind
+	// earlier batches on the chosen worker.
+	MetricLatencyQueueWait = "albireo_fleet_latency_queue_wait_ticks"
+	// MetricLatencyExecute is the service time of the request's batch.
+	MetricLatencyExecute = "albireo_fleet_latency_execute_ticks"
+	// MetricLatencyDelivery is time from execution end to result
+	// delivery (0 unless the delivering tick lags the completion).
+	MetricLatencyDelivery = "albireo_fleet_latency_delivery_ticks"
+)
+
+// StageTicks is one request's latency decomposition: the tick stamps
+// of its lifecycle transitions. All stamps share the scheduler's
+// logical tick clock.
+type StageTicks struct {
+	// Arrive is the tick at which the request was admitted.
+	Arrive int64 `json:"arrive"`
+	// Dispatch is the tick at which its batch was routed to a worker.
+	Dispatch int64 `json:"dispatch"`
+	// ExecStart is the tick at which the worker began serving it.
+	ExecStart int64 `json:"exec_start"`
+	// ExecEnd is the tick at which service completed.
+	ExecEnd int64 `json:"exec_end"`
+	// Deliver is the tick at which the result was delivered.
+	Deliver int64 `json:"deliver"`
+}
+
+// Linger is the coalescing wait: admission to dispatch.
+func (s StageTicks) Linger() int64 { return s.Dispatch - s.Arrive }
+
+// QueueWait is the worker-backlog wait: dispatch to execution start.
+func (s StageTicks) QueueWait() int64 { return s.ExecStart - s.Dispatch }
+
+// Execute is the service time: execution start to end.
+func (s StageTicks) Execute() int64 { return s.ExecEnd - s.ExecStart }
+
+// Delivery is the completion-delivery lag: execution end to delivery.
+func (s StageTicks) Delivery() int64 { return s.Deliver - s.ExecEnd }
+
+// EndToEnd is the full admission-to-delivery latency.
+func (s StageTicks) EndToEnd() int64 { return s.Deliver - s.Arrive }
+
+// ServiceModel prices a dispatched micro-batch in linger ticks for
+// the virtual-time ledger. It mirrors the paper's batching
+// amortization argument: a batch pays the MZM weight-programming cost
+// once (ProgramTicks) plus a weight-stationary steady-state cost per
+// input (RequestTicks), so bigger compatible batches serve cheaper
+// per request - which is exactly the throughput-latency trade the
+// load harness exists to expose.
+type ServiceModel struct {
+	// ProgramTicks is charged once per dispatched batch (default 2).
+	ProgramTicks int64
+	// RequestTicks is charged per request in the batch (default 1).
+	RequestTicks int64
+}
+
+// withDefaults fills unset fields.
+func (m ServiceModel) withDefaults() ServiceModel {
+	if m.ProgramTicks <= 0 {
+		m.ProgramTicks = 2
+	}
+	if m.RequestTicks <= 0 {
+		m.RequestTicks = 1
+	}
+	return m
+}
+
+// BatchTicks prices one batch of n requests; never less than 1 tick,
+// so a virtual service interval always advances time.
+func (m ServiceModel) BatchTicks(n int) int64 {
+	d := m.ProgramTicks + int64(n)*m.RequestTicks
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ledgerEntry is one booked batch on the virtual-time completion
+// ledger, keyed for deterministic pop order by (execEnd, seq).
+type ledgerEntry struct {
+	execEnd int64
+	seq     int64
+	reqs    []*request
+}
+
+// ledgerLess orders ledger entries: earliest completion first, ties
+// broken by booking order.
+func ledgerLess(a, b *ledgerEntry) bool {
+	if a.execEnd != b.execEnd {
+		return a.execEnd < b.execEnd
+	}
+	return a.seq < b.seq
+}
+
+// ledgerPushLocked adds an entry to the completion min-heap.
+func (s *Scheduler) ledgerPushLocked(e *ledgerEntry) {
+	s.ledger = append(s.ledger, e)
+	i := len(s.ledger) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ledgerLess(s.ledger[i], s.ledger[parent]) {
+			break
+		}
+		s.ledger[i], s.ledger[parent] = s.ledger[parent], s.ledger[i]
+		i = parent
+	}
+}
+
+// ledgerPopLocked removes and returns the earliest completion.
+func (s *Scheduler) ledgerPopLocked() *ledgerEntry {
+	top := s.ledger[0]
+	last := len(s.ledger) - 1
+	s.ledger[0] = s.ledger[last]
+	s.ledger[last] = nil
+	s.ledger = s.ledger[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s.ledger) && ledgerLess(s.ledger[l], s.ledger[min]) {
+			min = l
+		}
+		if r < len(s.ledger) && ledgerLess(s.ledger[r], s.ledger[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		s.ledger[i], s.ledger[min] = s.ledger[min], s.ledger[i]
+		i = min
+	}
+}
+
+// bookLocked books a routed batch's virtual service interval: the
+// batch starts when its worker frees up, runs for the service-model
+// price, and is entered on the completion ledger, which Tick settles.
+// Called with the scheduler mutex held, from the single deterministic
+// dispatch path, so identical request traces book identical ledgers.
+func (s *Scheduler) bookLocked(w *worker, reqs []*request) {
+	now := s.ticks.Load()
+	start := now
+	if w.vBusyUntil > start {
+		start = w.vBusyUntil
+	}
+	end := start + s.opt.ServiceModel.BatchTicks(len(reqs))
+	w.vBusyUntil = end
+	for _, req := range reqs {
+		req.st.ExecStart = start
+		req.st.ExecEnd = end
+	}
+	s.ledgerPushLocked(&ledgerEntry{execEnd: end, seq: s.ledgerSeq, reqs: reqs})
+	s.ledgerSeq++
+}
+
+// settleLedgerLocked delivers every booked batch whose virtual
+// completion is due at now (all of them when force, for Close): the
+// stage stamps finalize, the latency histograms record, and the
+// admission-queue slots release. Slot release here - not at real
+// result delivery - is what keeps shedding decisions a pure function
+// of the request trace in virtual-time mode.
+func (s *Scheduler) settleLedgerLocked(now int64, force bool) {
+	for len(s.ledger) > 0 {
+		top := s.ledger[0]
+		if !force && top.execEnd > now {
+			return
+		}
+		s.ledgerPopLocked()
+		deliver := now
+		if deliver < top.execEnd {
+			deliver = top.execEnd
+		}
+		for _, req := range top.reqs {
+			req.st.Deliver = deliver
+			req.final.Store(true)
+			s.recordStages(req.st)
+			s.releaseSlot()
+		}
+		if s.trace != nil {
+			first := top.reqs[0].st
+			s.span.Event(obs.RequestCompleted, opName(top.reqs[0]),
+				obs.Int("size", int64(len(top.reqs))),
+				obs.Int("linger", first.Linger()),
+				obs.Int("queue_wait", first.QueueWait()),
+				obs.Int("execute", first.Execute()),
+				obs.Int("deliver_tick", deliver))
+		}
+	}
+}
+
+// recordStages observes one request's decomposition. All instruments
+// are nil-safe, so an uninstrumented scheduler pays five nil checks.
+func (s *Scheduler) recordStages(st StageTicks) {
+	s.latLinger.Observe(float64(st.Linger()))
+	s.latWait.Observe(float64(st.QueueWait()))
+	s.latExec.Observe(float64(st.Execute()))
+	s.latDeliver.Observe(float64(st.Delivery()))
+	s.latE2E.Observe(float64(st.EndToEnd()))
+}
+
+// Stages returns the request's tick-denominated stage stamps. ok is
+// false until the stamps are final: after the result delivery in
+// wall-time mode, or after the settling tick (drain InFlight to zero,
+// or Close) in virtual-time mode. Admission failures and canceled
+// requests never finalize.
+func (f *Future) Stages() (StageTicks, bool) {
+	if f.err != nil || f.req == nil || !f.req.final.Load() {
+		return StageTicks{}, false
+	}
+	return f.req.st, true
+}
+
+// InFlight returns the number of admitted requests whose admission
+// slot has not yet released: real in-flight work in wall-time mode,
+// virtually unserved work in virtual-time mode. A load driver ticks
+// until this reaches zero to drain the tail deterministically.
+func (s *Scheduler) InFlight() int64 { return s.queued.Load() }

@@ -8,6 +8,7 @@ import (
 	"albireo/internal/fleet"
 	"albireo/internal/inference"
 	"albireo/internal/obs"
+	"albireo/internal/tensor"
 )
 
 // TestSweepRecordsTelemetry checks the extracted load generator: one
@@ -41,5 +42,97 @@ func TestSweepHonorsCancellation(t *testing.T) {
 	}
 	if err := fleet.Sweeps(ctx, obs.NewRegistry(), nil, inference.Exact{}, 3, 1, 8, 3); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Sweeps on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfterBackend wraps a backend and fires cancel on the Nth
+// layer call, so tests can pull the plug mid-sweep rather than before
+// it. Sweeps drive the backend from one goroutine, so plain counters
+// suffice.
+type cancelAfterBackend struct {
+	inner  inference.Backend
+	after  int // fire cancel on this call number (0: never)
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (b *cancelAfterBackend) hit() {
+	b.calls++
+	if b.after > 0 && b.calls == b.after {
+		b.cancel()
+	}
+}
+
+func (b *cancelAfterBackend) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	b.hit()
+	return b.inner.Conv(a, w, cfg, relu)
+}
+
+func (b *cancelAfterBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
+	b.hit()
+	return b.inner.FullyConnected(a, w, relu)
+}
+
+func (b *cancelAfterBackend) Name() string { return b.inner.Name() }
+
+// TestSweepCanceledMidBatch cancels from inside a layer call during
+// the first batch iteration: the sweep must stop at the next
+// between-iteration check with the context error, before the dataflow
+// simulation runs, but after the iteration in progress finishes (a
+// sweep never leaves a layer half-recorded).
+func TestSweepCanceledMidBatch(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	be := &cancelAfterBackend{inner: inference.Exact{}, after: 1, cancel: cancel}
+	reg := obs.NewRegistry()
+	err := fleet.Sweep(ctx, reg, nil, be, 4, 8, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep canceled mid-batch: err = %v, want context.Canceled", err)
+	}
+	if be.calls == 0 {
+		t.Fatal("cancellation fired before any layer ran")
+	}
+	if len(reg.Snapshot().Counters) != 0 {
+		t.Fatal("dataflow simulation ran despite mid-batch cancellation")
+	}
+}
+
+// TestSweepsCanceledMidSequence cancels during the second sweep of a
+// three-sweep sequence: Sweeps must return the context error having
+// recorded exactly one sweep's telemetry - the registry matches a
+// single completed sweep bit for bit.
+func TestSweepsCanceledMidSequence(t *testing.T) {
+	t.Parallel()
+	// Measure one full sweep: its layer-call count and its registry.
+	probe := &cancelAfterBackend{inner: inference.Exact{}}
+	baseline := obs.NewRegistry()
+	if err := fleet.Sweep(context.Background(), baseline, nil, probe, 1, 8, 3); err != nil {
+		t.Fatalf("baseline Sweep: %v", err)
+	}
+	perSweep := probe.calls
+	if perSweep == 0 {
+		t.Fatal("baseline sweep drove no layer calls")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	be := &cancelAfterBackend{inner: inference.Exact{}, after: perSweep + 1, cancel: cancel}
+	reg := obs.NewRegistry()
+	err := fleet.Sweeps(ctx, reg, nil, be, 3, 1, 8, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweeps canceled mid-sequence: err = %v, want context.Canceled", err)
+	}
+	// Cancel lands inside sweep 2's first iteration; that iteration
+	// finishes (layers are never cut mid-run) and then the sweep stops,
+	// so at most one batch iteration of sweep 2 ran.
+	if be.calls <= perSweep || be.calls > 2*perSweep {
+		t.Fatalf("calls = %d, want in (%d, %d]: cancel must land inside sweep 2",
+			be.calls, perSweep, 2*perSweep)
+	}
+	// The dataflow simulation takes no seed, so one completed sweep's
+	// registry is identical to the baseline's.
+	if !reg.Snapshot().Equal(baseline.Snapshot()) {
+		t.Fatal("registry after mid-sequence cancel must match exactly one completed sweep")
 	}
 }

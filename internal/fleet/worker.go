@@ -31,6 +31,7 @@ type worker struct {
 	inService    bool
 	weight       int64 // healthy PLCU count (1 for chipless workers)
 	assigned     int64 // batches routed here, for deficit round-robin
+	vBusyUntil   int64 // virtual-time tick the worker is booked until
 	probePending bool
 	degraded     bool // cached chip.Degraded(); the chip itself is
 	// only touched by its owning goroutine
@@ -130,20 +131,38 @@ func (s *Scheduler) runSingle(w *worker, req *request) {
 }
 
 // runOne executes one request and delivers its result, entirely
-// lock-free: the counters are atomic and deliver releases the queue
-// slot without the scheduler mutex, so workers never serialize on
-// completing work. Returns 1 if the backend ran the request, 0 if it
-// was skipped as canceled.
+// lock-free: the counters are atomic and in wall-time mode the worker
+// releases the queue slot without the scheduler mutex, so workers
+// never serialize on completing work. In VirtualTime mode the stage
+// stamps and the slot release belong to the ledger, so the worker only
+// executes and delivers. Returns 1 if the backend ran the request, 0
+// if it was skipped as canceled.
 func (s *Scheduler) runOne(w *worker, req *request) int {
 	if err := req.ctx.Err(); err != nil {
 		s.canceled.Inc()
 		s.deliver(req, result{err: err})
+		if !s.opt.VirtualTime {
+			s.releaseSlot()
+		}
 		return 0
+	}
+	if !s.opt.VirtualTime {
+		req.st.ExecStart = s.ticks.Load()
 	}
 	res := w.run(req)
 	w.requests.Inc()
 	s.completed.Inc()
+	if !s.opt.VirtualTime {
+		end := s.ticks.Load()
+		req.st.ExecEnd = end
+		req.st.Deliver = end
+		req.final.Store(true)
+		s.recordStages(req.st)
+	}
 	s.deliver(req, res)
+	if !s.opt.VirtualTime {
+		s.releaseSlot()
+	}
 	return 1
 }
 

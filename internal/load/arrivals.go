@@ -1,0 +1,24 @@
+package load
+
+import "math/rand"
+
+// Arrivals scripts an open-loop Poisson arrival process: it returns
+// how many requests arrive in each of the given ticks at the offered
+// rate (mean requests per tick). Inter-arrival gaps are drawn from a
+// private seeded exponential stream, so the schedule is a pure
+// function of (rate, ticks, seed) - the load it describes exists
+// before the system under test runs, which is what "open loop" means:
+// a slow scheduler cannot push its own arrivals into the future.
+func Arrivals(rate float64, ticks int, seed int64) []int {
+	counts := make([]int, ticks)
+	if rate <= 0 || ticks <= 0 {
+		return counts
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := rng.ExpFloat64() / rate
+	for t < float64(ticks) {
+		counts[int(t)]++
+		t += rng.ExpFloat64() / rate
+	}
+	return counts
+}

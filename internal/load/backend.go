@@ -1,0 +1,32 @@
+package load
+
+import (
+	"albireo/internal/tensor"
+)
+
+// NullBackend is a shape-correct no-compute backend: Conv and
+// FullyConnected return zeroed outputs of the right geometry. The
+// load harness measures queueing, batching, and virtual service time,
+// none of which depend on arithmetic - a null backend keeps wall-clock
+// cost out of the measurement loop without changing a single latency
+// stamp.
+type NullBackend struct{}
+
+// Conv returns a zeroed output volume of the convolution's shape.
+func (NullBackend) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	outY := tensor.ConvOutputDim(a.Y, w.Y, cfg.Pad, stride)
+	outX := tensor.ConvOutputDim(a.X, w.X, cfg.Pad, stride)
+	return tensor.NewVolume(w.M, outY, outX)
+}
+
+// FullyConnected returns zeroed logits, one per output unit.
+func (NullBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
+	return make([]float64, w.M)
+}
+
+// Name identifies the backend.
+func (NullBackend) Name() string { return "null" }

@@ -1,0 +1,153 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"albireo/internal/obs"
+)
+
+// HTTPConfig describes one open-loop run against a live albireo-serve
+// /v1/infer endpoint. Unlike the fleet driver this measures the real
+// wire path in wall time - JSON codec, HTTP stack, handler - through
+// an injected obs.Clock (the module's one sanctioned wall-time
+// source), so it explores a deployment rather than gating CI.
+type HTTPConfig struct {
+	// URL is the infer endpoint, e.g. http://127.0.0.1:8080/v1/infer.
+	URL string
+	// Rate is the offered load in requests per second (Poisson mean).
+	Rate float64
+	// Duration is the arrival window.
+	Duration time.Duration
+	// Seed seeds the arrival process.
+	Seed int64
+	// InZ and InSize must match the served model's input shape
+	// (defaults 3 and 8, the albireo-serve defaults).
+	InZ, InSize int
+	// Clock supplies wall time; required.
+	Clock obs.Clock
+	// Client issues the requests (default: a fresh http.Client).
+	Client *http.Client
+}
+
+// HTTPResult aggregates one HTTP run.
+type HTTPResult struct {
+	// Issued counts arrivals actually dispatched; Scheduled counts the
+	// arrivals the Poisson process planned (they differ only when the
+	// context ends the run early).
+	Scheduled, Issued int64
+	// Completed, Shed (HTTP 503), and Errors partition the responses.
+	Completed, Shed, Errors int64
+	// LatencyMicros summarizes completed-request latency in
+	// microseconds, measured from each request's scheduled arrival
+	// time - not its send time - so a stalled server cannot hide
+	// queueing delay behind displaced sends (coordinated omission).
+	LatencyMicros StageStats
+}
+
+// RunHTTP drives an open-loop Poisson arrival schedule against the
+// endpoint: arrivals are precomputed from the seed, each request is
+// issued in its own goroutine at its scheduled time regardless of how
+// many are still outstanding, and latency is charged from the
+// schedule. Ends early (with the context error) on cancellation.
+func RunHTTP(ctx context.Context, cfg HTTPConfig) (HTTPResult, error) {
+	if cfg.URL == "" || cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return HTTPResult{}, fmt.Errorf("load: need url, positive rate and duration")
+	}
+	if cfg.Clock == nil {
+		return HTTPResult{}, errors.New("load: HTTPConfig.Clock is required")
+	}
+	if cfg.InZ <= 0 {
+		cfg.InZ = 3
+	}
+	if cfg.InSize <= 0 {
+		cfg.InSize = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"z": cfg.InZ, "y": cfg.InSize, "x": cfg.InSize,
+		"data": make([]float64, cfg.InZ*cfg.InSize*cfg.InSize),
+	})
+	if err != nil {
+		return HTTPResult{}, err
+	}
+
+	// The whole schedule exists before the first request: open loop.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var offsets []time.Duration
+	for t := rng.ExpFloat64() / cfg.Rate; ; t += rng.ExpFloat64() / cfg.Rate {
+		off := time.Duration(t * float64(time.Second))
+		if off >= cfg.Duration {
+			break
+		}
+		offsets = append(offsets, off)
+	}
+
+	res := HTTPResult{Scheduled: int64(len(offsets))}
+	type outcome struct {
+		status int
+		err    error
+		lat    time.Duration
+	}
+	outcomes := make([]outcome, len(offsets))
+	var wg sync.WaitGroup
+	start := cfg.Clock.Now()
+	for i, off := range offsets {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		sched := start.Add(off)
+		if d := sched.Sub(cfg.Clock.Now()); d > 0 {
+			time.Sleep(d)
+		}
+		res.Issued++
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(body))
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{status: resp.StatusCode, lat: cfg.Clock.Now().Sub(sched)}
+		}(i, sched)
+	}
+	wg.Wait()
+
+	var lats []int64
+	for _, o := range outcomes[:res.Issued] {
+		switch {
+		case o.err != nil:
+			res.Errors++
+		case o.status == http.StatusOK:
+			res.Completed++
+			lats = append(lats, o.lat.Microseconds())
+		case o.status == http.StatusServiceUnavailable:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+	}
+	res.LatencyMicros = TickStats(lats)
+	return res, ctx.Err()
+}

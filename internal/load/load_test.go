@@ -1,0 +1,237 @@
+package load_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"albireo/internal/fleet"
+	"albireo/internal/load"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+func TestArrivalsDeterministic(t *testing.T) {
+	t.Parallel()
+	a := load.Arrivals(0.8, 500, 42)
+	b := load.Arrivals(0.8, 500, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must script the same arrivals")
+	}
+	c := load.Arrivals(0.8, 500, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should script different arrivals")
+	}
+	total := 0
+	for _, n := range a {
+		total += n
+	}
+	// Poisson(0.8 * 500) = 400 expected; 5 sigma is 100.
+	if total < 300 || total > 500 {
+		t.Fatalf("arrival count %d far from offered 400", total)
+	}
+	if got := load.Arrivals(0, 10, 1); len(got) != 10 {
+		t.Fatalf("zero rate must still script %d empty ticks, got %d", 10, len(got))
+	}
+}
+
+func TestNullBackendShapes(t *testing.T) {
+	t.Parallel()
+	be := load.NullBackend{}
+	in := tensor.RandomVolume(3, 8, 8, 1)
+	w := tensor.RandomKernels(4, 3, 3, 3, 2)
+	out := be.Conv(in, w, tensor.ConvConfig{Stride: 1, Pad: 1}, true)
+	if out.Z != 4 || out.Y != 8 || out.X != 8 {
+		t.Fatalf("conv output %dx%dx%d, want 4x8x8", out.Z, out.Y, out.X)
+	}
+	// Zero-value config: stride defaults to 1 like the real backends.
+	pw := tensor.RandomKernels(5, 3, 1, 1, 3)
+	out = be.Conv(in, pw, tensor.ConvConfig{}, false)
+	if out.Z != 5 || out.Y != 8 || out.X != 8 {
+		t.Fatalf("pointwise output %dx%dx%d, want 5x8x8", out.Z, out.Y, out.X)
+	}
+	wfc := tensor.RandomKernels(6, 4, 8, 8, 4)
+	if got := len(be.FullyConnected(out, wfc, false)); got != 6 {
+		t.Fatalf("fc logits = %d, want 6", got)
+	}
+	if be.Name() != "null" {
+		t.Fatalf("name = %q", be.Name())
+	}
+}
+
+// TestRunPointReconciles drives one saturating point and checks the
+// request-level view against the fleet's own counters: nothing is
+// lost, nothing is double-counted, and every completed request
+// carries an exactly reconciling decomposition.
+func TestRunPointReconciles(t *testing.T) {
+	t.Parallel()
+	cfg := load.Config{Rate: 1.5, Ticks: 100, Seed: 7}
+	opt := fleet.Options{MaxBatch: 4, MaxLinger: 2, QueueDepth: 16}
+	res, err := load.RunPoint(cfg, opt, load.NullUnits(2)...)
+	if err != nil {
+		t.Fatalf("RunPoint: %v", err)
+	}
+	if res.Issued == 0 || res.Completed == 0 {
+		t.Fatal("point measured nothing")
+	}
+	if res.Admitted+res.Shed != res.Issued {
+		t.Fatalf("admitted %d + shed %d != issued %d", res.Admitted, res.Shed, res.Issued)
+	}
+	if res.Shed == 0 {
+		t.Fatal("rate 1.5/tick against 2 null workers was meant to shed")
+	}
+	if int64(len(res.Stages)) != res.Completed {
+		t.Fatalf("stages %d != completed %d", len(res.Stages), res.Completed)
+	}
+	for i, st := range res.Stages {
+		if st.EndToEnd() != st.Linger()+st.QueueWait()+st.Execute()+st.Delivery() {
+			t.Fatalf("request %d decomposition does not reconcile: %+v", i, st)
+		}
+	}
+	snap := res.Snapshot
+	if got := snap.Counters[fleet.MetricAdmitted]; got != res.Admitted {
+		t.Fatalf("admitted counter %d != result %d", got, res.Admitted)
+	}
+	if got := snap.Counters[fleet.MetricShed]; got != res.Shed {
+		t.Fatalf("shed counter %d != result %d", got, res.Shed)
+	}
+	if got := snap.SumCounters(fleet.MetricCompleted); got != res.Completed {
+		t.Fatalf("completed counter %d != result %d", got, res.Completed)
+	}
+	if got := snap.Histograms[fleet.MetricLatencyE2E].Count; got != res.Completed {
+		t.Fatalf("e2e histogram count %d != completed %d", got, res.Completed)
+	}
+}
+
+// TestRunPointDeterministic is the property the baseline gate stands
+// on: identical (seed, rate, ticks, pool) yields identical results,
+// stamps, and registry snapshots.
+func TestRunPointDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := load.Config{Rate: 0.9, Ticks: 80, Seed: 11}
+	opt := fleet.Options{MaxBatch: 4, MaxLinger: 1, QueueDepth: 8}
+	a, err := load.RunPoint(cfg, opt, load.NullUnits(2)...)
+	if err != nil {
+		t.Fatalf("RunPoint a: %v", err)
+	}
+	b, err := load.RunPoint(cfg, opt, load.NullUnits(2)...)
+	if err != nil {
+		t.Fatalf("RunPoint b: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the full result bit for bit")
+	}
+}
+
+func TestTickStats(t *testing.T) {
+	t.Parallel()
+	if got := load.TickStats(nil); got != (load.StageStats{}) {
+		t.Fatalf("empty stats = %+v, want zero", got)
+	}
+	// 10 samples, unsorted on purpose.
+	s := load.TickStats([]int64{9, 1, 2, 3, 4, 5, 6, 7, 8, 10})
+	want := load.StageStats{Mean: 5.5, P50: 5, P90: 9, P99: 10, P999: 10, Max: 10}
+	if s != want {
+		t.Fatalf("stats = %+v, want %+v", s, want)
+	}
+	one := load.TickStats([]int64{42})
+	if one.P50 != 42 || one.P999 != 42 || one.Mean != 42 || one.Max != 42 {
+		t.Fatalf("single-sample stats = %+v", one)
+	}
+}
+
+func TestBuildPointAndGate(t *testing.T) {
+	t.Parallel()
+	res := load.Result{
+		Issued: 10, Admitted: 8, Completed: 8, Shed: 2,
+		WindowTicks: 10, TotalTicks: 20,
+		Stages: []fleet.StageTicks{
+			{Arrive: 0, Dispatch: 1, ExecStart: 1, ExecEnd: 4, Deliver: 4},
+			{Arrive: 2, Dispatch: 2, ExecStart: 4, ExecEnd: 7, Deliver: 7},
+		},
+	}
+	p := load.BuildPoint(2, 1.0, res)
+	if p.ShedFraction != 0.2 {
+		t.Fatalf("shed fraction = %g, want 0.2", p.ShedFraction)
+	}
+	if p.AchievedRate != 0.4 {
+		t.Fatalf("achieved rate = %g, want 0.4", p.AchievedRate)
+	}
+	if p.E2E.Max != 5 || p.Execute.Max != 3 {
+		t.Fatalf("stats wrong: e2e %+v execute %+v", p.E2E, p.Execute)
+	}
+
+	base := load.Report{Schema: load.ReportSchema, Points: []load.Point{p}}
+	var out bytes.Buffer
+	if err := load.Gate(&out, base, base, 0.1); err != nil {
+		t.Fatalf("gate at baseline: %v", err)
+	}
+	if !strings.Contains(out.String(), "within p99 baseline") {
+		t.Fatalf("gate output %q", out.String())
+	}
+
+	worse := p
+	worse.E2E.P99 = p.E2E.P99*2 + 10
+	rep := load.Report{Schema: load.ReportSchema, Points: []load.Point{worse}}
+	if err := load.Gate(&out, rep, base, 0.1); err == nil {
+		t.Fatal("gate must fail on a p99 regression")
+	}
+
+	if err := load.Gate(&out, load.Report{}, base, 0.1); err == nil {
+		t.Fatal("gate must fail when a baseline point is unmeasured")
+	}
+}
+
+// TestRunHTTP exercises the wall-clock driver against a stub endpoint
+// that sheds every fourth request.
+func TestRunHTTP(t *testing.T) {
+	t.Parallel()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1)%4 == 0 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"logits":[1]}`))
+	}))
+	defer srv.Close()
+
+	res, err := load.RunHTTP(context.Background(), load.HTTPConfig{
+		URL:      srv.URL,
+		Rate:     400,
+		Duration: 100 * time.Millisecond,
+		Seed:     5,
+		Clock:    obs.WallClock{},
+	})
+	if err != nil {
+		t.Fatalf("RunHTTP: %v", err)
+	}
+	if res.Scheduled == 0 || res.Issued != res.Scheduled {
+		t.Fatalf("scheduled %d issued %d", res.Scheduled, res.Issued)
+	}
+	if res.Completed+res.Shed+res.Errors != res.Issued {
+		t.Fatalf("outcomes %d+%d+%d do not partition issued %d",
+			res.Completed, res.Shed, res.Errors, res.Issued)
+	}
+	if res.Completed == 0 || res.Shed == 0 {
+		t.Fatalf("expected both completions and sheds, got %d and %d", res.Completed, res.Shed)
+	}
+	if res.LatencyMicros.Max <= 0 {
+		t.Fatalf("latency stats empty: %+v", res.LatencyMicros)
+	}
+
+	if _, err := load.RunHTTP(context.Background(), load.HTTPConfig{}); err == nil {
+		t.Fatal("empty config must be rejected")
+	}
+	if _, err := load.RunHTTP(context.Background(), load.HTTPConfig{
+		URL: srv.URL, Rate: 1, Duration: time.Second,
+	}); err == nil {
+		t.Fatal("missing clock must be rejected")
+	}
+}

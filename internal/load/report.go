@@ -1,0 +1,171 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReportSchema versions the BENCH_serve.json wire shape.
+const ReportSchema = "albireo-bench-serve/v1"
+
+// StageStats summarizes one latency stage's distribution in ticks.
+// Quantiles are exact nearest-rank order statistics over the
+// per-request samples (not histogram interpolations), so the report
+// is reproducible to the bit from a seed.
+type StageStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// TickStats computes exact order statistics over tick samples.
+func TickStats(samples []int64) StageStats {
+	if len(samples) == 0 {
+		return StageStats{}
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	n := len(sorted)
+	rank := func(q float64) float64 {
+		// Nearest-rank: the smallest sample with at least q of the
+		// distribution at or below it.
+		i := int(q*float64(n)+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return float64(sorted[i])
+	}
+	return StageStats{
+		Mean: float64(sum) / float64(n),
+		P50:  rank(0.50),
+		P90:  rank(0.90),
+		P99:  rank(0.99),
+		P999: rank(0.999),
+		Max:  float64(sorted[n-1]),
+	}
+}
+
+// Point is one measured (pool, offered rate) cell of the
+// throughput-latency surface.
+type Point struct {
+	Pool        int     `json:"pool"`
+	OfferedRate float64 `json:"offered_rate"`
+	Ticks       int     `json:"ticks"`
+	TotalTicks  int64   `json:"total_ticks"`
+	Issued      int64   `json:"issued"`
+	Admitted    int64   `json:"admitted"`
+	Completed   int64   `json:"completed"`
+	Shed        int64   `json:"shed"`
+	// AchievedRate is completed work per tick over the whole run
+	// (drain included), so past saturation it converges on pool
+	// capacity instead of echoing the offered rate.
+	AchievedRate float64 `json:"achieved_rate"`
+	ShedFraction float64 `json:"shed_fraction"`
+
+	E2E       StageStats `json:"e2e"`
+	Linger    StageStats `json:"linger"`
+	QueueWait StageStats `json:"queue_wait"`
+	Execute   StageStats `json:"execute"`
+	Delivery  StageStats `json:"delivery"`
+}
+
+// BuildPoint reduces one measurement's raw result to a report point.
+func BuildPoint(pool int, rate float64, res Result) Point {
+	n := len(res.Stages)
+	e2e := make([]int64, n)
+	linger := make([]int64, n)
+	wait := make([]int64, n)
+	exec := make([]int64, n)
+	deliver := make([]int64, n)
+	for i, st := range res.Stages {
+		e2e[i] = st.EndToEnd()
+		linger[i] = st.Linger()
+		wait[i] = st.QueueWait()
+		exec[i] = st.Execute()
+		deliver[i] = st.Delivery()
+	}
+	p := Point{
+		Pool:        pool,
+		OfferedRate: rate,
+		Ticks:       res.WindowTicks,
+		TotalTicks:  res.TotalTicks,
+		Issued:      res.Issued,
+		Admitted:    res.Admitted,
+		Completed:   res.Completed,
+		Shed:        res.Shed,
+		E2E:         TickStats(e2e),
+		Linger:      TickStats(linger),
+		QueueWait:   TickStats(wait),
+		Execute:     TickStats(exec),
+		Delivery:    TickStats(deliver),
+	}
+	if res.TotalTicks > 0 {
+		p.AchievedRate = float64(res.Completed) / float64(res.TotalTicks)
+	}
+	if res.Issued > 0 {
+		p.ShedFraction = float64(res.Shed) / float64(res.Issued)
+	}
+	return p
+}
+
+// Report is the BENCH_serve.json document: the measurement sweep plus
+// everything needed to reproduce it.
+type Report struct {
+	Schema       string  `json:"schema"`
+	Seed         int64   `json:"seed"`
+	QueueDepth   int     `json:"queue_depth"`
+	MaxBatch     int     `json:"max_batch"`
+	MaxLinger    int     `json:"max_linger"`
+	ProgramTicks int64   `json:"program_ticks"`
+	RequestTicks int64   `json:"request_ticks"`
+	Points       []Point `json:"points"`
+}
+
+// pointKey identifies a point across report and baseline.
+func pointKey(p Point) string {
+	return fmt.Sprintf("pool=%d rate=%g", p.Pool, p.OfferedRate)
+}
+
+// Gate compares measured p99 end-to-end latency against a committed
+// baseline, mirroring the allocs/op gate: every baseline point must be
+// measured, and each may exceed its baseline p99 by at most slack
+// (fractional) plus 1 tick absolute - headroom for a deliberate
+// service-model tweak of a single tick, while still failing on a real
+// queueing regression (which moves p99 by many ticks, not one).
+func Gate(out io.Writer, rep, base Report, slack float64) error {
+	measured := make(map[string]Point, len(rep.Points))
+	for _, p := range rep.Points {
+		measured[pointKey(p)] = p
+	}
+	var failures []string
+	for _, b := range base.Points {
+		key := pointKey(b)
+		m, ok := measured[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", key))
+			continue
+		}
+		limit := b.E2E.P99*(1+slack) + 1
+		if m.E2E.P99 > limit {
+			failures = append(failures, fmt.Sprintf("%s: p99 %.0f ticks exceeds baseline %.0f (limit %.1f)",
+				key, m.E2E.P99, b.E2E.P99, limit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("p99 latency regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "serve gate: %d points within p99 baseline\n", len(base.Points))
+	return nil
+}

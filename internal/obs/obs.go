@@ -158,6 +158,18 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // dimensionless ratios (divergence, utilization).
 var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1}
 
+// LatencyBuckets is the bucket ladder for tick-denominated latency
+// histograms (the fleet's per-stage and end-to-end decomposition).
+// The near-geometric spacing keeps relative error under ~25% per
+// bucket across four decades, fine enough that a p999 estimate from
+// Quantile lands in the right bucket instead of saturating at +Inf
+// for any tail a bounded admission queue can produce.
+var LatencyBuckets = []float64{
+	1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96,
+	128, 160, 192, 256, 320, 384, 512, 640, 768, 1024, 1280, 1536,
+	2048, 2560, 3072, 4096, 5120, 6144, 8192, 10240, 12288, 16384,
+}
+
 // entry is one registered instrument with its identity split into the
 // metric name and its labels (both needed for exposition).
 type entry struct {
@@ -292,6 +304,44 @@ type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
+// Quantile estimates the q-quantile of the recorded distribution by
+// linear interpolation inside the bucket containing the target rank -
+// the same estimate Prometheus's histogram_quantile computes server
+// side, so the exposed values and a scraper's own math agree. The
+// first bucket interpolates from a lower edge of 0 (latencies and
+// counts are non-negative); ranks that land in the +Inf bucket clamp
+// to the highest finite bound, since no upper edge exists to
+// interpolate toward. q outside [0,1] is clamped. An empty histogram
+// reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, bound := range h.Bounds {
+		c := float64(h.Counts[i])
+		if c > 0 && cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			if rank <= cum {
+				return lower
+			}
+			return lower + (bound-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a frozen, comparable view of a registry, keyed by
 // canonical metric id.
 type Snapshot struct {
@@ -422,6 +472,12 @@ func (s Snapshot) SumCounters(name string) int64 {
 	return total
 }
 
+// promSample pairs one rendered sample's canonical id with its entry.
+type promSample struct {
+	id string
+	e  *entry
+}
+
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4): a # TYPE line per metric name
 // followed by its samples, sorted by name then label id so the output
@@ -431,18 +487,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	type sample struct {
-		id string
-		e  *entry
-	}
-	byName := make(map[string][]sample)
+	byName := make(map[string][]promSample)
 	var names []string
 	for id, e := range r.entries {
 		if _, ok := byName[e.name]; !ok {
 			names = append(names, e.name)
 		}
 		//lint:ignore map-iteration-determinism per-name buckets are sorted by id before rendering, neutralizing map order
-		byName[e.name] = append(byName[e.name], sample{id: id, e: e})
+		byName[e.name] = append(byName[e.name], promSample{id: id, e: e})
 	}
 	r.mu.Unlock()
 
@@ -471,6 +523,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				err = writePrometheusHistogram(w, sm.e)
 			}
 			if err != nil {
+				return err
+			}
+		}
+		// Histogram families carry a derived companion family of
+		// precomputed quantile gauges: _bucket/_sum/_count stay exactly
+		// the standard histogram exposition (scrapers aggregate those
+		// across instances), while <name>_quantile{q="..."} gives a
+		// human or a quantile-SLO gate the tail without re-deriving it.
+		if samples[0].e.h != nil {
+			if err := writeQuantileFamily(w, name, samples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ExpositionQuantiles are the quantiles rendered for every histogram
+// as its derived _quantile gauge family.
+var ExpositionQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// writeQuantileFamily renders the derived quantile gauges for one
+// histogram family: one sample per (label set, quantile).
+func writeQuantileFamily(w io.Writer, name string, samples []promSample) error {
+	qname := name + "_quantile"
+	if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", qname); err != nil {
+		return err
+	}
+	for _, sm := range samples {
+		snap := sm.e.h.snapshot()
+		for _, q := range ExpositionQuantiles {
+			labels := append(append([]Label(nil), sm.e.labels...), Label{Key: "q", Value: formatFloat(q)})
+			if _, err := fmt.Fprintf(w, "%s %s\n", metricID(qname, labels), formatFloat(snap.Quantile(q))); err != nil {
 				return err
 			}
 		}

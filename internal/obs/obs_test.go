@@ -189,8 +189,8 @@ func TestWritePrometheusFormat(t *testing.T) {
 			t.Errorf("invalid exposition line: %q", line)
 		}
 	}
-	if types != 3 {
-		t.Errorf("want 3 # TYPE lines, got %d:\n%s", types, out)
+	if types != 4 {
+		t.Errorf("want 4 # TYPE lines (incl. the derived quantile family), got %d:\n%s", types, out)
 	}
 	for _, want := range []string{
 		`adc_total{plcg="0"} 11`,
@@ -198,6 +198,8 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"# TYPE div histogram",
 		`div_bucket{le="+Inf"} 2`,
 		"div_count 2",
+		"# TYPE div_quantile gauge",
+		`div_quantile{q="0.5"} 0.01`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -251,5 +253,81 @@ func TestKindMismatchReturnsInertInstrument(t *testing.T) {
 	g.Set(5)
 	if g.Value() != 0 {
 		t.Fatal("kind-mismatched lookup must be inert")
+	}
+}
+
+// TestHistogramQuantile pins the bucket-interpolated quantile
+// estimate against hand-computed values.
+func TestHistogramQuantile(t *testing.T) {
+	t.Parallel()
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Counts: le1=2, le2=1, le4=2, le8=4, +Inf=1; total 10.
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},    // rank 0: lower edge of the first occupied bucket
+		{0.2, 1},  // rank 2 exactly fills the first bucket
+		{0.3, 2},  // rank 3 fills through the le2 bucket
+		{0.5, 4},  // rank 5 fills through the le4 bucket
+		{0.7, 6},  // rank 7: 2 into the 4-wide le8 bucket of count 4
+		{0.9, 8},  // rank 9 fills through le8
+		{0.99, 8}, // +Inf bucket clamps to the last finite bound
+		{1, 8},    // likewise at the extreme
+		{-1, 0},   // clamped below
+		{2, 8},    // clamped above
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestExpositionGolden pins the exact text exposition - TYPE lines,
+// sample order, histogram _bucket/_sum/_count, and the derived
+// quantile family - so any drift in the wire format is a conscious
+// choice.
+func TestExpositionGolden(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("req_total", L("worker", "0")).Add(3)
+	r.Gauge("depth").Set(1.5)
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 3, 5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE depth gauge
+depth 1.5
+# TYPE lat histogram
+lat_bucket{le="1"} 1
+lat_bucket{le="2"} 2
+lat_bucket{le="4"} 3
+lat_bucket{le="+Inf"} 4
+lat_sum 11
+lat_count 4
+# TYPE lat_quantile gauge
+lat_quantile{q="0.5"} 2
+lat_quantile{q="0.9"} 4
+lat_quantile{q="0.99"} 4
+lat_quantile{q="0.999"} 4
+# TYPE req_total counter
+req_total{worker="0"} 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -39,6 +39,9 @@ const (
 	// WorkerRestored marks a drained fleet worker returned to service
 	// after a clean re-probe.
 	WorkerRestored
+	// RequestCompleted marks a request batch reaching its completion
+	// point, stamped with its latency decomposition.
+	RequestCompleted
 	// Mark is a free-form point event.
 	Mark
 )
@@ -70,6 +73,8 @@ func (k EventKind) String() string {
 		return "worker-drained"
 	case WorkerRestored:
 		return "worker-restored"
+	case RequestCompleted:
+		return "request-completed"
 	case Mark:
 		return "mark"
 	default:
