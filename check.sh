@@ -33,6 +33,9 @@
 #              archived by CI)
 #   health     per-worker BIST scan of the default pool (report lands
 #              in health.out, archived by CI)
+#   journal    record a seeded sweep into a hash-chained journal, then
+#              albireo-replay verifies the chain and re-executes the
+#              history bit-for-bit (log in journal.out, archived by CI)
 #
 # CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
@@ -76,5 +79,16 @@ go run ./cmd/albireo-serve -addr "" -sweeps 1 -sweep-batch 1 -size 8 -pool 2 -de
 
 echo "==> BIST health report (output in health.out)"
 go run ./cmd/albireo-serve -addr "" -sweeps 0 -bist | tee health.out
+
+echo "==> journal record/verify/replay gate (output in journal.out)"
+# Record a seeded degraded-pool sweep, then prove the chain verifies
+# and the whole serving history replays bit-for-bit on a pool rebuilt
+# from nothing but the journal header.
+rm -rf journal.d
+go run ./cmd/albireo-serve -addr "" -sweeps 1 -sweep-batch 1 -size 8 -pool 2 \
+	-detune "0,0,4,2,0.4" -journal journal.d | tee journal.out
+go run ./cmd/albireo-replay -journal journal.d -verify | tee -a journal.out
+go run ./cmd/albireo-replay -journal journal.d | tee -a journal.out
+rm -rf journal.d
 
 echo "check.sh: all gates passed"

@@ -59,9 +59,9 @@ import (
 	"syscall"
 	"time"
 
-	"albireo/internal/core"
 	"albireo/internal/fleet"
 	"albireo/internal/inference"
+	"albireo/internal/journal"
 	"albireo/internal/obs"
 	"albireo/internal/tensor"
 )
@@ -103,6 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	detune := fs.String("detune", "", `inject faults into worker 0 before the BIST scan: "group,unit,tap,column,residual[,driftPerCycle]", semicolon-separated`)
 	keepDegraded := fs.Bool("keep-degraded", true, "keep faulty workers serving on their surviving units at reduced weight; false drains the whole worker")
 	bist := fs.Bool("bist", false, `with -addr "": print the per-worker BIST health JSON instead of metrics`)
+	journalDir := fs.String("journal", "", "append a hash-chained request journal under this directory (created if absent; reopened with crash recovery if it already holds one)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,22 +138,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	// Build the pool: each worker is an accuracy-guarded, observed
 	// analog backend on its own distinctly seeded chip. Chip activity
-	// counters share the registry and sum fleet-wide.
-	units := make([]fleet.Unit, *pool)
-	for i := range units {
-		cfg := core.DefaultConfig()
-		cfg.Seed = *seed + int64(i)
-		analog := inference.NewAnalog(cfg)
-		analog.Chip.Instrument(reg, trace)
-		if i == 0 {
-			if err := injectFaultSpecs(analog.Chip, cfg, *detune); err != nil {
-				return err
-			}
+	// counters share the registry and sum fleet-wide. The PoolSpec is
+	// exactly what the journal header records, so albireo-replay can
+	// rebuild this pool bit-identically.
+	spec := fleet.PoolSpec{
+		Pool:         *pool,
+		Seed:         *seed,
+		Budget:       *budget,
+		Detune:       *detune,
+		KeepDegraded: *keepDegraded,
+	}
+	units, guards, err := fleet.BuildUnits(spec, reg, trace)
+	if err != nil {
+		return err
+	}
+
+	// Journaling: the chain is created fresh or reopened with crash
+	// recovery; flags must match the recorded header, or the chain
+	// would stop being replayable against one pool.
+	var jrn *journal.Async
+	if *journalDir != "" {
+		hdr := journal.Header{
+			Pool:         int64(*pool),
+			Seed:         *seed,
+			Size:         int64(*size),
+			Budget:       *budget,
+			KeepDegraded: *keepDegraded,
+			Detune:       *detune,
 		}
-		guarded := inference.Guard(analog, inference.Exact{}, *budget).Instrument(reg, trace)
-		units[i] = fleet.Unit{
-			Backend: inference.Observe(guarded, reg, trace),
-			Chip:    analog.Chip,
+		jw, err := openJournal(*journalDir, hdr, out)
+		if err != nil {
+			return err
+		}
+		jrn = journal.NewAsync(jw, 0).Instrument(reg, trace)
+		jrn.Start()
+		// Guarded fallbacks happen inside the backend, invisible to the
+		// scheduler; each worker's guard journals them directly.
+		for i, g := range guards {
+			worker := int64(i)
+			g.FallbackHook = func(kind string) {
+				op := journal.OpConv
+				if kind == "fc" {
+					op = journal.OpFC
+				}
+				jrn.Record(journal.KindFallback, journal.EncodeFallback(journal.Fallback{Worker: worker, Op: op}))
+			}
 		}
 	}
 
@@ -160,7 +190,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// below advances one tick per -linger period, so MaxLinger 1 tick
 	// realizes the flag. Stdout mode runs no ticker and dispatches
 	// immediately.
-	opt := fleet.Options{MaxBatch: *batch, QueueDepth: *queue, KeepDegraded: *keepDegraded}
+	opt := fleet.Options{MaxBatch: *batch, QueueDepth: *queue, KeepDegraded: *keepDegraded, Journal: jrn}
 	tickEvery := *linger
 	if *addr != "" {
 		if tickEvery > 0 {
@@ -173,12 +203,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			opt.ReprobeEvery = 1
 		}
 	}
+	// sealJournal drains and closes the journal; every exit path after
+	// this point runs it exactly once (it is idempotent).
+	sealJournal := func() error {
+		if jrn == nil {
+			return nil
+		}
+		if err := jrn.Close(); err != nil {
+			return fmt.Errorf("journal close: %w", err)
+		}
+		st := jrn.Status()
+		fmt.Fprintf(out, "albireo-serve: journal sealed at seq %d (degraded=%v)\n", st.HeadSeq, st.Degraded)
+		return nil
+	}
+
 	sched, err := fleet.New(opt, units...)
 	if err != nil {
+		sealJournal()
 		return err
 	}
 	sched.Instrument(reg, trace)
 	if err := sched.Start(); err != nil {
+		sealJournal()
 		return err
 	}
 	for _, wi := range sched.Info() {
@@ -189,20 +235,60 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	// The wall ticker is the fleet's clock: one Tick per period drives
+	// batch linger and re-probe scheduling. It lives only here at the
+	// cmd boundary, and it must spin up before the startup sweeps:
+	// server-mode linger is denominated in ticks, so a sweep dispatched
+	// into a tickless scheduler would wait on its partial batch forever
+	// and the listener would never come up. Stdout mode dispatches
+	// immediately (MaxLinger 0) and runs no ticker.
+	stopTicker := func() {}
+	if *addr != "" {
+		tickerDone := make(chan struct{})
+		tickerStop := make(chan struct{})
+		ticker := time.NewTicker(tickEvery)
+		go func() {
+			defer close(tickerDone)
+			for {
+				select {
+				case <-ticker.C:
+					sched.Tick()
+				case <-tickerStop:
+					return
+				}
+			}
+		}()
+		stopTicker = func() {
+			ticker.Stop()
+			close(tickerStop)
+			<-tickerDone
+		}
+	}
+
 	// Load generation through the fleet: sequential, so stdout-mode
 	// telemetry is deterministic.
 	bound := sched.Bind(ctx)
 	if err := fleet.Sweeps(ctx, reg, trace, bound, *sweeps, *sweepBatch, *size, *seed); err != nil {
+		stopTicker()
 		sched.Close(context.Background())
+		sealJournal()
 		return err
 	}
 	if err := bound.Err(); err != nil {
+		stopTicker()
 		sched.Close(context.Background())
+		sealJournal()
 		return fmt.Errorf("startup sweeps: %w", err)
 	}
 
 	if *addr == "" {
 		if err := sched.Close(ctx); err != nil {
+			sealJournal()
+			return err
+		}
+		// Seal before printing metrics so the journal counters are
+		// settled and the stdout telemetry stays deterministic.
+		if err := sealJournal(); err != nil {
 			return err
 		}
 		if *bist {
@@ -223,6 +309,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		clock:      clock,
 		start:      clock.Now(),
 		fleet:      sched,
+		journal:    jrn,
 		model:      inference.TinyCNN(3, *size, *seed),
 		inZ:        3,
 		size:       *size,
@@ -230,34 +317,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		stopTicker()
 		sched.Close(context.Background())
+		sealJournal()
 		return err
 	}
 
-	// The wall ticker is the fleet's clock: one Tick per period drives
-	// batch linger and re-probe scheduling. It lives only here at the
-	// cmd boundary.
-	tickerDone := make(chan struct{})
-	tickerStop := make(chan struct{})
-	ticker := time.NewTicker(tickEvery)
-	go func() {
-		defer close(tickerDone)
-		for {
-			select {
-			case <-ticker.C:
-				st.fleet.Tick()
-			case <-tickerStop:
-				return
-			}
-		}
-	}()
-
-	fmt.Fprintf(out, "albireo-serve listening on %s (pool %d; endpoints: /v1/infer /metrics /trace /bist /healthz /readyz /debug/pprof/)\n", ln.Addr(), *pool)
+	fmt.Fprintf(out, "albireo-serve listening on %s (pool %d; endpoints: /v1/infer /metrics /trace /bist /journal /healthz /readyz /debug/pprof/)\n", ln.Addr(), *pool)
 	serveErr := serveGracefully(ctx, ln, newServer(st), *drain, &st.ready, out)
 
-	ticker.Stop()
-	close(tickerStop)
-	<-tickerDone
+	stopTicker()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := sched.Close(dctx); err != nil {
@@ -267,59 +336,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintln(out, "albireo-serve: fleet drained")
 	}
+	if err := sealJournal(); err != nil && serveErr == nil {
+		serveErr = err
+	}
 	return serveErr
 }
 
-// injectFaultSpecs parses and injects the -detune fault list. Each
-// spec is "group,unit,tap,column,residual[,driftPerCycle]".
-func injectFaultSpecs(chip *core.Chip, cfg core.Config, specs string) error {
-	for _, spec := range strings.Split(specs, ";") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
-			continue
-		}
-		parts := strings.Split(spec, ",")
-		if len(parts) != 5 && len(parts) != 6 {
-			return fmt.Errorf("detune spec %q: want group,unit,tap,column,residual[,drift]", spec)
-		}
-		ints := make([]int, 4)
-		for i := range ints {
-			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
-			if err != nil {
-				return fmt.Errorf("detune spec %q: %v", spec, err)
-			}
-			ints[i] = v
-		}
-		residual, err := strconv.ParseFloat(strings.TrimSpace(parts[4]), 64)
-		if err != nil {
-			return fmt.Errorf("detune spec %q: %v", spec, err)
-		}
-		var driftRate float64
-		if len(parts) == 6 {
-			if driftRate, err = strconv.ParseFloat(strings.TrimSpace(parts[5]), 64); err != nil {
-				return fmt.Errorf("detune spec %q: %v", spec, err)
-			}
-		}
-		// Validate here so unphysical flags surface as flag errors, not
-		// as the core package's invariant panics.
-		if ints[2] < 0 || ints[2] >= cfg.Nm {
-			return fmt.Errorf("detune spec %q: tap outside [0,%d)", spec, cfg.Nm)
-		}
-		if ints[3] < 0 || ints[3] >= cfg.Nd {
-			return fmt.Errorf("detune spec %q: column outside [0,%d)", spec, cfg.Nd)
-		}
-		if residual < 0 || residual > 1 {
-			return fmt.Errorf("detune spec %q: residual outside [0,1]", spec)
-		}
-		if driftRate < 0 {
-			return fmt.Errorf("detune spec %q: drift must be >= 0", spec)
-		}
-		f := core.Fault{Kind: core.DetunedRing, Tap: ints[2], Column: ints[3], Value: residual, Drift: driftRate}
-		if err := chip.InjectFault(ints[0], ints[1], f); err != nil {
-			return fmt.Errorf("detune spec %q: %v", spec, err)
-		}
+// openJournal creates the journal, or reopens an existing one with
+// crash recovery after verifying its header matches the current
+// flags - appending under different pool flags would leave a chain no
+// single rebuilt pool can replay.
+func openJournal(dir string, hdr journal.Header, out io.Writer) (*journal.Writer, error) {
+	if !journal.Exists(dir) {
+		return journal.Create(dir, hdr, journal.Options{})
 	}
-	return nil
+	w, got, rec, err := journal.OpenAppend(dir, journal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("journal reopen: %w", err)
+	}
+	if got != hdr {
+		w.Close()
+		return nil, fmt.Errorf("journal %s was recorded under different flags (pool %d, seed %d, size %d, budget %g, keep-degraded %v, detune %q); rerun with matching flags or a fresh directory",
+			dir, got.Pool, got.Seed, got.Size, got.Budget, got.KeepDegraded, got.Detune)
+	}
+	fmt.Fprintf(out, "albireo-serve: journal recovered at seq %d (%d torn byte(s) truncated)\n", rec.LastSeq, rec.TruncatedBytes)
+	return w, nil
 }
 
 // bistDoc is the /bist (and -bist) wire shape: one report per worker.
@@ -336,10 +377,12 @@ type serveState struct {
 	clock obs.Clock
 	start time.Time
 	fleet *fleet.Scheduler
-	model *inference.Network
-	inZ   int
-	size  int
-	ready atomic.Bool
+	// journal is the async journal appender, nil when -journal is off.
+	journal *journal.Async
+	model   *inference.Network
+	inZ     int
+	size    int
+	ready   atomic.Bool
 	// inferTicks is served-request latency denominated in fleet linger
 	// ticks (the delta of Scheduler.Ticks across the model run) - the
 	// deterministic sibling of a wall-time request histogram.
@@ -402,6 +445,10 @@ func (st *serveState) handleInfer(w http.ResponseWriter, r *http.Request) {
 	before := st.fleet.Ticks()
 	bound := st.fleet.Bind(r.Context())
 	logits := st.model.Run(bound, vol)
+	// Every response carries its journal correlation id: the sequence
+	// number of the request's last admitted layer op, or -1 when
+	// journaling is off (or the journal refused the record).
+	w.Header().Set("X-Albireo-Seq", strconv.FormatInt(bound.JournalSeq(), 10))
 	if err := bound.Err(); err != nil {
 		http.Error(w, err.Error(), inferStatus(err))
 		return
@@ -443,6 +490,19 @@ func newServer(st *serveState) http.Handler {
 	})
 	timed("/bist", func(w http.ResponseWriter, r *http.Request) {
 		raw, err := json.MarshalIndent(bistDoc{Workers: st.fleet.Info()}, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	})
+	timed("/journal", func(w http.ResponseWriter, r *http.Request) {
+		if st.journal == nil {
+			http.Error(w, "journaling disabled (start with -journal DIR)", http.StatusNotFound)
+			return
+		}
+		raw, err := json.MarshalIndent(st.journal.Status(), "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -31,7 +31,7 @@ func testState(t *testing.T, detune string) *serveState {
 	cfg.Seed = 3
 	analog := inference.NewAnalog(cfg)
 	analog.Chip.Instrument(reg, trace)
-	if err := injectFaultSpecs(analog.Chip, cfg, detune); err != nil {
+	if err := fleet.InjectFaultSpecs(analog.Chip, cfg, detune); err != nil {
 		t.Fatal(err)
 	}
 	be := inference.Observe(inference.Guard(analog, inference.Exact{}, 0.5).Instrument(reg, trace), reg, trace)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"albireo/internal/inference"
 	"albireo/internal/tensor"
@@ -17,7 +18,9 @@ import (
 // always get shape-correct tensors, and can distinguish a clean run
 // from a degraded one afterwards.
 func (s *Scheduler) Bind(ctx context.Context) *BoundBackend {
-	return &BoundBackend{s: s, ctx: ctx}
+	b := &BoundBackend{s: s, ctx: ctx}
+	b.jseq.Store(-1)
+	return b
 }
 
 // BoundBackend is a Scheduler bound to one submission context. Safe
@@ -27,9 +30,27 @@ type BoundBackend struct {
 	s   *Scheduler
 	ctx context.Context
 
+	// jseq tracks the journal sequence number of the most recently
+	// admitted layer op (-1 before any journaled admission): with one
+	// bound backend per served request, it is the request's journal
+	// correlation id.
+	jseq atomic.Int64
+
 	mu       sync.Mutex
 	err      error
 	fallback inference.Exact
+}
+
+// JournalSeq returns the journal sequence number of the most recent
+// layer op admitted through this bound backend, or -1 when journaling
+// is off (or nothing was admitted yet).
+func (b *BoundBackend) JournalSeq() int64 { return b.jseq.Load() }
+
+// noteSeq records a journaled admission.
+func (b *BoundBackend) noteSeq(fut *Future) {
+	if seq := fut.JournalSeq(); seq >= 0 {
+		b.jseq.Store(seq)
+	}
 }
 
 // Name implements inference.Backend.
@@ -38,7 +59,9 @@ func (b *BoundBackend) Name() string { return "fleet(" + b.s.name() + ")" }
 // Conv submits the layer to the fleet and waits; on submission failure
 // it falls back to the local exact reference.
 func (b *BoundBackend) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume {
-	out, err := b.s.Conv(b.ctx, a, w, cfg, relu)
+	fut := b.s.ConvAsync(b.ctx, a, w, cfg, relu)
+	b.noteSeq(fut)
+	out, err := fut.Volume()
 	if err != nil {
 		b.record(err)
 		return b.fallback.Conv(a, w, cfg, relu)
@@ -49,7 +72,9 @@ func (b *BoundBackend) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.Conv
 // FullyConnected submits the classifier layer to the fleet and waits;
 // on submission failure it falls back to the local exact reference.
 func (b *BoundBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
-	out, err := b.s.FullyConnected(b.ctx, a, w, relu)
+	fut := b.s.FullyConnectedAsync(b.ctx, a, w, relu)
+	b.noteSeq(fut)
+	out, err := fut.Logits()
 	if err != nil {
 		b.record(err)
 		return b.fallback.FullyConnected(a, w, relu)

@@ -33,6 +33,7 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/health"
 	"albireo/internal/inference"
+	"albireo/internal/journal"
 	"albireo/internal/obs"
 	"albireo/internal/tensor"
 )
@@ -123,6 +124,13 @@ type Options struct {
 	// ServiceModel prices batches in VirtualTime mode (zero value:
 	// ProgramTicks 2, RequestTicks 1). Ignored otherwise.
 	ServiceModel ServiceModel
+	// Journal, when non-nil, records every admission, shed, delivery,
+	// cancellation, and worker drain/restore transition onto the
+	// hash-chained request journal. All hooks are asynchronous and
+	// non-blocking (Async never waits on I/O), so journaling stays off
+	// the inference hot path; with Journal nil the scheduler pays one
+	// nil check per hook site.
+	Journal *journal.Async
 }
 
 // withDefaults fills unset options.
@@ -159,6 +167,13 @@ type request struct {
 	relu bool
 	ctx  context.Context
 	done chan result // buffered 1: delivery never blocks a worker
+
+	// jseq is the request's journal sequence number: its KindAdmit
+	// record's position in the chain, or -1 when journaling is off (or
+	// the journal refused the record). Assigned under the scheduler
+	// mutex at admission, read by the owning worker and by Future
+	// accessors after delivery.
+	jseq int64
 
 	// st is the latency decomposition; final flips (with release
 	// semantics, after the last stamp) when st stops changing, so
@@ -319,7 +334,7 @@ func (s *Scheduler) Start() error {
 			w.syncGauges()
 			continue
 		}
-		s.applyReportLocked(w, w.eng.Scan())
+		s.applyReportLocked(w, w.eng.Scan(), false)
 	}
 	if len(s.inServiceLocked()) == 0 {
 		s.span.End(obs.String("error", "no in-service workers"))
@@ -394,6 +409,17 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	if err := ctx.Err(); err != nil {
 		return &Future{err: err}
 	}
+	req.jseq = -1
+	// The journal payload (which scales with tensor size) is encoded
+	// outside the scheduler lock; only the bounded-channel enqueue
+	// happens under it, so admission order and journal order agree
+	// without serializing admissions on the encoder.
+	var jpayload []byte
+	if j := s.opt.Journal; j != nil && !j.Degraded() {
+		jpayload = journal.EncodeRequest(&journal.Request{
+			Op: opKind(req), ReLU: req.relu, Cfg: req.cfg, A: req.a, W: req.w,
+		})
+	}
 	req.done = make(chan result, 1)
 	s.mu.Lock()
 	if !s.started || s.closed {
@@ -402,6 +428,11 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	}
 	if s.queued.Load() >= int64(s.opt.QueueDepth) {
 		s.shed.Inc()
+		if j := s.opt.Journal; j != nil {
+			j.Record(journal.KindShed, journal.EncodeShed(journal.Shed{
+				Op: opKind(req), Queued: s.queued.Load(),
+			}))
+		}
 		if s.trace != nil {
 			s.span.Event(obs.RequestShed, opName(req), obs.Int("queued", s.queued.Load()))
 		}
@@ -411,6 +442,9 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	s.queued.Add(1)
 	s.depth.Add(1)
 	s.admitted.Inc()
+	if jpayload != nil {
+		req.jseq = s.opt.Journal.Admit(jpayload)
+	}
 	req.st.Arrive = s.ticks.Load()
 	// No-linger fast path: with nothing pending (nothing could be
 	// stranded waiting for a route, so FIFO order is safe) the request
@@ -596,6 +630,14 @@ func opName(req *request) string {
 	return "conv"
 }
 
+// opKind maps a request to its journal op kind.
+func opKind(req *request) journal.Op {
+	if req.fc {
+		return journal.OpFC
+	}
+	return journal.OpConv
+}
+
 // Future is a pending submission. Exactly one of Volume or Logits
 // matches the submitted op kind.
 type Future struct {
@@ -626,4 +668,17 @@ func (f *Future) Volume() (*tensor.Volume, error) {
 func (f *Future) Logits() ([]float64, error) {
 	res := f.wait()
 	return res.vec, res.err
+}
+
+// JournalSeq returns the request's journal sequence number - its
+// KindAdmit record's position in the hash chain, the correlation id
+// stamped on X-Albireo-Seq responses - or -1 when journaling is off,
+// the journal refused the record, or admission failed. Valid as soon
+// as the Future is returned: the sequence is assigned synchronously at
+// admission even though the append is asynchronous.
+func (f *Future) JournalSeq() int64 {
+	if f.err != nil || f.req == nil {
+		return -1
+	}
+	return f.req.jseq
 }

@@ -202,7 +202,8 @@ func (s *Scheduler) settleLedgerLocked(now int64, force bool) {
 				obs.Int("linger", first.Linger()),
 				obs.Int("queue_wait", first.QueueWait()),
 				obs.Int("execute", first.Execute()),
-				obs.Int("deliver_tick", deliver))
+				obs.Int("deliver_tick", deliver),
+				obs.Int("journal_seq", top.reqs[0].jseq))
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"albireo/internal/core"
 	"albireo/internal/health"
 	"albireo/internal/inference"
+	"albireo/internal/journal"
 	"albireo/internal/obs"
 )
 
@@ -140,6 +141,9 @@ func (s *Scheduler) runSingle(w *worker, req *request) {
 func (s *Scheduler) runOne(w *worker, req *request) int {
 	if err := req.ctx.Err(); err != nil {
 		s.canceled.Inc()
+		if j := s.opt.Journal; j != nil && req.jseq >= 0 {
+			j.Record(journal.KindCancel, journal.EncodeCancel(journal.Cancel{Admit: uint64(req.jseq)}))
+		}
 		s.deliver(req, result{err: err})
 		if !s.opt.VirtualTime {
 			s.releaseSlot()
@@ -152,18 +156,41 @@ func (s *Scheduler) runOne(w *worker, req *request) int {
 	res := w.run(req)
 	w.requests.Inc()
 	s.completed.Inc()
+	// The deliver record pins which worker produced which output bits:
+	// hashing the output is the only journal work on the execution
+	// path, and it happens only when this request was journaled.
+	if j := s.opt.Journal; j != nil && req.jseq >= 0 {
+		j.Record(journal.KindDeliver, journal.EncodeDeliver(journal.Deliver{
+			Admit:  uint64(req.jseq),
+			Worker: int64(w.id),
+			Hash:   resultHash(req, res),
+		}))
+	}
 	if !s.opt.VirtualTime {
 		end := s.ticks.Load()
 		req.st.ExecEnd = end
 		req.st.Deliver = end
 		req.final.Store(true)
 		s.recordStages(req.st)
+		if s.trace != nil && s.opt.Journal != nil {
+			s.span.Event(obs.RequestCompleted, opName(req),
+				obs.Int("worker", int64(w.id)),
+				obs.Int("journal_seq", req.jseq))
+		}
 	}
 	s.deliver(req, res)
 	if !s.opt.VirtualTime {
 		s.releaseSlot()
 	}
 	return 1
+}
+
+// resultHash digests a delivered result's canonical output encoding.
+func resultHash(req *request, res result) [32]byte {
+	if req.fc {
+		return journal.HashVector(res.vec)
+	}
+	return journal.HashVolume(res.vol)
 }
 
 // runProbe re-scans a drained worker's chip and applies the verdict.
@@ -175,7 +202,7 @@ func (s *Scheduler) runProbe(w *worker) {
 	rep := w.eng.Scan()
 	s.mu.Lock()
 	w.probePending = false
-	s.applyReportLocked(w, rep)
+	s.applyReportLocked(w, rep, true)
 	// A restored worker may unblock batches stranded with no route.
 	s.flushLocked(false)
 	s.mu.Unlock()
@@ -184,8 +211,11 @@ func (s *Scheduler) runProbe(w *worker) {
 // applyReportLocked turns a BIST report into a routing decision:
 // healthy workers serve at full weight; faulty units are quarantined
 // on the chip, and the worker is drained unless KeepDegraded keeps it
-// serving at reduced weight. Transitions emit drain/restore events.
-func (s *Scheduler) applyReportLocked(w *worker, rep health.Report) {
+// serving at reduced weight. Transitions emit drain/restore events
+// and journal records; probe distinguishes a runtime re-probe scan
+// (which replay must re-execute to reproduce chip state) from the
+// startup scan (which replay performs unconditionally).
+func (s *Scheduler) applyReportLocked(w *worker, rep health.Report, probe bool) {
 	w.report = rep
 	wasInService := w.inService
 	inService := true
@@ -203,11 +233,13 @@ func (s *Scheduler) applyReportLocked(w *worker, rep health.Report) {
 	switch {
 	case wasInService && !inService:
 		s.drains.Inc()
+		s.journalTransition(journal.KindDrain, w, len(rep.Findings), probe)
 		s.span.Event(obs.WorkerDrained, "worker "+strconv.Itoa(w.id),
 			obs.Int("worker", int64(w.id)),
 			obs.Int("findings", int64(len(rep.Findings))))
 	case !wasInService && inService && s.started:
 		s.restores.Inc()
+		s.journalTransition(journal.KindRestore, w, 0, probe)
 		s.span.Event(obs.WorkerRestored, "worker "+strconv.Itoa(w.id),
 			obs.Int("worker", int64(w.id)))
 		// Rejoin at the pool's current backlog level so the fresh
@@ -215,6 +247,17 @@ func (s *Scheduler) applyReportLocked(w *worker, rep health.Report) {
 		w.assigned = s.maxAssignedLocked()
 	}
 	w.syncGauges()
+}
+
+// journalTransition records one drain/restore on the journal.
+func (s *Scheduler) journalTransition(kind journal.Kind, w *worker, findings int, probe bool) {
+	if j := s.opt.Journal; j != nil {
+		j.Record(kind, journal.EncodeTransition(journal.Transition{
+			Worker:   int64(w.id),
+			Findings: int64(findings),
+			Probe:    probe,
+		}))
+	}
 }
 
 // maxAssignedLocked returns the largest assigned count among

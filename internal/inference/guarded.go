@@ -48,6 +48,12 @@ type Guarded struct {
 	// SampleEvery checks every Nth layer (1 = every layer). Unchecked
 	// layers always pass the analog output through.
 	SampleEvery int
+	// FallbackHook, when non-nil, is called with the layer-op kind
+	// ("conv" or "fc") each time a layer falls back to the reference.
+	// The serving front end uses it to journal guarded-fallback events
+	// per worker. Set before serving begins; it is read without
+	// synchronization.
+	FallbackHook func(kind string)
 
 	reg       *obs.Registry
 	trace     *obs.Trace
@@ -105,6 +111,9 @@ func (g *Guarded) guard(kind string, out, ref []float64) bool {
 	}
 	g.fallbacks.Add(1)
 	g.reg.Counter(MetricGuardFallbacks).Inc()
+	if g.FallbackHook != nil {
+		g.FallbackHook(kind)
+	}
 	if g.trace != nil {
 		sp := g.trace.StartSpan("inference/guard")
 		sp.Event(obs.BackendFallback, kind,

@@ -1,0 +1,517 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"albireo/internal/tensor"
+)
+
+// testHeader is the pool description every test journal starts with.
+func testHeader() Header {
+	return Header{Pool: 2, Seed: 7, Size: 8, Budget: 0.5, KeepDegraded: true, Detune: "0,0,4,2,0.4"}
+}
+
+// sampleRequest builds a small deterministic conv request.
+func sampleRequest() *Request {
+	return &Request{
+		Op:   OpConv,
+		ReLU: true,
+		Cfg:  tensor.ConvConfig{Stride: 1, Pad: 1},
+		A:    tensor.RandomVolume(2, 3, 3, 11),
+		W:    tensor.RandomKernels(2, 2, 3, 3, 12),
+	}
+}
+
+// buildJournal writes a known record sequence and returns the dir and
+// the writer's final head.
+func buildJournal(t *testing.T, opt Options) (string, uint64, [32]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), opt)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	records := []struct {
+		kind    Kind
+		payload []byte
+	}{
+		{KindAdmit, EncodeRequest(sampleRequest())},
+		{KindDeliver, EncodeDeliver(Deliver{Admit: 1, Worker: 0, Hash: HashVector([]float64{1, 2})})},
+		{KindShed, EncodeShed(Shed{Op: OpFC, Queued: 16})},
+		{KindDrain, EncodeTransition(Transition{Worker: 1, Findings: 2})},
+		{KindRestore, EncodeTransition(Transition{Worker: 1, Probe: true})},
+		{KindFallback, EncodeFallback(Fallback{Worker: 0, Op: OpConv})},
+		{KindCancel, EncodeCancel(Cancel{Admit: 1})},
+	}
+	for i, r := range records {
+		seq, err := w.Append(r.kind, r.payload)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("Append %d: seq = %d, want %d", i, seq, want)
+		}
+	}
+	lastSeq, head := w.Head()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir, lastSeq, head
+}
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	dir, lastSeq, head := buildJournal(t, Options{NoSync: true})
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if snap.Header != testHeader() {
+		t.Fatalf("header = %+v, want %+v", snap.Header, testHeader())
+	}
+	if snap.LastSeq != lastSeq || snap.Head != head {
+		t.Fatalf("chain head = (%d, %x), want (%d, %x)", snap.LastSeq, snap.Head[:4], lastSeq, head[:4])
+	}
+	if snap.Count != 8 || len(snap.Records) != 8 {
+		t.Fatalf("count = %d (%d records), want 8", snap.Count, len(snap.Records))
+	}
+	if snap.TornBytes != 0 {
+		t.Fatalf("torn bytes = %d on a cleanly closed journal", snap.TornBytes)
+	}
+	wantKinds := []Kind{KindHeader, KindAdmit, KindDeliver, KindShed, KindDrain, KindRestore, KindFallback, KindCancel}
+	for i, rec := range snap.Records {
+		if rec.Seq != uint64(i) || rec.Kind != wantKinds[i] {
+			t.Fatalf("record %d = (seq %d, %v), want (seq %d, %v)", i, rec.Seq, rec.Kind, i, wantKinds[i])
+		}
+	}
+	// Spot-check payload decoding survives the disk round trip.
+	sh, err := DecodeShed(snap.Records[3].Payload)
+	if err != nil || sh.Op != OpFC || sh.Queued != 16 {
+		t.Fatalf("shed payload = %+v, %v", sh, err)
+	}
+	tr, err := DecodeTransition(snap.Records[5].Payload)
+	if err != nil || tr.Worker != 1 || !tr.Probe {
+		t.Fatalf("restore payload = %+v, %v", tr, err)
+	}
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range []*Request{
+		sampleRequest(),
+		{Op: OpFC, A: tensor.RandomVolume(4, 2, 2, 3), W: tensor.RandomKernels(5, 4, 2, 2, 4)},
+		{Op: OpConv, Cfg: tensor.ConvConfig{Stride: 2, Pad: 0, Groups: 2}, A: tensor.RandomVolume(4, 5, 5, 5), W: tensor.RandomKernels(4, 2, 3, 3, 6)},
+	} {
+		enc := EncodeRequest(req)
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%v): %v", req.Op, err)
+		}
+		if got.Op != req.Op || got.ReLU != req.ReLU || got.Cfg != req.Cfg {
+			t.Fatalf("decoded scalar fields = %+v, want %+v", got, req)
+		}
+		if got.A.Z != req.A.Z || got.A.Y != req.A.Y || got.A.X != req.A.X || !bitsEqual(got.A.Data, req.A.Data) {
+			t.Fatal("activation volume did not round-trip bit-exactly")
+		}
+		if got.W.M != req.W.M || !bitsEqual(got.W.Data, req.W.Data) {
+			t.Fatal("kernels did not round-trip bit-exactly")
+		}
+		// Canonical: re-encoding a decode must reproduce the bytes.
+		if !bytes.Equal(EncodeRequest(got), enc) {
+			t.Fatal("re-encoding a decoded request changed bytes: encoding not canonical")
+		}
+	}
+	// Trailing garbage must be rejected, not ignored.
+	enc := append(EncodeRequest(sampleRequest()), 0)
+	if _, err := DecodeRequest(enc); err == nil {
+		t.Fatal("DecodeRequest accepted trailing bytes")
+	}
+	// Truncation anywhere must fail cleanly.
+	enc = EncodeRequest(sampleRequest())
+	for _, cut := range []int{0, 1, 9, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeRequest(enc[:cut]); err == nil {
+			t.Fatalf("DecodeRequest accepted truncation at %d", cut)
+		}
+	}
+}
+
+// bitsEqual compares float64 slices by raw bits (exact, NaN-safe).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), Options{NoSync: true, SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(KindShed, EncodeShed(Shed{Op: OpConv, Queued: int64(i)})); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.alj"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments = %v (err %v), want rotation to several files", segs, err)
+	}
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatalf("Read across segments: %v", err)
+	}
+	if snap.Count != n+1 || snap.LastSeq != n {
+		t.Fatalf("count = %d, last = %d, want %d records through seq %d", snap.Count, snap.LastSeq, n+1, n)
+	}
+}
+
+func TestOpenAppendCleanReopen(t *testing.T) {
+	dir, lastSeq, _ := buildJournal(t, Options{NoSync: true})
+	w, hdr, rec, err := OpenAppend(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	if hdr != testHeader() {
+		t.Fatalf("reopened header = %+v", hdr)
+	}
+	if rec.LastSeq != lastSeq || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovery = %+v, want last %d with nothing truncated", rec, lastSeq)
+	}
+	// Reopen appends a restart record continuing the chain.
+	if seq, _ := w.Head(); seq != lastSeq+1 {
+		t.Fatalf("head after reopen = %d, want restart at %d", seq, lastSeq+1)
+	}
+	if _, err := w.Append(KindShed, EncodeShed(Shed{Op: OpConv, Queued: 1})); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	restart := snap.Records[lastSeq+1]
+	if restart.Kind != KindRestart {
+		t.Fatalf("record %d kind = %v, want restart", lastSeq+1, restart.Kind)
+	}
+	r, err := DecodeRestart(restart.Payload)
+	if err != nil || r.Recovered != lastSeq || r.TruncatedBytes != 0 {
+		t.Fatalf("restart payload = %+v, %v", r, err)
+	}
+}
+
+// lastSegment returns the path of the journal's last segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.alj"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return segs[len(segs)-1]
+}
+
+// TestCrashRecoveryTornTail truncates the journal mid-record - the
+// crash signature - and checks recovery drops exactly the torn tail.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir, lastSeq, _ := buildJournal(t, Options{NoSync: true})
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the final frame (drop its last 5 bytes).
+	if err := os.WriteFile(seg, raw[:len(raw)-5], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatalf("Read with torn tail: %v", err)
+	}
+	if snap.LastSeq != lastSeq-1 {
+		t.Fatalf("last valid seq = %d, want %d (only the torn record dropped)", snap.LastSeq, lastSeq-1)
+	}
+	if snap.TornBytes == 0 {
+		t.Fatal("torn bytes not reported")
+	}
+
+	w, _, rec, err := OpenAppend(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenAppend after crash: %v", err)
+	}
+	if rec.LastSeq != lastSeq-1 || rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery = %+v, want last %d with a truncated tail", rec, lastSeq-1)
+	}
+	if _, err := w.Append(KindShed, EncodeShed(Shed{Op: OpConv, Queued: 3})); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered journal re-verifies end to end, restart included.
+	snap, err = Read(dir)
+	if err != nil {
+		t.Fatalf("Read after recovery: %v", err)
+	}
+	if snap.TornBytes != 0 {
+		t.Fatal("torn tail survived recovery")
+	}
+	if got := snap.Records[lastSeq].Kind; got != KindRestart {
+		t.Fatalf("record %d kind = %v, want restart", lastSeq, got)
+	}
+	r, err := DecodeRestart(snap.Records[lastSeq].Payload)
+	if err != nil || r.Recovered != lastSeq-1 || r.TruncatedBytes == 0 {
+		t.Fatalf("restart payload = %+v, %v", r, err)
+	}
+}
+
+// frameOffsets walks a segment file and returns each frame's offset
+// and total length, in order.
+func frameOffsets(t *testing.T, raw []byte) []int {
+	t.Helper()
+	var offs []int
+	for off := segHeaderLen; off < len(raw); {
+		offs = append(offs, off)
+		bodyLen := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += frameOverhead + bodyLen
+	}
+	return offs
+}
+
+// TestCorruptionPinpointsSeq flips one byte in an interior record and
+// checks verification fails with that record's sequence number - the
+// tamper-evidence distinction from a torn tail.
+func TestCorruptionPinpointsSeq(t *testing.T) {
+	dir, _, _ := buildJournal(t, Options{NoSync: true})
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := frameOffsets(t, raw)
+	// Flip a payload byte of the third record (seq 2): CRC now fails
+	// with more data following, which is corruption, not a crash.
+	target := offs[2] + frameOverhead + 8 + 1 + 32 // into the payload
+	raw[target] ^= 0x40
+	if err := os.WriteFile(seg, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Read(dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Read of tampered journal: %v, want *CorruptError", err)
+	}
+	if ce.Seq != 2 {
+		t.Fatalf("corruption pinpointed seq %d, want 2", ce.Seq)
+	}
+	// OpenAppend must refuse too: recovery never silently drops
+	// interior records.
+	if _, _, _, err := OpenAppend(dir, Options{NoSync: true}); !errors.As(err, &ce) {
+		t.Fatalf("OpenAppend of tampered journal: %v, want *CorruptError", err)
+	}
+}
+
+// TestChainTamperDetected rewrites a record consistently (payload and
+// CRC both patched) so only the hash chain can catch it.
+func TestChainTamperDetected(t *testing.T) {
+	dir, _, _ := buildJournal(t, Options{NoSync: true})
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := frameOffsets(t, raw)
+	off := offs[3] // seq 3: the shed record
+	bodyLen := int(binary.LittleEndian.Uint32(raw[off:]))
+	body := raw[off+frameOverhead : off+frameOverhead+bodyLen]
+	body[8+1+32] ^= 0xff // flip a payload byte
+	binary.LittleEndian.PutUint32(raw[off+4:], crc32.ChecksumIEEE(body))
+	if err := os.WriteFile(seg, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Read(dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Read of chain-tampered journal: %v, want *CorruptError", err)
+	}
+	if ce.Seq != 3 || !strings.Contains(ce.Reason, "chain") {
+		t.Fatalf("chain tamper reported (seq %d, %q), want seq 3 with a chain reason", ce.Seq, ce.Reason)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir, _, _ := buildJournal(t, Options{NoSync: true})
+	if _, err := Create(dir, testHeader(), Options{NoSync: true}); err == nil {
+		t.Fatal("Create over an existing journal succeeded")
+	}
+	if !Exists(dir) {
+		t.Fatal("Exists = false for a populated journal dir")
+	}
+	if Exists(t.TempDir()) {
+		t.Fatal("Exists = true for an empty dir")
+	}
+}
+
+func TestAsyncAssignsSeqsAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsync(w, 8)
+	a.Start()
+	for i := 0; i < 5; i++ {
+		if seq := a.Record(KindShed, EncodeShed(Shed{Op: OpConv, Queued: int64(i)})); seq != int64(i+1) {
+			t.Fatalf("Record %d: seq = %d, want %d", i, seq, i+1)
+		}
+	}
+	a.Drain()
+	if seq, _ := w.Head(); seq != 5 {
+		t.Fatalf("durable head after Drain = %d, want 5", seq)
+	}
+	if a.Degraded() {
+		t.Fatal("journal degraded without backpressure")
+	}
+	st := a.Status()
+	if st.HeadSeq != 5 || st.Enqueued != 5 || st.Dropped != 0 || st.Degraded {
+		t.Fatalf("status = %+v", st)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seq := a.Record(KindShed, nil); seq != -1 {
+		t.Fatalf("Record after Close = %d, want -1", seq)
+	}
+	if _, err := Read(dir); err != nil {
+		t.Fatalf("Read after async close: %v", err)
+	}
+}
+
+// TestAsyncBackpressureDegrades fills the queue with no consumer: the
+// overflowing record must be dropped (never block) and the journal
+// latched degraded.
+func TestAsyncBackpressureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsync(w, 1) // writer goroutine deliberately not started
+	if seq := a.Record(KindShed, EncodeShed(Shed{})); seq != 1 {
+		t.Fatalf("first record seq = %d, want 1", seq)
+	}
+	if seq := a.Record(KindShed, EncodeShed(Shed{})); seq != -1 {
+		t.Fatalf("overflow record seq = %d, want -1 (dropped)", seq)
+	}
+	if !a.Degraded() {
+		t.Fatal("journal not degraded after a drop")
+	}
+	// Degradation latches: capacity freeing up does not resume.
+	a.Start()
+	a.Drain()
+	if seq := a.Record(KindShed, EncodeShed(Shed{})); seq != -1 {
+		t.Fatalf("post-degradation record seq = %d, want -1", seq)
+	}
+	st := a.Status()
+	if st.Dropped != 2 || !st.Degraded {
+		t.Fatalf("status = %+v, want 2 drops and degraded", st)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replayExec is a scripted journal.Executor.
+type replayExec struct {
+	hashes map[int]map[string][32]byte // worker -> op -> hash
+	probes []int
+}
+
+func (e *replayExec) Execute(worker int, req *Request) ([32]byte, error) {
+	return e.hashes[worker][req.Op.String()], nil
+}
+
+func (e *replayExec) Probe(worker int) error {
+	e.probes = append(e.probes, worker)
+	return nil
+}
+
+func TestReplayVerifiesAndDiverges(t *testing.T) {
+	okHash := HashVector([]float64{3, 1, 4})
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &Request{Op: OpFC, A: tensor.RandomVolume(2, 2, 2, 1), W: tensor.RandomKernels(3, 2, 2, 2, 2)}
+	mustAppend := func(k Kind, p []byte) uint64 {
+		t.Helper()
+		seq, err := w.Append(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+	admit := mustAppend(KindAdmit, EncodeRequest(fc))
+	mustAppend(KindDeliver, EncodeDeliver(Deliver{Admit: admit, Worker: 1, Hash: okHash}))
+	mustAppend(KindDrain, EncodeTransition(Transition{Worker: 0, Findings: 1, Probe: true}))
+	mustAppend(KindRestore, EncodeTransition(Transition{Worker: 0, Probe: true}))
+	admit2 := mustAppend(KindAdmit, EncodeRequest(fc))
+	divergeAt := mustAppend(KindDeliver, EncodeDeliver(Deliver{Admit: admit2, Worker: 0, Hash: okHash}))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Matching executor: everything verifies, probes re-run.
+	ex := &replayExec{hashes: map[int]map[string][32]byte{0: {"fc": okHash}, 1: {"fc": okHash}}}
+	res, err := Replay(snap, ex)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Verified != 2 || res.Delivers != 2 || res.Admits != 2 || res.Probes != 2 {
+		t.Fatalf("replay result = %+v", res)
+	}
+	if len(ex.probes) != 2 || ex.probes[0] != 0 {
+		t.Fatalf("probes replayed = %v", ex.probes)
+	}
+
+	// Worker 0 now produces different bits: the first divergent seq is
+	// its deliver record.
+	ex = &replayExec{hashes: map[int]map[string][32]byte{0: {"fc": HashVector([]float64{0})}, 1: {"fc": okHash}}}
+	res, err = Replay(snap, ex)
+	d, ok := AsDivergence(err)
+	if !ok {
+		t.Fatalf("Replay of diverging pool: %v, want *Divergence", err)
+	}
+	if d.Seq != divergeAt || d.Worker != 0 || d.Admit != admit2 {
+		t.Fatalf("divergence = %+v, want seq %d on worker 0", d, divergeAt)
+	}
+	if res.Verified != 1 {
+		t.Fatalf("verified before divergence = %d, want 1", res.Verified)
+	}
+}

@@ -1,0 +1,295 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"albireo/internal/tensor"
+)
+
+// Kind types a journal record.
+type Kind uint8
+
+const (
+	// KindHeader is the journal's first record: pool flags (Header).
+	KindHeader Kind = 1
+	// KindAdmit records one admitted request with its full canonical
+	// payload (Request). The record's sequence number is the request's
+	// correlation id (the X-Albireo-Seq header).
+	KindAdmit Kind = 2
+	// KindShed records an admission refusal (Shed).
+	KindShed Kind = 3
+	// KindDeliver records a completed execution: which worker served
+	// which admitted request, and the output hash (Deliver).
+	KindDeliver Kind = 4
+	// KindCancel records a request whose context ended before a worker
+	// executed it (Cancel).
+	KindCancel Kind = 5
+	// KindDrain records a worker leaving the routing set (Transition).
+	KindDrain Kind = 6
+	// KindRestore records a drained worker returning to service
+	// (Transition).
+	KindRestore Kind = 7
+	// KindFallback records a guarded-backend fallback to the digital
+	// reference (Fallback).
+	KindFallback Kind = 8
+	// KindRestart records a journal reopened for append after a crash
+	// or restart (Restart).
+	KindRestart Kind = 9
+)
+
+// String names the record kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindAdmit:
+		return "admit"
+	case KindShed:
+		return "shed"
+	case KindDeliver:
+		return "deliver"
+	case KindCancel:
+		return "cancel"
+	case KindDrain:
+		return "drain"
+	case KindRestore:
+		return "restore"
+	case KindFallback:
+		return "fallback"
+	case KindRestart:
+		return "restart"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one decoded journal entry.
+type Record struct {
+	// Seq is the record's position in the chain (0 is the header).
+	Seq uint64
+	// Kind types the payload.
+	Kind Kind
+	// Chain is the stored chain hash H(Seq); Verify re-derives it.
+	Chain [32]byte
+	// Payload is the kind-specific canonical encoding.
+	Payload []byte
+}
+
+// chainHash derives H(seq) = SHA256(prev || seq || kind || payload),
+// the Merkle-chain rule every record must satisfy.
+func chainHash(prev [32]byte, seq uint64, kind Kind, payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var fixed [9]byte
+	binary.LittleEndian.PutUint64(fixed[:8], seq)
+	fixed[8] = byte(kind)
+	h.Write(fixed[:])
+	h.Write(payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Shed is the payload of a KindShed record.
+type Shed struct {
+	// Op is the refused request's op kind.
+	Op Op
+	// Queued is the admission-queue occupancy at refusal.
+	Queued int64
+}
+
+// EncodeShed renders the canonical shed encoding.
+func EncodeShed(s Shed) []byte {
+	e := newEncoder(9)
+	e.u8(uint8(s.Op))
+	e.i64(s.Queued)
+	return e.buf
+}
+
+// DecodeShed parses a shed payload.
+func DecodeShed(b []byte) (Shed, error) {
+	d := newDecoder(b)
+	s := Shed{Op: Op(d.u8()), Queued: d.i64()}
+	if err := d.finish(); err != nil {
+		return Shed{}, fmt.Errorf("journal: shed: %w", err)
+	}
+	return s, nil
+}
+
+// Deliver is the payload of a KindDeliver record.
+type Deliver struct {
+	// Admit is the sequence number of the request's KindAdmit record.
+	Admit uint64
+	// Worker is the pool index that executed the request.
+	Worker int64
+	// Hash is the SHA-256 of the canonical output encoding - the value
+	// replay must reproduce bit-for-bit.
+	Hash [32]byte
+}
+
+// EncodeDeliver renders the canonical deliver encoding.
+func EncodeDeliver(v Deliver) []byte {
+	e := newEncoder(48)
+	e.u64(v.Admit)
+	e.i64(v.Worker)
+	e.buf = append(e.buf, v.Hash[:]...)
+	return e.buf
+}
+
+// DecodeDeliver parses a deliver payload.
+func DecodeDeliver(b []byte) (Deliver, error) {
+	d := newDecoder(b)
+	v := Deliver{Admit: d.u64(), Worker: d.i64()}
+	copy(v.Hash[:], d.take(32))
+	if err := d.finish(); err != nil {
+		return Deliver{}, fmt.Errorf("journal: deliver: %w", err)
+	}
+	return v, nil
+}
+
+// Cancel is the payload of a KindCancel record.
+type Cancel struct {
+	// Admit is the sequence number of the request's KindAdmit record.
+	Admit uint64
+}
+
+// EncodeCancel renders the canonical cancel encoding.
+func EncodeCancel(c Cancel) []byte {
+	e := newEncoder(8)
+	e.u64(c.Admit)
+	return e.buf
+}
+
+// DecodeCancel parses a cancel payload.
+func DecodeCancel(b []byte) (Cancel, error) {
+	d := newDecoder(b)
+	c := Cancel{Admit: d.u64()}
+	if err := d.finish(); err != nil {
+		return Cancel{}, fmt.Errorf("journal: cancel: %w", err)
+	}
+	return c, nil
+}
+
+// Transition is the payload of KindDrain and KindRestore records.
+type Transition struct {
+	// Worker is the pool index changing service state.
+	Worker int64
+	// Findings is the BIST finding count behind the decision (0 for
+	// restores).
+	Findings int64
+	// Probe marks a transition decided by a runtime re-probe scan -
+	// which replay must re-execute to reproduce the chip's drift and
+	// quarantine state - as opposed to the startup scan, which replay
+	// performs unconditionally.
+	Probe bool
+}
+
+// EncodeTransition renders the canonical transition encoding.
+func EncodeTransition(t Transition) []byte {
+	e := newEncoder(17)
+	e.i64(t.Worker)
+	e.i64(t.Findings)
+	e.bool(t.Probe)
+	return e.buf
+}
+
+// DecodeTransition parses a drain/restore payload.
+func DecodeTransition(b []byte) (Transition, error) {
+	d := newDecoder(b)
+	t := Transition{Worker: d.i64(), Findings: d.i64(), Probe: d.bool()}
+	if err := d.finish(); err != nil {
+		return Transition{}, fmt.Errorf("journal: transition: %w", err)
+	}
+	return t, nil
+}
+
+// Fallback is the payload of a KindFallback record.
+type Fallback struct {
+	// Worker is the pool index whose guard fell back.
+	Worker int64
+	// Op names the layer-op kind that exceeded its budget.
+	Op Op
+}
+
+// EncodeFallback renders the canonical fallback encoding.
+func EncodeFallback(f Fallback) []byte {
+	e := newEncoder(9)
+	e.i64(f.Worker)
+	e.u8(uint8(f.Op))
+	return e.buf
+}
+
+// DecodeFallback parses a fallback payload.
+func DecodeFallback(b []byte) (Fallback, error) {
+	d := newDecoder(b)
+	f := Fallback{Worker: d.i64(), Op: Op(d.u8())}
+	if err := d.finish(); err != nil {
+		return Fallback{}, fmt.Errorf("journal: fallback: %w", err)
+	}
+	return f, nil
+}
+
+// Restart is the payload of a KindRestart record.
+type Restart struct {
+	// Recovered is the last sequence number found valid on reopen.
+	Recovered uint64
+	// TruncatedBytes is how much torn tail recovery dropped (0 for a
+	// clean reopen).
+	TruncatedBytes int64
+}
+
+// EncodeRestart renders the canonical restart encoding.
+func EncodeRestart(r Restart) []byte {
+	e := newEncoder(16)
+	e.u64(r.Recovered)
+	e.i64(r.TruncatedBytes)
+	return e.buf
+}
+
+// DecodeRestart parses a restart payload.
+func DecodeRestart(b []byte) (Restart, error) {
+	d := newDecoder(b)
+	r := Restart{Recovered: d.u64(), TruncatedBytes: d.i64()}
+	if err := d.finish(); err != nil {
+		return Restart{}, fmt.Errorf("journal: restart: %w", err)
+	}
+	return r, nil
+}
+
+// HashVolume digests a volume's canonical encoding (shape then
+// IEEE-754 bits, little-endian): the bit-exact output identity of a
+// convolution result.
+func HashVolume(v *tensor.Volume) [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	for _, d := range []int64{int64(v.Z), int64(v.Y), int64(v.X)} {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(d))
+		h.Write(scratch[:])
+	}
+	for _, f := range v.Data {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		h.Write(scratch[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashVector digests a logits vector's canonical encoding: the
+// bit-exact output identity of a fully-connected result.
+func HashVector(v []float64) [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(v)))
+	h.Write(scratch[:])
+	for _, f := range v {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		h.Write(scratch[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,128 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Executor re-executes journaled work against a rebuilt pool. The
+// implementation (cmd/albireo-replay) owns the backends; the replay
+// engine owns record ordering and hash comparison.
+type Executor interface {
+	// Execute runs one admitted request on the given worker and
+	// returns the canonical output hash (HashVolume / HashVector).
+	Execute(worker int, req *Request) ([32]byte, error)
+	// Probe re-runs a runtime BIST probe cycle on the given worker
+	// (clear quarantine, scan, re-quarantine findings), reproducing
+	// the chip-state side effects of a recorded drain/restore
+	// transition.
+	Probe(worker int) error
+}
+
+// Divergence pinpoints the first replayed request whose output hash
+// differs from the journaled one - the end-to-end determinism
+// invariant failing, or the rebuilt pool not matching the recorded
+// one (wrong flags, different fault state).
+type Divergence struct {
+	// Seq is the Deliver record's sequence number.
+	Seq uint64
+	// Admit is the diverging request's admission sequence number.
+	Admit uint64
+	// Worker is the pool index that served it.
+	Worker int64
+	// Want is the journaled output hash; Got is the replayed one.
+	Want, Got [32]byte
+}
+
+// Error implements error.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("journal: replay diverged at seq %d (admit %d, worker %d): recorded %x, replayed %x",
+		d.Seq, d.Admit, d.Worker, d.Want[:8], d.Got[:8])
+}
+
+// ReplayResult summarizes a replay pass.
+type ReplayResult struct {
+	// Admits, Delivers, Sheds, Cancels, Fallbacks, Probes count the
+	// records of each class encountered.
+	Admits, Delivers, Sheds, Cancels, Fallbacks, Probes int
+	// Restarts counts journal reopenings recorded in the chain.
+	Restarts int
+	// Verified counts delivers whose output hash matched bit-for-bit.
+	Verified int
+}
+
+// Replay re-executes a journal snapshot against ex. Deliver records
+// are executed in journal order - which preserves each worker's
+// recorded execution order, and with it the chip's program-cache,
+// cycle, and drift state - and every output hash is compared
+// bit-for-bit. The first mismatch aborts with *Divergence; malformed
+// records abort with a decode error.
+func Replay(snap *Snapshot, ex Executor) (ReplayResult, error) {
+	var res ReplayResult
+	admits := make(map[uint64]*Request)
+	for _, rec := range snap.Records {
+		switch rec.Kind {
+		case KindHeader:
+			// Decoded by Read already.
+		case KindAdmit:
+			req, err := DecodeRequest(rec.Payload)
+			if err != nil {
+				return res, fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
+			admits[rec.Seq] = req
+			res.Admits++
+		case KindDeliver:
+			d, err := DecodeDeliver(rec.Payload)
+			if err != nil {
+				return res, fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
+			req, ok := admits[d.Admit]
+			if !ok {
+				return res, fmt.Errorf("seq %d: deliver references unknown admit %d", rec.Seq, d.Admit)
+			}
+			got, err := ex.Execute(int(d.Worker), req)
+			if err != nil {
+				return res, fmt.Errorf("seq %d: execute on worker %d: %w", rec.Seq, d.Worker, err)
+			}
+			res.Delivers++
+			if got != d.Hash {
+				return res, &Divergence{Seq: rec.Seq, Admit: d.Admit, Worker: d.Worker, Want: d.Hash, Got: got}
+			}
+			res.Verified++
+		case KindShed:
+			res.Sheds++
+		case KindCancel:
+			res.Cancels++
+		case KindFallback:
+			res.Fallbacks++
+		case KindDrain, KindRestore:
+			t, err := DecodeTransition(rec.Payload)
+			if err != nil {
+				return res, fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
+			// Startup-scan transitions are reproduced by the executor's
+			// pool construction; runtime re-probes must be re-run so the
+			// chip sees the same probe vectors the recorded pool did.
+			if t.Probe {
+				if err := ex.Probe(int(t.Worker)); err != nil {
+					return res, fmt.Errorf("seq %d: probe worker %d: %w", rec.Seq, t.Worker, err)
+				}
+				res.Probes++
+			}
+		case KindRestart:
+			res.Restarts++
+		default:
+			return res, fmt.Errorf("seq %d: unknown record kind %d", rec.Seq, rec.Kind)
+		}
+	}
+	return res, nil
+}
+
+// AsDivergence unwraps a replay error into its Divergence, if any.
+func AsDivergence(err error) (*Divergence, bool) {
+	var d *Divergence
+	if errors.As(err, &d) {
+		return d, true
+	}
+	return nil, false
+}

@@ -108,6 +108,18 @@ func TestObsDeterminismCoversFleet(t *testing.T) {
 	})
 }
 
+func TestObsDeterminismCoversJournal(t *testing.T) {
+	t.Parallel()
+	// internal/journal is inside the rule's scope: the chain hash
+	// covers every payload byte, so a wall-clock stamp anywhere in a
+	// record would make identical histories hash to different chains.
+	got := fixture(t, "journalobs.go", "internal/journal/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"11: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+		"12: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+	})
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

@@ -1,0 +1,16 @@
+// Fixture pinning the obs-determinism rule's coverage of
+// internal/journal: a record's chain hash covers its payload, so any
+// wall-clock stamp would make identical request histories hash to
+// different chains. Journal telemetry counts appends, drops, and
+// sequence numbers - never durations.
+package fixture
+
+import "time"
+
+func stampRecord() int64 {
+	appendedAt := time.Now()
+	_ = time.Since(appendedAt)
+	return countAppends(1) // allowed: event-denominated
+}
+
+func countAppends(n int64) int64 { return n }

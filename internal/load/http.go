@@ -9,7 +9,10 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"albireo/internal/obs"
@@ -36,7 +39,34 @@ type HTTPConfig struct {
 	Clock obs.Clock
 	// Client issues the requests (default: a fresh http.Client).
 	Client *http.Client
+	// MaxRetries bounds per-request retries of transient transport
+	// errors - dials refused or connections reset while a server
+	// restarts - with capped exponential backoff. 0 uses
+	// DefaultMaxRetries; negative disables retrying. Application
+	// responses (including 503 sheds) are never retried: the server
+	// answered.
+	MaxRetries int
+	// RetryBase is the first backoff interval (default
+	// DefaultRetryBase); attempt k waits RetryBase<<k, capped at
+	// RetryCap.
+	RetryBase time.Duration
+	// RetryCap caps the backoff interval (default DefaultRetryCap).
+	RetryCap time.Duration
+	// Sleep pauses between retry attempts (default time.Sleep).
+	// Injected so tests drive the backoff deterministically without
+	// waiting it out.
+	Sleep func(time.Duration)
 }
+
+// Retry-policy defaults.
+const (
+	// DefaultMaxRetries is the per-request transient-error retry bound.
+	DefaultMaxRetries = 3
+	// DefaultRetryBase is the first backoff interval.
+	DefaultRetryBase = 10 * time.Millisecond
+	// DefaultRetryCap bounds the exponential backoff.
+	DefaultRetryCap = 200 * time.Millisecond
+)
 
 // HTTPResult aggregates one HTTP run.
 type HTTPResult struct {
@@ -46,6 +76,10 @@ type HTTPResult struct {
 	Scheduled, Issued int64
 	// Completed, Shed (HTTP 503), and Errors partition the responses.
 	Completed, Shed, Errors int64
+	// Retries counts transient transport errors absorbed by the retry
+	// policy (not included in Errors; a request that exhausts its
+	// retries still counts once in Errors).
+	Retries int64
 	// LatencyMicros summarizes completed-request latency in
 	// microseconds, measured from each request's scheduled arrival
 	// time - not its send time - so a stalled server cannot hide
@@ -75,6 +109,24 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (HTTPResult, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryBase := cfg.RetryBase
+	if retryBase <= 0 {
+		retryBase = DefaultRetryBase
+	}
+	retryCap := cfg.RetryCap
+	if retryCap <= 0 {
+		retryCap = DefaultRetryCap
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 
 	body, err := json.Marshal(map[string]any{
 		"z": cfg.InZ, "y": cfg.InSize, "x": cfg.InSize,
@@ -96,6 +148,7 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (HTTPResult, error) {
 	}
 
 	res := HTTPResult{Scheduled: int64(len(offsets))}
+	var retries atomic.Int64
 	type outcome struct {
 		status int
 		err    error
@@ -116,23 +169,41 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (HTTPResult, error) {
 		wg.Add(1)
 		go func(i int, sched time.Time) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(body))
-			if err != nil {
-				outcomes[i] = outcome{err: err}
-				return
+			// Transient transport errors (dial refused, connection reset
+			// mid-restart) retry with capped exponential backoff instead
+			// of polluting the error count; the schedule-anchored latency
+			// then naturally charges the backoff to the request. A
+			// response - any response - is final: application-level
+			// shedding is signal, not noise.
+			for attempt := 0; ; attempt++ {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(body))
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					outcomes[i] = outcome{status: resp.StatusCode, lat: cfg.Clock.Now().Sub(sched)}
+					return
+				}
+				if attempt >= maxRetries || !isTransient(err) || ctx.Err() != nil {
+					outcomes[i] = outcome{err: err}
+					return
+				}
+				retries.Add(1)
+				d := retryBase << attempt
+				if d > retryCap {
+					d = retryCap
+				}
+				sleep(d)
 			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := client.Do(req)
-			if err != nil {
-				outcomes[i] = outcome{err: err}
-				return
-			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			outcomes[i] = outcome{status: resp.StatusCode, lat: cfg.Clock.Now().Sub(sched)}
 		}(i, sched)
 	}
 	wg.Wait()
+	res.Retries = retries.Load()
 
 	var lats []int64
 	for _, o := range outcomes[:res.Issued] {
@@ -150,4 +221,26 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (HTTPResult, error) {
 	}
 	res.LatencyMicros = TickStats(lats)
 	return res, ctx.Err()
+}
+
+// isTransient classifies transport errors worth retrying: the server
+// was not there yet or hung up mid-exchange - refused dials, resets,
+// broken pipes, and truncated responses, the signatures of a restart
+// - but never a context cancellation (the caller gave up; a retry
+// would outlive the run).
+func isTransient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	// net/http's errServerClosedIdle (the transport saw the peer close
+	// the connection before the response) is unexported and unwraps to
+	// nothing, so the message is the only handle on it.
+	return strings.Contains(err.Error(), "server closed idle connection")
 }

@@ -42,6 +42,10 @@ const (
 	// RequestCompleted marks a request batch reaching its completion
 	// point, stamped with its latency decomposition.
 	RequestCompleted
+	// JournalDegraded marks the request journal ceasing to be a
+	// faithful trace (a record was dropped under backpressure or an
+	// append failed).
+	JournalDegraded
 	// Mark is a free-form point event.
 	Mark
 )
@@ -75,6 +79,8 @@ func (k EventKind) String() string {
 		return "worker-restored"
 	case RequestCompleted:
 		return "request-completed"
+	case JournalDegraded:
+		return "journal-degraded"
 	case Mark:
 		return "mark"
 	default:
