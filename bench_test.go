@@ -214,6 +214,38 @@ func BenchmarkFunctionalConvInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkFunctionalGEMM measures the analog matrix engine on one
+// MLP-head-scale product: the same DAC->MZM->MRR->PD->ADC chain as
+// BenchmarkFunctionalConv, driven through the M x K . K x N staging
+// path with the signed two-pass decomposition. The first iteration
+// compiles B's weight program; the fixed -benchtime in check.sh
+// amortizes that compile so the alloc gate sees steady state.
+func BenchmarkFunctionalGEMM(b *testing.B) {
+	chip := core.NewChip(core.DefaultConfig())
+	x := tensor.RandomMatrix(8, 24, 91)
+	w := tensor.RandomMatrix(24, 16, 92)
+	_ = chip.GEMM(x, w, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chip.GEMM(x, w, true)
+	}
+}
+
+// BenchmarkFunctionalAttention measures one attention block
+// (QK^T -> digital softmax -> AV) on the analog chip: two chained
+// GEMMs with different cached weight programs plus the row softmax.
+func BenchmarkFunctionalAttention(b *testing.B) {
+	backend := inference.NewAnalog(core.DefaultConfig())
+	q := tensor.RandomMatrix(6, 16, 93)
+	k := tensor.RandomMatrix(6, 16, 94)
+	v := tensor.RandomMatrix(6, 16, 95)
+	_ = nn.Attention(backend, q, k, v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nn.Attention(backend, q, k, v)
+	}
+}
+
 // BenchmarkFunctionalPLCUStep measures a single PLCU cycle, the basic
 // analog operation (45 MACs).
 func BenchmarkFunctionalPLCUStep(b *testing.B) {

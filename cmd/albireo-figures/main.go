@@ -29,7 +29,7 @@ func main() {
 // (instead of exiting mid-logic) for unknown names or JSON failures.
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("albireo-figures", flag.ContinueOnError)
-	only := fs.String("only", "", "regenerate a single experiment (fig3, fig4a, fig4b, fig4c, fig8, fig9, table1..table4, dataflow, energy, link, feasibility)")
+	only := fs.String("only", "", "regenerate a single experiment (fig3, fig4a, fig4b, fig4c, fig8, fig9, table1..table4, dataflow, energy, link, feasibility, bitwidth, gemmquant)")
 	jsonOut := fs.Bool("json", false, "dump every experiment's structured rows as JSON instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		{"feasibility", func() string { return experiments.FormatFeasibility(experiments.FeasibilityReport()) }},
 		{"bitwidth", func() string {
 			return experiments.FormatBitwidth(experiments.BitwidthSweep([]int{3, 4, 5, 6, 8, 10}, 60))
+		}},
+		{"gemmquant", func() string {
+			return experiments.FormatGEMMQuant(experiments.GEMMQuantSweep([]int{2, 3, 4, 5, 6, 8, 10}, 64))
 		}},
 	}
 

@@ -14,6 +14,11 @@
 //     "data":[...]} returns the served model's logits and top-1 class.
 //     Requests coalesce into micro-batches (-batch, -linger), the
 //     admission queue is bounded (-queue), and overload sheds with 503.
+//   - POST /v1/gemm with {"op":"gemm","a":{"r":4,"c":16,"data":[...]},
+//     "b":{"r":16,"c":8,"data":[...]},"relu":false} runs one dense
+//     matrix product on the pool and returns the result matrix. The op
+//     tag ("gemm", "lstm", or "attention") is recorded in the journal
+//     so replay and telemetry keep workload attribution.
 //   - -sweeps runs the built-in load generator (fleet.Sweep) through
 //     the pool at startup so the endpoints have telemetry to show.
 //
@@ -178,8 +183,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			worker := int64(i)
 			g.FallbackHook = func(kind string) {
 				op := journal.OpConv
-				if kind == "fc" {
+				switch kind {
+				case "fc":
 					op = journal.OpFC
+				case "gemm":
+					op = journal.OpGEMM
 				}
 				jrn.Record(journal.KindFallback, journal.EncodeFallback(journal.Fallback{Worker: worker, Op: op}))
 			}
@@ -323,7 +331,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "albireo-serve listening on %s (pool %d; endpoints: /v1/infer /metrics /trace /bist /journal /healthz /readyz /debug/pprof/)\n", ln.Addr(), *pool)
+	fmt.Fprintf(out, "albireo-serve listening on %s (pool %d; endpoints: /v1/infer /v1/gemm /metrics /trace /bist /journal /healthz /readyz /debug/pprof/)\n", ln.Addr(), *pool)
 	serveErr := serveGracefully(ctx, ln, newServer(st), *drain, &st.ready, out)
 
 	stopTicker()
@@ -462,6 +470,103 @@ func (st *serveState) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// gemmMatrix is a matrix operand on the /v1/gemm wire.
+type gemmMatrix struct {
+	R    int       `json:"r"`
+	C    int       `json:"c"`
+	Data []float64 `json:"data"`
+}
+
+// gemmRequest is the /v1/gemm input: two matrix operands, an optional
+// activation, and an optional workload op tag.
+type gemmRequest struct {
+	// Op tags the workload: "gemm" (default), "lstm", or "attention".
+	Op   string     `json:"op"`
+	A    gemmMatrix `json:"a"`
+	B    gemmMatrix `json:"b"`
+	ReLU bool       `json:"relu"`
+}
+
+// gemmResponse is the /v1/gemm output.
+type gemmResponse struct {
+	R    int       `json:"r"`
+	C    int       `json:"c"`
+	Data []float64 `json:"data"`
+}
+
+// gemmOp maps the wire op tag to its journal op.
+func gemmOp(s string) (journal.Op, bool) {
+	switch s {
+	case "", "gemm":
+		return journal.OpGEMM, true
+	case "lstm":
+		return journal.OpLSTM, true
+	case "attention":
+		return journal.OpAttention, true
+	default:
+		return 0, false
+	}
+}
+
+// checkMatrix validates one wire operand.
+func checkMatrix(name string, m gemmMatrix) error {
+	if m.R < 1 || m.C < 1 {
+		return fmt.Errorf("matrix %s shape %dx%d: dimensions must be positive", name, m.R, m.C)
+	}
+	if len(m.Data) != m.R*m.C {
+		return fmt.Errorf("matrix %s data length %d, want %d", name, len(m.Data), m.R*m.C)
+	}
+	return nil
+}
+
+// handleGEMM is POST /v1/gemm: decode the operands, run the product on
+// the fleet under the request's context, return the result matrix with
+// its journal correlation id.
+func (st *serveState) handleGEMM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req gemmRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInferBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	op, ok := gemmOp(req.Op)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown op %q (want gemm, lstm, or attention)", req.Op), http.StatusBadRequest)
+		return
+	}
+	if err := checkMatrix("a", req.A); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := checkMatrix("b", req.B); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.A.C != req.B.R {
+		http.Error(w, fmt.Sprintf("inner dimensions disagree: a is %dx%d, b is %dx%d", req.A.R, req.A.C, req.B.R, req.B.C), http.StatusBadRequest)
+		return
+	}
+	a := &tensor.Matrix{R: req.A.R, C: req.A.C, Data: req.A.Data}
+	b := &tensor.Matrix{R: req.B.R, C: req.B.C, Data: req.B.Data}
+
+	before := st.fleet.Ticks()
+	fut := st.fleet.GEMMAsyncOp(r.Context(), op, a, b, req.ReLU)
+	w.Header().Set("X-Albireo-Seq", strconv.FormatInt(fut.JournalSeq(), 10))
+	out, err := fut.Matrix()
+	if err != nil {
+		http.Error(w, err.Error(), inferStatus(err))
+		return
+	}
+	st.inferTicks.Observe(float64(st.fleet.Ticks() - before))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(gemmResponse{R: out.R, C: out.C, Data: out.Data})
+}
+
 // newServer builds the HTTP surface. The clock is injected so tests
 // can pin the uptime gauge; simulation telemetry never touches it.
 // Data endpoints are bounded by handlerTimeout; pprof is not (profiles
@@ -472,6 +577,7 @@ func newServer(st *serveState) http.Handler {
 		mux.Handle(pattern, http.TimeoutHandler(h, handlerTimeout, "request timed out"))
 	}
 	timed("/v1/infer", st.handleInfer)
+	timed("/v1/gemm", st.handleGEMM)
 	timed("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		st.reg.Gauge("albireo_serve_uptime_seconds").Set(st.clock.Now().Sub(st.start).Seconds())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

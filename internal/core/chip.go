@@ -40,6 +40,14 @@ type Chip struct {
 	// schedEpoch advances on every quarantine transition, invalidating
 	// compiled programs whose slot-to-unit assignment it changes.
 	schedEpoch int64
+	// posVol/negVol stage a GEMM activation matrix's positive and
+	// negative parts (transposed into volume layout) for the signed
+	// two-pass decomposition; gemmAcc is the pre-transpose output
+	// scratch and bviews caches kernel-bank views of GEMM weight
+	// matrices (see gemm.go). All grow once and are reused.
+	posVol, negVol tensor.Volume
+	gemmAcc        []float64
+	bviews         map[*tensor.Matrix]*gemmView
 }
 
 // NewChip builds a functional chip.

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"albireo/internal/tensor"
+)
+
+// stageAsPointwise reformulates the product a*b as the Pointwise layer
+// it is Conv-equivalent to: A transposed into a K-channel volume of M
+// pixels, B transposed into a bank of N 1x1 kernels of depth K.
+func stageAsPointwise(a, b *tensor.Matrix) (*tensor.Volume, *tensor.Kernels) {
+	av := tensor.NewVolume(a.C, 1, a.R)
+	for i := 0; i < a.R; i++ {
+		for z := 0; z < a.C; z++ {
+			av.Data[z*a.R+i] = a.At(i, z)
+		}
+	}
+	bk := tensor.NewKernels(b.C, b.R, 1, 1)
+	for z := 0; z < b.R; z++ {
+		for n := 0; n < b.C; n++ {
+			bk.Data[n*b.R+z] = b.At(z, n)
+		}
+	}
+	return av, bk
+}
+
+func gemmRelRMS(got, want *tensor.Matrix) float64 {
+	var num, den float64
+	for i := range got.Data {
+		d := got.Data[i] - want.Data[i]
+		num += d * d
+		den += want.Data[i] * want.Data[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestGEMMMatchesPointwiseBits pins the Conv-equivalence: a GEMM with
+// non-negative activations must be bit-identical to the same product
+// formulated as a Pointwise layer, on healthy, faulted, and
+// quarantined chips. The negative pass's all-zero input has scale 0
+// and consumes no PLCG cycles, so the noise streams line up exactly.
+func TestGEMMMatchesPointwiseBits(t *testing.T) {
+	t.Parallel()
+	preps := map[string]func(*Chip){
+		"healthy": nil,
+		"faulty": func(c *Chip) {
+			mustFault(c, 0, 0, Fault{Kind: StuckMZM, Tap: 1, Value: 0.6})
+			mustFault(c, 1, 2, Fault{Kind: DetunedRing, Tap: 5, Column: 2, Value: 0.9, Drift: 1e-4})
+		},
+		"quarantined": func(c *Chip) {
+			mustQuarantine(c, 0, 1)
+			mustQuarantine(c, 2, 0)
+			mustQuarantine(c, 2, 1)
+		},
+	}
+	for name, prep := range preps {
+		prep := prep
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a := tensor.RandomNonNegMatrix(11, 13, 71)
+			b := tensor.RandomMatrix(13, 6, 72)
+			for _, relu := range []bool{false, true} {
+				g := NewChip(DefaultConfig())
+				p := NewChip(DefaultConfig())
+				if prep != nil {
+					prep(g)
+					prep(p)
+				}
+				got := g.GEMM(a, b, relu)
+				av, bk := stageAsPointwise(a, b)
+				want := p.Pointwise(av, bk, relu)
+				for i := 0; i < a.R; i++ {
+					for j := 0; j < b.C; j++ {
+						gv := got.At(i, j)
+						wv := want.Data[j*a.R+i]
+						if math.Float64bits(gv) != math.Float64bits(wv) {
+							t.Fatalf("relu=%v: GEMM(%d,%d) = %x, pointwise = %x",
+								relu, i, j, math.Float64bits(gv), math.Float64bits(wv))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGEMMMatchesExactReference checks accuracy parity of the signed
+// two-pass path against the float64 reference under default noise and
+// quarantine. Signed uniform matrices are the worst case for relative
+// error: the products cancel (small signal) while the two passes'
+// 8-bit DAC quantization errors add, so the noiseless floor sits near
+// 5% relative RMS; the thresholds pin that floor rather than hiding
+// it behind benign inputs.
+func TestGEMMMatchesExactReference(t *testing.T) {
+	t.Parallel()
+	a := tensor.RandomMatrix(12, 16, 81)
+	b := tensor.RandomMatrix(16, 9, 82)
+	want := tensor.MatMul(a, b)
+
+	chips := map[string]func() *Chip{
+		"healthy": func() *Chip { return NewChip(DefaultConfig()) },
+		"noiseless": func() *Chip {
+			cfg := DefaultConfig()
+			cfg.DisableNoise = true
+			return NewChip(cfg)
+		},
+		"quarantined": func() *Chip {
+			c := NewChip(DefaultConfig())
+			mustQuarantine(c, 4, 0)
+			return c
+		},
+	}
+	budgets := map[string]float64{"healthy": 0.2, "noiseless": 0.08, "quarantined": 0.2}
+	for name, mk := range chips {
+		mk, budget := mk, budgets[name]
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := mk().GEMM(a, b, false)
+			if r := gemmRelRMS(got, want); r > budget {
+				t.Fatalf("relative RMS vs exact reference = %v, want < %v", r, budget)
+			}
+		})
+	}
+}
+
+// TestGEMMDeterministic: two fresh chips produce identical bits.
+func TestGEMMDeterministic(t *testing.T) {
+	t.Parallel()
+	a := tensor.RandomMatrix(7, 10, 91)
+	b := tensor.RandomMatrix(10, 5, 92)
+	x := NewChip(DefaultConfig()).GEMM(a, b, false)
+	y := NewChip(DefaultConfig()).GEMM(a, b, false)
+	for i := range x.Data {
+		if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
+			t.Fatalf("GEMM not deterministic at element %d", i)
+		}
+	}
+}
+
+// TestGEMMTracksMutatedWeights: mutating B in place must invalidate
+// the cached kernel-bank view and weight program.
+func TestGEMMTracksMutatedWeights(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.DisableNoise = true
+	chip := NewChip(cfg)
+	a := tensor.RandomNonNegMatrix(6, 8, 101)
+	b := tensor.RandomMatrix(8, 4, 102)
+	chip.GEMM(a, b, false)
+	for i := range b.Data {
+		b.Data[i] = -b.Data[i]
+	}
+	got := chip.GEMM(a, b, false)
+	if r := gemmRelRMS(got, tensor.MatMul(a, b)); r > 0.05 {
+		t.Fatalf("stale kernel view: relative RMS = %v after mutating B", r)
+	}
+}
+
+// TestGEMMReluClamp: every output is non-negative under relu and
+// matches the unclamped product elsewhere.
+func TestGEMMReluClamp(t *testing.T) {
+	t.Parallel()
+	a := tensor.RandomMatrix(8, 10, 111)
+	b := tensor.RandomMatrix(10, 6, 112)
+	chip := NewChip(DefaultConfig())
+	got := chip.GEMM(a, b, true)
+	for i, v := range got.Data {
+		if v < 0 {
+			t.Fatalf("relu output %d is negative: %v", i, v)
+		}
+	}
+}
+
+// TestGEMMAllZero: an all-zero operand early-returns a zero matrix
+// without driving the fabric.
+func TestGEMMAllZero(t *testing.T) {
+	t.Parallel()
+	chip := NewChip(DefaultConfig())
+	a := tensor.RandomMatrix(4, 5, 121)
+	z := tensor.NewMatrix(5, 3)
+	out := chip.GEMM(a, z, false)
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero-weight GEMM element %d = %v", i, v)
+		}
+	}
+	za := tensor.NewMatrix(4, 5)
+	out = chip.GEMM(za, tensor.RandomMatrix(5, 3, 122), false)
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zero-activation GEMM element %d = %v", i, v)
+		}
+	}
+}
+
+// TestGEMMSteadyStateAllocs gates the zero-alloc hot path: after the
+// first call compiles the program and grows the scratch, each GEMM
+// allocates only its output matrix (header + backing array).
+func TestGEMMSteadyStateAllocs(t *testing.T) {
+	chip := NewChip(DefaultConfig())
+	a := tensor.RandomMatrix(10, 14, 131)
+	b := tensor.RandomMatrix(14, 8, 132)
+	chip.GEMM(a, b, false) // warm: program compile + scratch growth
+	allocs := testing.AllocsPerRun(5, func() {
+		chip.GEMM(a, b, false)
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state GEMM allocates %v times per call, want <= 2", allocs)
+	}
+}

@@ -146,6 +146,45 @@ func goldenMatrix() []goldenCase {
 			w := tensor.RandomKernels(6, 4, 5, 5, 52)
 			return chip.FullyConnected(a, w, true)
 		}},
+		{name: "gemm/signed", want: 0x87ed2cb3c8a55fd9, run: func() []float64 {
+			chip := NewChip(cfg)
+			a := tensor.RandomMatrix(10, 14, 61)
+			b := tensor.RandomMatrix(14, 8, 62)
+			return chip.GEMM(a, b, false).Data
+		}},
+		{name: "gemm/nonneg-relu", want: 0xf26389ec88f4a778, run: func() []float64 {
+			chip := NewChip(cfg)
+			a := tensor.RandomNonNegMatrix(9, 12, 63)
+			b := tensor.RandomMatrix(12, 7, 64)
+			return chip.GEMM(a, b, true).Data
+		}},
+		{name: "gemm/faulty", want: 0xa189f5a7cb6d1c91, run: func() []float64 {
+			chip := NewChip(cfg)
+			mustFault(chip, 0, 0, Fault{Kind: StuckMZM, Tap: 2, Value: 0.7})
+			mustFault(chip, 2, 1, Fault{Kind: DeadRing, Tap: 3, Column: 1})
+			a := tensor.RandomMatrix(10, 14, 61)
+			b := tensor.RandomMatrix(14, 8, 62)
+			return chip.GEMM(a, b, false).Data
+		}},
+		{name: "gemm/quarantined", want: 0x7c316eddd9ce074c, run: func() []float64 {
+			chip := NewChip(cfg)
+			mustQuarantine(chip, 1, 0)
+			mustQuarantine(chip, 3, 1)
+			a := tensor.RandomMatrix(10, 14, 61)
+			b := tensor.RandomMatrix(14, 8, 62)
+			return chip.GEMM(a, b, false).Data
+		}},
+		{name: "gemm/repeat-reuses-program", want: 0xb3f9395a5db9f762, run: func() []float64 {
+			// Two products back to back through one chip: the second
+			// call sees a warm kernel-bank view and weight program and
+			// must produce exactly the bits a cold chip's second call
+			// would.
+			chip := NewChip(cfg)
+			a := tensor.RandomMatrix(10, 14, 61)
+			b := tensor.RandomMatrix(14, 8, 62)
+			chip.GEMM(a, b, false)
+			return chip.GEMM(a, b, false).Data
+		}},
 	}
 }
 

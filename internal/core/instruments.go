@@ -28,7 +28,7 @@ const (
 	// MetricPLCGSteps counts PLCG cycles (calls into PLCG.Step).
 	MetricPLCGSteps = "albireo_plcg_steps_total"
 	// MetricLayerOps counts layer executions by mapping kind
-	// (label kind="conv|depthwise|pointwise|fc").
+	// (label kind="conv|depthwise|pointwise|fc|gemm").
 	MetricLayerOps = "albireo_layer_ops_total"
 	// MetricFaultsInjected counts injected hardware defects.
 	MetricFaultsInjected = "albireo_faults_injected_total"
@@ -94,7 +94,7 @@ func (c *Chip) Instrument(reg *obs.Registry, trace *obs.Trace) {
 	ins.pd = perGroup(MetricPDReads)
 	ins.adc = perGroup(MetricADCConversions)
 	ins.layerOps = map[string]*obs.Counter{}
-	for _, kind := range []string{"conv", "depthwise", "pointwise", "fc"} {
+	for _, kind := range []string{"conv", "depthwise", "pointwise", "fc", "gemm"} {
 		ins.layerOps[kind] = reg.Counter(MetricLayerOps, obs.L("kind", kind))
 	}
 	c.ins = ins

@@ -69,6 +69,37 @@ func (c Config) MapLayer(l nn.Layer) LayerMapping {
 			per *= nd
 		}
 		m.ChannelGroups = ceilDiv(n, per)
+	case nn.GEMM:
+		// The block mapping with matrix rows as pixels: N output
+		// columns round-robin the PLCGs, Nd rows per cycle, Nu*Nm
+		// reduction elements aggregate per cycle. TapChunks = 2 is the
+		// signed-activation decomposition: the fabric runs the block
+		// once for A+ and once for A- (see core/gemm.go).
+		m.KernelPasses = ceilDiv(int64(l.OutZ), ng)
+		m.ColumnTiles = ceilDiv(int64(l.InX), nd)
+		m.ChannelGroups = ceilDiv(int64(l.InZ), nu*nm)
+		m.TapChunks = 2
+	case nn.LSTMCell:
+		// Per timestep: the four gate columns against [x;h], one
+		// sequence element per pass (batch-1 recurrence serializes on
+		// the hidden state), doubled for the sign split.
+		m.KernelPasses = ceilDiv(4*int64(l.OutZ), ng)
+		m.ColumnTiles = int64(l.InX)
+		m.ChannelGroups = ceilDiv(int64(l.InZ), nu*nm) + ceilDiv(int64(l.OutZ), nu*nm)
+		m.TapChunks = 2
+	case nn.AttentionBlock:
+		// Two chained products - scores = QK^T (T x d x T) and
+		// out = scores V (T x T x d) - each sign-split. The factor
+		// fields describe the QK^T stage; Cycles sums both stages.
+		t, d := int64(l.InX), int64(l.InZ)
+		m.KernelPasses = ceilDiv(t, ng)
+		m.ColumnTiles = ceilDiv(t, nd)
+		m.ChannelGroups = ceilDiv(d, nu*nm)
+		m.TapChunks = 2
+		qk := ceilDiv(t, ng) * ceilDiv(t, nd) * ceilDiv(d, nu*nm)
+		av := ceilDiv(d, ng) * ceilDiv(t, nd) * ceilDiv(t, nu*nm)
+		m.Cycles = 2 * (qk + av)
+		return m
 	default:
 		return m // pooling: zero compute cycles
 	}

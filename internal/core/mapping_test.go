@@ -204,3 +204,78 @@ func TestAllBenchmarksMap(t *testing.T) {
 		}
 	}
 }
+
+// mapperRepresentatives mirrors nn's representative-layer table on the
+// core side: one well-formed layer per Kind, so the exhaustiveness
+// loop below fails CI when a Kind is added without a MapLayer case
+// (the default arm schedules zero cycles, which trips the HasMACs
+// check) or without a row here.
+func mapperRepresentatives() map[nn.Kind]nn.Layer {
+	return map[nn.Kind]nn.Layer{
+		nn.Conv:           {Kind: nn.Conv, InZ: 8, InY: 12, InX: 12, OutZ: 16, KY: 3, KX: 3, Stride: 1, Pad: 1},
+		nn.Depthwise:      {Kind: nn.Depthwise, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 3, KX: 3, Stride: 1, Pad: 1},
+		nn.Pointwise:      {Kind: nn.Pointwise, InZ: 8, InY: 12, InX: 12, OutZ: 16, KY: 1, KX: 1},
+		nn.FC:             {Kind: nn.FC, InZ: 64, InY: 1, InX: 1, OutZ: 10, KY: 1, KX: 1},
+		nn.MaxPoolKind:    {Kind: nn.MaxPoolKind, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 2, KX: 2, Stride: 2},
+		nn.AvgPoolKind:    {Kind: nn.AvgPoolKind, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 2, KX: 2, Stride: 2},
+		nn.GEMM:           {Kind: nn.GEMM, InZ: 32, InY: 1, InX: 16, OutZ: 24, KY: 1, KX: 1},
+		nn.LSTMCell:       {Kind: nn.LSTMCell, InZ: 32, InY: 1, InX: 8, OutZ: 48, KY: 1, KX: 1},
+		nn.AttentionBlock: {Kind: nn.AttentionBlock, InZ: 32, InY: 1, InX: 16, OutZ: 32, KY: 1, KX: 1},
+	}
+}
+
+// TestMapLayerCoversEveryKind is the mapper exhaustiveness gate.
+func TestMapLayerCoversEveryKind(t *testing.T) {
+	t.Parallel()
+	c := DefaultConfig()
+	reps := mapperRepresentatives()
+	for k := nn.Kind(0); k < nn.NumKinds; k++ {
+		l, ok := reps[k]
+		if !ok {
+			t.Fatalf("kind %v has no representative layer: extend mapperRepresentatives and MapLayer", k)
+		}
+		m := c.MapLayer(l)
+		if l.HasMACs() && m.Cycles <= 0 {
+			t.Fatalf("kind %v carries MACs but MapLayer schedules %d cycles: missing switch case", k, m.Cycles)
+		}
+		if !l.HasMACs() && m.Cycles != 0 {
+			t.Fatalf("kind %v is a digital-path layer but MapLayer schedules %d cycles", k, m.Cycles)
+		}
+	}
+}
+
+// TestMapLayerGEMM pins the GEMM-family schedules on the default
+// config (Ng=9, Nu=3, Nm=9, Nd=5).
+func TestMapLayerGEMM(t *testing.T) {
+	t.Parallel()
+	c := DefaultConfig()
+	g := c.MapLayer(nn.Layer{Kind: nn.GEMM, InZ: 64, InY: 1, InX: 32, OutZ: 40, KY: 1, KX: 1})
+	if g.KernelPasses != 5 { // ceil(40/9)
+		t.Errorf("gemm kernel passes = %d, want 5", g.KernelPasses)
+	}
+	if g.ColumnTiles != 7 { // ceil(32/5)
+		t.Errorf("gemm column tiles = %d, want 7", g.ColumnTiles)
+	}
+	if g.ChannelGroups != 3 { // ceil(64/27)
+		t.Errorf("gemm channel groups = %d, want 3", g.ChannelGroups)
+	}
+	if g.TapChunks != 2 { // signed decomposition: A+ and A- passes
+		t.Errorf("gemm tap chunks = %d, want 2", g.TapChunks)
+	}
+	if want := int64(5 * 7 * 3 * 2); g.Cycles != want {
+		t.Errorf("gemm cycles = %d, want %d", g.Cycles, want)
+	}
+
+	l := c.MapLayer(nn.Layer{Kind: nn.LSTMCell, InZ: 27, InY: 1, InX: 4, OutZ: 27, KY: 1, KX: 1})
+	// ceil(4*27/9)=12 passes, 4 timesteps, (1+1) channel groups, x2 sign.
+	if want := int64(12 * 4 * 2 * 2); l.Cycles != want {
+		t.Errorf("lstm cycles = %d, want %d", l.Cycles, want)
+	}
+
+	a := c.MapLayer(nn.Layer{Kind: nn.AttentionBlock, InZ: 27, InY: 1, InX: 18, OutZ: 27, KY: 1, KX: 1})
+	// QK^T: ceil(18/9)*ceil(18/5)*ceil(27/27) = 2*4*1 = 8
+	// AV:   ceil(27/9)*ceil(18/5)*ceil(18/27) = 3*4*1 = 12
+	if want := int64(2 * (8 + 12)); a.Cycles != want {
+		t.Errorf("attention cycles = %d, want %d", a.Cycles, want)
+	}
+}

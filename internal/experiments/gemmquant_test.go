@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGEMMQuantSweepShape(t *testing.T) {
+	t.Parallel()
+	rows := GEMMQuantSweep([]int{2, 4, 6, 8}, 64)
+	if len(rows) != 4 {
+		t.Fatal("row count")
+	}
+	by := map[int]GEMMQuantRow{}
+	for _, r := range rows {
+		by[r.Bits] = r
+	}
+	// int8 serving is the documented budget: near-perfect argmax
+	// agreement and small relative RMS against the float head.
+	if by[8].AgreementPct < 95 {
+		t.Errorf("int8 agreement = %.1f%%, want >= 95%%", by[8].AgreementPct)
+	}
+	if by[8].RelRMS > 0.05 {
+		t.Errorf("int8 rel-RMS = %.4f, want <= 0.05", by[8].RelRMS)
+	}
+	// 2-bit must be visibly broken relative to int8.
+	if by[2].RelRMS < 5*by[8].RelRMS {
+		t.Errorf("2-bit rel-RMS %.4f suspiciously close to int8 %.4f", by[2].RelRMS, by[8].RelRMS)
+	}
+	if by[4].RelRMS < by[6].RelRMS {
+		t.Error("rel-RMS should not rise with more bits (4 -> 6)")
+	}
+	if !strings.Contains(FormatGEMMQuant(rows), "rel-RMS") {
+		t.Error("format")
+	}
+}

@@ -82,6 +82,19 @@ func (b *BoundBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu 
 	return out
 }
 
+// GEMM submits the matrix product to the fleet and waits; on
+// submission failure it falls back to the local exact reference.
+func (b *BoundBackend) GEMM(a, w *tensor.Matrix, relu bool) *tensor.Matrix {
+	fut := b.s.GEMMAsync(b.ctx, a, w, relu)
+	b.noteSeq(fut)
+	out, err := fut.Matrix()
+	if err != nil {
+		b.record(err)
+		return b.fallback.GEMM(a, w, relu)
+	}
+	return out
+}
+
 // record keeps the first failure.
 func (b *BoundBackend) record(err error) {
 	b.mu.Lock()

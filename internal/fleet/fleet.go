@@ -165,8 +165,13 @@ type request struct {
 	w    *tensor.Kernels
 	cfg  tensor.ConvConfig
 	relu bool
-	ctx  context.Context
-	done chan result // buffered 1: delivery never blocks a worker
+	// GEMM-family fields: tag is the journal op (OpGEMM, OpLSTM, or
+	// OpAttention - zero for volume ops) and ma/mb are the matrix
+	// operands.
+	tag    journal.Op
+	ma, mb *tensor.Matrix
+	ctx    context.Context
+	done   chan result // buffered 1: delivery never blocks a worker
 
 	// jseq is the request's journal sequence number: its KindAdmit
 	// record's position in the chain, or -1 when journaling is off (or
@@ -186,17 +191,24 @@ type request struct {
 type result struct {
 	vol *tensor.Volume
 	vec []float64
+	mat *tensor.Matrix
 	err error
 }
 
 // batchKey identifies coalescible requests: the same weight tensor,
 // geometry, and activation - exactly the work whose MZM programming a
-// worker can amortize by running the inputs back to back.
+// worker can amortize by running the inputs back to back. GEMM-family
+// requests coalesce on the same B matrix (the programmed operand): the
+// chip's weight-program cache is keyed on it, so back-to-back GEMMs
+// against one B skip recompilation exactly like a conv batch skips MZM
+// reprogramming.
 type batchKey struct {
 	fc   bool
 	w    *tensor.Kernels
 	cfg  tensor.ConvConfig
 	relu bool
+	tag  journal.Op
+	mb   *tensor.Matrix
 }
 
 // pendingBatch accumulates compatible requests until it fills or its
@@ -404,6 +416,26 @@ func (s *Scheduler) FullyConnectedAsync(ctx context.Context, a *tensor.Volume, w
 	return s.submit(ctx, &request{fc: true, a: a, w: w, relu: relu, ctx: ctx})
 }
 
+// GEMM submits a dense matrix product and waits for its result.
+func (s *Scheduler) GEMM(ctx context.Context, a, b *tensor.Matrix, relu bool) (*tensor.Matrix, error) {
+	return s.GEMMAsync(ctx, a, b, relu).Matrix()
+}
+
+// GEMMAsync submits a dense matrix product without waiting.
+func (s *Scheduler) GEMMAsync(ctx context.Context, a, b *tensor.Matrix, relu bool) *Future {
+	return s.GEMMAsyncOp(ctx, journal.OpGEMM, a, b, relu)
+}
+
+// GEMMAsyncOp submits a matrix product carrying a workload op tag
+// (OpGEMM, OpLSTM, or OpAttention) so the journal and the trace record
+// which workload issued it. Non-GEMM-family tags fail admission.
+func (s *Scheduler) GEMMAsyncOp(ctx context.Context, op journal.Op, a, b *tensor.Matrix, relu bool) *Future {
+	if !op.GEMMFamily() {
+		return &Future{err: fmt.Errorf("fleet: op %v is not a GEMM-family op", op)}
+	}
+	return s.submit(ctx, &request{tag: op, ma: a, mb: b, relu: relu, ctx: ctx})
+}
+
 // submit runs admission control and batching for one request.
 func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	if err := ctx.Err(); err != nil {
@@ -416,9 +448,13 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 	// without serializing admissions on the encoder.
 	var jpayload []byte
 	if j := s.opt.Journal; j != nil && !j.Degraded() {
-		jpayload = journal.EncodeRequest(&journal.Request{
-			Op: opKind(req), ReLU: req.relu, Cfg: req.cfg, A: req.a, W: req.w,
-		})
+		jr := &journal.Request{Op: opKind(req), ReLU: req.relu}
+		if req.tag.GEMMFamily() {
+			jr.MA, jr.MB = req.ma, req.mb
+		} else {
+			jr.Cfg, jr.A, jr.W = req.cfg, req.a, req.w
+		}
+		jpayload = journal.EncodeRequest(jr)
 	}
 	req.done = make(chan result, 1)
 	s.mu.Lock()
@@ -470,7 +506,7 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 			return &Future{req: req}
 		}
 	}
-	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu}
+	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu, tag: req.tag, mb: req.mb}
 	pb := s.byKey[key]
 	if pb == nil {
 		pb = &pendingBatch{key: key}
@@ -624,14 +660,14 @@ func (s *Scheduler) releaseSlot() {
 
 // opName labels a request for trace events.
 func opName(req *request) string {
-	if req.fc {
-		return "fc"
-	}
-	return "conv"
+	return opKind(req).String()
 }
 
 // opKind maps a request to its journal op kind.
 func opKind(req *request) journal.Op {
+	if req.tag.GEMMFamily() {
+		return req.tag
+	}
 	if req.fc {
 		return journal.OpFC
 	}
@@ -668,6 +704,12 @@ func (f *Future) Volume() (*tensor.Volume, error) {
 func (f *Future) Logits() ([]float64, error) {
 	res := f.wait()
 	return res.vec, res.err
+}
+
+// Matrix waits for a GEMM-family result.
+func (f *Future) Matrix() (*tensor.Matrix, error) {
+	res := f.wait()
+	return res.mat, res.err
 }
 
 // JournalSeq returns the request's journal sequence number - its

@@ -73,6 +73,11 @@ func (b *cancelAfterBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels,
 	return b.inner.FullyConnected(a, w, relu)
 }
 
+func (b *cancelAfterBackend) GEMM(x, w *tensor.Matrix, relu bool) *tensor.Matrix {
+	b.hit()
+	return b.inner.GEMM(x, w, relu)
+}
+
 func (b *cancelAfterBackend) Name() string { return b.inner.Name() }
 
 // TestSweepCanceledMidBatch cancels from inside a layer call during

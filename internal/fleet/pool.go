@@ -173,6 +173,8 @@ func (p *JournalExecutor) Execute(worker int, req *journal.Request) ([32]byte, e
 		return journal.HashVolume(b.Conv(req.A, req.W, req.Cfg, req.ReLU)), nil
 	case journal.OpFC:
 		return journal.HashVector(b.FullyConnected(req.A, req.W, req.ReLU)), nil
+	case journal.OpGEMM, journal.OpLSTM, journal.OpAttention:
+		return journal.HashMatrix(b.GEMM(req.MA, req.MB, req.ReLU)), nil
 	default:
 		return [32]byte{}, fmt.Errorf("fleet: unknown journaled op %d", req.Op)
 	}

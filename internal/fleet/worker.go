@@ -77,6 +77,9 @@ func (w *worker) healthyUnits() int64 {
 
 // run executes one request on the worker's backend.
 func (w *worker) run(req *request) result {
+	if req.tag.GEMMFamily() {
+		return result{mat: w.backend.GEMM(req.ma, req.mb, req.relu)}
+	}
 	if req.fc {
 		return result{vec: w.backend.FullyConnected(req.a, req.w, req.relu)}
 	}
@@ -187,6 +190,9 @@ func (s *Scheduler) runOne(w *worker, req *request) int {
 
 // resultHash digests a delivered result's canonical output encoding.
 func resultHash(req *request, res result) [32]byte {
+	if req.tag.GEMMFamily() {
+		return journal.HashMatrix(res.mat)
+	}
 	if req.fc {
 		return journal.HashVector(res.vec)
 	}

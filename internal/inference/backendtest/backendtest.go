@@ -3,7 +3,8 @@
 // reference, the analog chip, the observed and guarded wrappers, and
 // the fleet-bound pool - must satisfy the same layer contract: correct
 // output geometry for dense/strided/pointwise/depthwise/grouped
-// convolutions and classifiers, finite outputs, non-negative outputs
+// convolutions, classifiers, and dense GEMMs, finite outputs,
+// non-negative outputs
 // under ReLU, deterministic repeatability from a fresh backend, and
 // bounded divergence from the exact reference. Running one shared
 // table against all of them closes the gap where each backend was
@@ -124,6 +125,55 @@ func Run(t *testing.T, mk Factory) {
 		for i, v := range b.FullyConnected(in, w, true) {
 			if v < 0 {
 				t.Fatalf("%s: ReLU logit[%d] = %g < 0", b.Name(), i, v)
+			}
+		}
+	})
+
+	t.Run("gemm/signed", func(t *testing.T) {
+		b := mk(t)
+		a := tensor.RandomMatrix(7, 20, 51)
+		w := tensor.RandomMatrix(20, 9, 52)
+		out := b.GEMM(a, w, false)
+		ref := exact.GEMM(a, w, false)
+		if out.R != ref.R || out.C != ref.C {
+			t.Fatalf("%s: GEMM shape %dx%d, want %dx%d", b.Name(), out.R, out.C, ref.R, ref.C)
+		}
+		checkFinite(t, b.Name(), out.Data)
+		if r := relRMS(out.Data, ref.Data); !(r < 0.5) {
+			t.Fatalf("%s: relative RMS divergence from exact = %g, want < 0.5", b.Name(), r)
+		}
+	})
+
+	t.Run("gemm/nonneg-relu", func(t *testing.T) {
+		b := mk(t)
+		a := tensor.RandomNonNegMatrix(6, 16, 53)
+		w := tensor.RandomMatrix(16, 8, 54)
+		out := b.GEMM(a, w, true)
+		ref := exact.GEMM(a, w, true)
+		checkFinite(t, b.Name(), out.Data)
+		for i, v := range out.Data {
+			if v < 0 {
+				t.Fatalf("%s: ReLU GEMM output[%d] = %g < 0", b.Name(), i, v)
+			}
+		}
+		if r := relRMS(out.Data, ref.Data); !(r < 0.5) {
+			t.Fatalf("%s: relative RMS divergence from exact = %g, want < 0.5", b.Name(), r)
+		}
+	})
+
+	t.Run("gemm/repeatable", func(t *testing.T) {
+		// Same contract as conv: fresh backends, bit-identical GEMMs.
+		a := tensor.RandomMatrix(5, 12, 55)
+		w := tensor.RandomMatrix(12, 6, 56)
+		x := mk(t).GEMM(a, w, false)
+		y := mk(t).GEMM(a, w, false)
+		if x.R != y.R || x.C != y.C {
+			t.Fatalf("GEMM shapes differ: %dx%d vs %dx%d", x.R, x.C, y.R, y.C)
+		}
+		for i := range x.Data {
+			if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
+				t.Fatalf("GEMM output[%d] differs across fresh backends: %g vs %g",
+					i, x.Data[i], y.Data[i])
 			}
 		}
 	})

@@ -49,7 +49,8 @@ type Guarded struct {
 	// layers always pass the analog output through.
 	SampleEvery int
 	// FallbackHook, when non-nil, is called with the layer-op kind
-	// ("conv" or "fc") each time a layer falls back to the reference.
+	// ("conv", "fc", or "gemm") each time a layer falls back to the
+	// reference.
 	// The serving front end uses it to journal guarded-fallback events
 	// per worker. Set before serving begins; it is read without
 	// synchronization.
@@ -152,6 +153,19 @@ func (g *Guarded) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool)
 	}
 	ref := g.Ref.FullyConnected(a, w, relu)
 	if g.guard("fc", out, ref) {
+		return ref
+	}
+	return out
+}
+
+// GEMM implements Backend.
+func (g *Guarded) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
+	out := g.Backend.GEMM(a, b, relu)
+	if !g.sampled() {
+		return out
+	}
+	ref := g.Ref.GEMM(a, b, relu)
+	if g.guard("gemm", out.Data, ref.Data) {
 		return ref
 	}
 	return out

@@ -23,6 +23,9 @@ type Backend interface {
 	Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool) *tensor.Volume
 	// FullyConnected runs a classifier layer over the whole volume.
 	FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64
+	// GEMM runs a dense matrix product (the MLP/LSTM/attention
+	// workload primitive).
+	GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix
 	// Name identifies the backend in reports.
 	Name() string
 }
@@ -44,6 +47,15 @@ func (Exact) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []fl
 	out := tensor.FullyConnected(a, w)
 	if relu {
 		tensor.ReLUVec(out)
+	}
+	return out
+}
+
+// GEMM implements Backend.
+func (Exact) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
+	out := tensor.MatMul(a, b)
+	if relu {
+		tensor.ReLUMat(out)
 	}
 	return out
 }
@@ -78,6 +90,11 @@ func (b Analog) Conv(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig,
 // FullyConnected implements Backend.
 func (b Analog) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []float64 {
 	return b.Chip.FullyConnected(a, w, relu)
+}
+
+// GEMM implements Backend via the chip's tiled GEMM engine.
+func (b Analog) GEMM(x, w *tensor.Matrix, relu bool) *tensor.Matrix {
+	return b.Chip.GEMM(x, w, relu)
 }
 
 // Name implements Backend.

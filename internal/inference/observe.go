@@ -11,7 +11,7 @@ import (
 // Metric names emitted by the observed backend wrapper.
 const (
 	// MetricInferenceLayers counts executed layers by kind
-	// (label kind="conv"|"fc", backend="...").
+	// (label kind="conv"|"fc"|"gemm", backend="...").
 	MetricInferenceLayers = "albireo_inference_layers_total"
 	// MetricLayerDivergence is the histogram of per-layer RMS
 	// divergence between the wrapped backend and a digital reference,
@@ -87,6 +87,25 @@ func (o *Observed) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool
 	if o.Ref != nil {
 		ref := o.Ref.FullyConnected(a, w, relu)
 		d := rms(out, ref)
+		o.Reg.Histogram(MetricLayerDivergence, obs.DefaultBuckets).Observe(d)
+		sp.End(obs.String("divergence_rms", fmt.Sprintf("%.3e", d)))
+		return out
+	}
+	sp.End()
+	return out
+}
+
+// GEMM implements Backend.
+func (o *Observed) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
+	o.count("gemm")
+	sp := o.Trace.StartSpan("inference/gemm",
+		obs.String("backend", o.Backend.Name()),
+		obs.String("a", fmt.Sprintf("%dx%d", a.R, a.C)),
+		obs.String("b", fmt.Sprintf("%dx%d", b.R, b.C)))
+	out := o.Backend.GEMM(a, b, relu)
+	if o.Ref != nil {
+		ref := o.Ref.GEMM(a, b, relu)
+		d := rms(out.Data, ref.Data)
 		o.Reg.Histogram(MetricLayerDivergence, obs.DefaultBuckets).Observe(d)
 		sp.End(obs.String("divergence_rms", fmt.Sprintf("%.3e", d)))
 		return out

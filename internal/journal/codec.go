@@ -44,6 +44,15 @@ const (
 	OpConv Op = 1
 	// OpFC is a fully-connected classifier layer.
 	OpFC Op = 2
+	// OpGEMM is a dense matrix product (an MLP head layer, or any
+	// workload-agnostic GEMM submission).
+	OpGEMM Op = 3
+	// OpLSTM is a GEMM issued by an LSTM cell's gate computation. The
+	// arithmetic is identical to OpGEMM; the tag preserves workload
+	// attribution in the journal and in fleet telemetry.
+	OpLSTM Op = 4
+	// OpAttention is a GEMM issued by an attention block (QK^T or AV).
+	OpAttention Op = 5
 )
 
 // String names the op.
@@ -53,9 +62,21 @@ func (o Op) String() string {
 		return "conv"
 	case OpFC:
 		return "fc"
+	case OpGEMM:
+		return "gemm"
+	case OpLSTM:
+		return "lstm"
+	case OpAttention:
+		return "attention"
 	default:
 		return "unknown"
 	}
+}
+
+// GEMMFamily reports whether the op is a matrix-product op (OpGEMM or
+// a workload-tagged variant) rather than a volume op.
+func (o Op) GEMMFamily() bool {
+	return o == OpGEMM || o == OpLSTM || o == OpAttention
 }
 
 // Request is the canonical serialized form of one admitted layer op:
@@ -68,12 +89,17 @@ type Request struct {
 	Op Op
 	// ReLU applies the activation after the op.
 	ReLU bool
-	// Cfg is the convolution geometry (zero value for OpFC).
+	// Cfg is the convolution geometry (zero value for OpFC; unused by
+	// the GEMM family).
 	Cfg tensor.ConvConfig
-	// A is the input activation volume.
+	// A is the input activation volume (volume ops only).
 	A *tensor.Volume
-	// W is the kernel bank (classifier kernels for OpFC).
+	// W is the kernel bank (classifier kernels for OpFC; volume ops
+	// only).
 	W *tensor.Kernels
+	// MA and MB are the matrix operands of a GEMM-family op (nil for
+	// volume ops).
+	MA, MB *tensor.Matrix
 }
 
 // maxTensorElems bounds a decoded tensor's element count (per tensor)
@@ -82,8 +108,27 @@ const maxTensorElems = 64 << 20
 
 // EncodeRequest renders the canonical deterministic binary encoding:
 // fixed-width little-endian fields, float64s as IEEE-754 bits. Two
-// requests encode to the same bytes iff they are bit-identical.
+// requests encode to the same bytes iff they are bit-identical. The
+// leading op byte selects the layout: volume ops (conv, fc) keep the
+// original conv/fc frame byte-for-byte; GEMM-family ops use a matrix
+// frame (op, relu, A shape+data, B shape+data).
 func EncodeRequest(r *Request) []byte {
+	if r.Op.GEMMFamily() {
+		e := newEncoder(2 + 4*8 + 8*(len(r.MA.Data)+len(r.MB.Data)))
+		e.u8(uint8(r.Op))
+		e.bool(r.ReLU)
+		e.i64(int64(r.MA.R))
+		e.i64(int64(r.MA.C))
+		for _, v := range r.MA.Data {
+			e.f64(v)
+		}
+		e.i64(int64(r.MB.R))
+		e.i64(int64(r.MB.C))
+		for _, v := range r.MB.Data {
+			e.f64(v)
+		}
+		return e.buf
+	}
 	e := newEncoder(2 + 4*8 + 3*8 + 4*8 + 8*(len(r.A.Data)+len(r.W.Data)) + 16)
 	e.u8(uint8(r.Op))
 	e.bool(r.ReLU)
@@ -114,6 +159,23 @@ func DecodeRequest(b []byte) (*Request, error) {
 	r := &Request{}
 	r.Op = Op(d.u8())
 	r.ReLU = d.bool()
+	if r.Op.GEMMFamily() {
+		ar, ac := d.i64(), d.i64()
+		n, err := tensorLen(ar, ac, 1, 1)
+		if err != nil {
+			return nil, fmt.Errorf("journal: request matrix A shape: %w", err)
+		}
+		r.MA = &tensor.Matrix{R: int(ar), C: int(ac), Data: d.f64s(n)}
+		br, bc := d.i64(), d.i64()
+		if n, err = tensorLen(br, bc, 1, 1); err != nil {
+			return nil, fmt.Errorf("journal: request matrix B shape: %w", err)
+		}
+		r.MB = &tensor.Matrix{R: int(br), C: int(bc), Data: d.f64s(n)}
+		if err := d.finish(); err != nil {
+			return nil, fmt.Errorf("journal: request: %w", err)
+		}
+		return r, nil
+	}
 	r.Cfg.Stride = int(d.i64())
 	r.Cfg.Pad = int(d.i64())
 	r.Cfg.Groups = int(d.i64())

@@ -26,6 +26,22 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		A:  tensor.RandomVolume(3, 2, 2, 5),
 		W:  tensor.RandomKernels(4, 3, 2, 2, 6),
 	}))
+	f.Add(EncodeRequest(&Request{
+		Op:   OpGEMM,
+		ReLU: true,
+		MA:   tensor.RandomMatrix(3, 4, 21),
+		MB:   tensor.RandomMatrix(4, 2, 22),
+	}))
+	f.Add(EncodeRequest(&Request{
+		Op: OpLSTM,
+		MA: tensor.RandomMatrix(2, 3, 23),
+		MB: tensor.RandomMatrix(3, 8, 24),
+	}))
+	f.Add(EncodeRequest(&Request{
+		Op: OpAttention,
+		MA: tensor.RandomMatrix(4, 4, 25),
+		MB: tensor.RandomMatrix(4, 4, 26),
+	}))
 	f.Add(EncodeHeader(Header{Pool: 2, Seed: 7, Size: 8, Budget: 0.5, KeepDegraded: true, Detune: "0,0,4,2,0.4"}))
 	f.Add(EncodeShed(Shed{Op: OpFC, Queued: 16}))
 	f.Add(EncodeDeliver(Deliver{Admit: 3, Worker: 1, Hash: HashVector([]float64{1, 2, 3})}))

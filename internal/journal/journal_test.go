@@ -144,6 +144,53 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGEMMRequestRoundTrip(t *testing.T) {
+	for _, req := range []*Request{
+		{Op: OpGEMM, ReLU: true, MA: tensor.RandomMatrix(3, 5, 31), MB: tensor.RandomMatrix(5, 4, 32)},
+		{Op: OpLSTM, MA: tensor.RandomMatrix(2, 6, 33), MB: tensor.RandomMatrix(6, 8, 34)},
+		{Op: OpAttention, MA: tensor.RandomMatrix(4, 4, 35), MB: tensor.RandomMatrix(4, 4, 36)},
+	} {
+		enc := EncodeRequest(req)
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%v): %v", req.Op, err)
+		}
+		if got.Op != req.Op || got.ReLU != req.ReLU {
+			t.Fatalf("decoded scalar fields = %+v, want %+v", got, req)
+		}
+		if got.MA.R != req.MA.R || got.MA.C != req.MA.C || !bitsEqual(got.MA.Data, req.MA.Data) {
+			t.Fatal("matrix A did not round-trip bit-exactly")
+		}
+		if got.MB.R != req.MB.R || got.MB.C != req.MB.C || !bitsEqual(got.MB.Data, req.MB.Data) {
+			t.Fatal("matrix B did not round-trip bit-exactly")
+		}
+		if !bytes.Equal(EncodeRequest(got), enc) {
+			t.Fatal("re-encoding a decoded GEMM request changed bytes: encoding not canonical")
+		}
+		// Volume ops must not leak into a GEMM frame and vice versa.
+		if got.A != nil || got.W != nil {
+			t.Fatal("GEMM decode populated volume operands")
+		}
+	}
+	// An unknown op byte over a GEMM-shaped body is a hard decode
+	// error, not a silent fallthrough to the conv layout.
+	bad := EncodeRequest(&Request{Op: OpGEMM, MA: tensor.RandomMatrix(2, 2, 37), MB: tensor.RandomMatrix(2, 2, 38)})
+	bad[0] = 200
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("DecodeRequest accepted an unknown op byte")
+	}
+	// Truncation anywhere in a GEMM frame fails cleanly.
+	enc := EncodeRequest(&Request{Op: OpGEMM, MA: tensor.RandomMatrix(3, 3, 39), MB: tensor.RandomMatrix(3, 2, 40)})
+	for _, cut := range []int{1, 2, 10, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeRequest(enc[:cut]); err == nil {
+			t.Fatalf("DecodeRequest accepted GEMM truncation at %d", cut)
+		}
+	}
+	if got := OpGEMM.String() + "/" + OpLSTM.String() + "/" + OpAttention.String(); got != "gemm/lstm/attention" {
+		t.Fatalf("op names = %q", got)
+	}
+}
+
 // bitsEqual compares float64 slices by raw bits (exact, NaN-safe).
 func bitsEqual(a, b []float64) bool {
 	if len(a) != len(b) {

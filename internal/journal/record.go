@@ -278,6 +278,25 @@ func HashVolume(v *tensor.Volume) [32]byte {
 	return out
 }
 
+// HashMatrix digests a matrix's canonical encoding (shape then
+// IEEE-754 bits, little-endian): the bit-exact output identity of a
+// GEMM-family result.
+func HashMatrix(m *tensor.Matrix) [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	for _, d := range []int64{int64(m.R), int64(m.C)} {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(d))
+		h.Write(scratch[:])
+	}
+	for _, f := range m.Data {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		h.Write(scratch[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
 // HashVector digests a logits vector's canonical encoding: the
 // bit-exact output identity of a fully-connected result.
 func HashVector(v []float64) [32]byte {

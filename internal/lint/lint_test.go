@@ -120,6 +120,19 @@ func TestObsDeterminismCoversJournal(t *testing.T) {
 	})
 }
 
+func TestObsDeterminismCoversGEMM(t *testing.T) {
+	t.Parallel()
+	// The GEMM engine instruments through the same chip-level spans
+	// and counters as the conv path (internal/core is inside the
+	// rule's scope): tile telemetry counts PLCU cycles, and the
+	// replay gate hashes results whose spans must not embed wall time.
+	got := fixture(t, "gemmobs.go", "internal/core/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"12: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+		"13: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+	})
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

@@ -1,0 +1,17 @@
+// Fixture pinning the obs-determinism rule's coverage of the GEMM
+// engine's instrumentation: the matrix path emits the same span and
+// divergence telemetry as the conv path, and a wall-clock stamp in
+// either would break the bit-identical-registry contract that the
+// fleet replay gate depends on. GEMM spans are cycle-denominated;
+// wall time belongs to an injected obs.Clock at the cmd boundary.
+package fixture
+
+import "time"
+
+func stampGEMMSpan(started time.Time) float64 {
+	elapsed := time.Since(started).Seconds()
+	_ = time.Now()
+	return elapsed + cyclesForTile(9) // allowed: cycle-denominated
+}
+
+func cyclesForTile(ng int) float64 { return float64(ng * 45) }

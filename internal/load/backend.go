@@ -28,5 +28,10 @@ func (NullBackend) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool
 	return make([]float64, w.M)
 }
 
+// GEMM returns a zeroed product matrix of the right shape.
+func (NullBackend) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
+	return tensor.NewMatrix(a.R, b.C)
+}
+
 // Name identifies the backend.
 func (NullBackend) Name() string { return "null" }

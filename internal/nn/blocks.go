@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"albireo/internal/tensor"
+)
+
+// The GEMM workload zoo: MLP heads, an LSTM cell, and a single-head
+// attention block, all expressed over a pluggable GEMM executor so the
+// same forward pass runs on the exact digital reference, a single
+// analog chip (*core.Chip), any inference.Backend, or a fleet-bound
+// backend. Everything that is not a matrix product - bias adds, gate
+// nonlinearities, the attention softmax - runs digitally, as the
+// aggregation unit would.
+
+// GEMMExecutor executes matrix products. *core.Chip and every
+// inference.Backend satisfy it.
+type GEMMExecutor interface {
+	GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix
+}
+
+// ExactGEMM is the float64 digital reference executor.
+type ExactGEMM struct{}
+
+// GEMM computes the exact product, applying ReLU when asked.
+func (ExactGEMM) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
+	out := tensor.MatMul(a, b)
+	if relu {
+		tensor.ReLUMat(out)
+	}
+	return out
+}
+
+// MLP is a stack of fully-connected GEMM layers with bias and ReLU
+// between hidden layers (none after the last: it emits logits).
+type MLP struct {
+	Name string
+	// Weights[i] is the layer-i matrix, in-features x out-features.
+	Weights []*tensor.Matrix
+	// Biases[i] has one entry per layer-i output feature.
+	Biases [][]float64
+}
+
+// NewMLP builds a deterministic random MLP through the given feature
+// dims (len >= 2: input, hiddens..., output).
+func NewMLP(name string, dims []int, seed int64) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims") //lint:ignore exit-hygiene constructor precondition; caller bug
+	}
+	m := &MLP{Name: name}
+	for i := 0; i+1 < len(dims); i++ {
+		w := tensor.RandomMatrix(dims[i], dims[i+1], seed+int64(i))
+		// Fan-in scaling keeps activations in a trained-network-like
+		// range across depth.
+		w.Scale(1 / math.Sqrt(float64(dims[i])))
+		m.Weights = append(m.Weights, w)
+		b := make([]float64, dims[i+1])
+		brng := tensor.RandomMatrix(1, dims[i+1], seed+1000+int64(i))
+		copy(b, brng.Data)
+		for j := range b {
+			b[j] *= 0.1
+		}
+		m.Biases = append(m.Biases, b)
+	}
+	return m
+}
+
+// Forward runs a batch of rows through the MLP on the executor.
+func (m *MLP) Forward(be GEMMExecutor, x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	for i, w := range m.Weights {
+		h = be.GEMM(h, w, false)
+		h.AddBias(m.Biases[i])
+		if i < len(m.Weights)-1 {
+			tensor.ReLUMat(h)
+		}
+	}
+	return h
+}
+
+// Layers returns the mapper-level description of the MLP for a batch
+// of rows rows.
+func (m *MLP) Layers(rows int) []Layer {
+	out := make([]Layer, len(m.Weights))
+	for i, w := range m.Weights {
+		out[i] = Layer{
+			Name: fmt.Sprintf("%s/gemm%d", m.Name, i),
+			Kind: GEMM,
+			InZ:  w.R, InY: 1, InX: rows,
+			OutZ: w.C, KY: 1, KX: 1,
+		}
+	}
+	return out
+}
+
+// LSTM is one recurrent cell: input size InSize, hidden size Hidden,
+// the four gates (input, forget, cell, output) stacked column-wise in
+// Wx and Wh.
+type LSTM struct {
+	Name   string
+	InSize int
+	Hidden int
+	// Wx is InSize x 4*Hidden, Wh is Hidden x 4*Hidden.
+	Wx, Wh *tensor.Matrix
+	// B has 4*Hidden entries.
+	B []float64
+}
+
+// NewLSTM builds a deterministic random LSTM cell.
+func NewLSTM(name string, inSize, hidden int, seed int64) *LSTM {
+	wx := tensor.RandomMatrix(inSize, 4*hidden, seed)
+	wx.Scale(1 / math.Sqrt(float64(inSize)))
+	wh := tensor.RandomMatrix(hidden, 4*hidden, seed+1)
+	wh.Scale(1 / math.Sqrt(float64(hidden)))
+	b := make([]float64, 4*hidden)
+	brng := tensor.RandomMatrix(1, 4*hidden, seed+2)
+	for j := range b {
+		b[j] = brng.Data[j] * 0.1
+	}
+	return &LSTM{Name: name, InSize: inSize, Hidden: hidden, Wx: wx, Wh: wh, B: b}
+}
+
+// gate extracts gate g (0..3) as a batch x Hidden matrix.
+func (l *LSTM) gate(gates *tensor.Matrix, g int) *tensor.Matrix {
+	out := tensor.NewMatrix(gates.R, l.Hidden)
+	for r := 0; r < gates.R; r++ {
+		copy(out.Data[r*l.Hidden:(r+1)*l.Hidden],
+			gates.Data[r*gates.C+g*l.Hidden:r*gates.C+(g+1)*l.Hidden])
+	}
+	return out
+}
+
+// Step advances the cell one timestep: x is batch x InSize, h and c
+// are batch x Hidden (nil means the zero state). The two gate products
+// run on the executor; sigmoids, tanhs, and the elementwise combines
+// are digital.
+func (l *LSTM) Step(be GEMMExecutor, x, h, c *tensor.Matrix) (hNext, cNext *tensor.Matrix) {
+	if h == nil {
+		h = tensor.NewMatrix(x.R, l.Hidden)
+	}
+	if c == nil {
+		c = tensor.NewMatrix(x.R, l.Hidden)
+	}
+	gates := tensor.AddMat(be.GEMM(x, l.Wx, false), be.GEMM(h, l.Wh, false)).AddBias(l.B)
+	in := tensor.SigmoidMat(l.gate(gates, 0))
+	forget := tensor.SigmoidMat(l.gate(gates, 1))
+	cell := tensor.TanhMat(l.gate(gates, 2))
+	out := tensor.SigmoidMat(l.gate(gates, 3))
+	cNext = tensor.AddMat(tensor.MulMat(forget, c), tensor.MulMat(in, cell))
+	hNext = tensor.MulMat(out, tensor.TanhMat(cNext.Clone()))
+	return hNext, cNext
+}
+
+// Run unrolls the cell over a sequence of inputs from the zero state
+// and returns the final hidden and cell states.
+func (l *LSTM) Run(be GEMMExecutor, xs []*tensor.Matrix) (h, c *tensor.Matrix) {
+	for _, x := range xs {
+		h, c = l.Step(be, x, h, c)
+	}
+	return h, c
+}
+
+// Layer returns the mapper-level description of the cell unrolled over
+// seqLen timesteps.
+func (l *LSTM) Layer(seqLen int) Layer {
+	return Layer{
+		Name: l.Name,
+		Kind: LSTMCell,
+		InZ:  l.InSize, InY: 1, InX: seqLen,
+		OutZ: l.Hidden, KY: 1, KX: 1,
+	}
+}
+
+// Attention computes single-head scaled dot-product attention
+// softmax(Q K^T / sqrt(d)) V for T x d inputs: QK^T and the AV product
+// run on the executor, the scaling and row softmax are digital.
+func Attention(be GEMMExecutor, q, k, v *tensor.Matrix) *tensor.Matrix {
+	if q.C != k.C || k.R != v.R {
+		panic("nn: attention shape mismatch") //lint:ignore exit-hygiene attention shape invariant; caller bug
+	}
+	scores := be.GEMM(q, k.Transpose(), false)
+	scores.Scale(1 / math.Sqrt(float64(q.C)))
+	tensor.SoftmaxRows(scores)
+	return be.GEMM(scores, v, false)
+}
+
+// AttentionLayer returns the mapper-level description of an attention
+// block over a seqLen-long sequence of dim-dimensional states.
+func AttentionLayer(name string, seqLen, dim int) Layer {
+	return Layer{
+		Name: name,
+		Kind: AttentionBlock,
+		InZ:  dim, InY: 1, InX: seqLen,
+		OutZ: dim, KY: 1, KX: 1,
+	}
+}

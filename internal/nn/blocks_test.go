@@ -1,0 +1,256 @@
+package nn_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/nn"
+	"albireo/internal/tensor"
+)
+
+// The workload golden matrix pins the analog GEMM workloads' exact
+// output bits under noise, faults, and quarantine, following the
+// internal/core golden pattern. Regenerate with:
+//
+//	ALBIREO_GOLDEN_UPDATE=1 go test ./internal/nn -run TestWorkloadGolden -v
+
+func workloadHash(data []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range data {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * uint(i)))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func relRMS(got, want []float64) float64 {
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// chipUnder builds a default chip with the named impairment state.
+func chipUnder(state string) *core.Chip {
+	c := core.NewChip(core.DefaultConfig())
+	switch state {
+	case "healthy":
+	case "faulty":
+		if err := c.InjectFault(0, 0, core.Fault{Kind: core.StuckMZM, Tap: 2, Value: 0.7}); err != nil {
+			panic(err) //lint:ignore exit-hygiene test fixture setup; inputs are constants
+		}
+		if err := c.InjectFault(2, 1, core.Fault{Kind: core.DeadRing, Tap: 3, Column: 1}); err != nil {
+			panic(err) //lint:ignore exit-hygiene test fixture setup; inputs are constants
+		}
+	case "quarantined":
+		if err := c.Quarantine(1, 0); err != nil {
+			panic(err) //lint:ignore exit-hygiene test fixture setup; inputs are constants
+		}
+		if err := c.Quarantine(4, 2); err != nil {
+			panic(err) //lint:ignore exit-hygiene test fixture setup; inputs are constants
+		}
+	}
+	return c
+}
+
+func mlpOut(state string) []float64 {
+	m := nn.NewMLP("head", []int{24, 32, 10}, 7)
+	x := tensor.RandomMatrix(4, 24, 8)
+	return m.Forward(chipUnder(state), x).Data
+}
+
+func lstmOut(state string) []float64 {
+	l := nn.NewLSTM("cell", 12, 16, 17)
+	xs := make([]*tensor.Matrix, 5)
+	for i := range xs {
+		xs[i] = tensor.RandomMatrix(2, 12, int64(100+i))
+	}
+	h, c := l.Run(chipUnder(state), xs)
+	return append(append([]float64(nil), h.Data...), c.Data...)
+}
+
+func attnOut(state string) []float64 {
+	q := tensor.RandomMatrix(6, 16, 21)
+	k := tensor.RandomMatrix(6, 16, 22)
+	v := tensor.RandomMatrix(6, 16, 23)
+	return nn.Attention(chipUnder(state), q, k, v).Data
+}
+
+// TestWorkloadGolden pins the exact analog bits of each workload on
+// healthy, faulted, and quarantined chips.
+func TestWorkloadGolden(t *testing.T) {
+	update := os.Getenv("ALBIREO_GOLDEN_UPDATE") != ""
+	cases := []struct {
+		name string
+		want uint64
+		run  func() []float64
+	}{
+		{"mlp/healthy", 0x127b38bd6818972e, func() []float64 { return mlpOut("healthy") }},
+		{"mlp/faulty", 0x3794a2dada7147e2, func() []float64 { return mlpOut("faulty") }},
+		{"mlp/quarantined", 0x579f1d91496cc97a, func() []float64 { return mlpOut("quarantined") }},
+		{"lstm/healthy", 0xfb4d29ac31a6e8af, func() []float64 { return lstmOut("healthy") }},
+		{"lstm/faulty", 0x4145e2a5b8d0a427, func() []float64 { return lstmOut("faulty") }},
+		{"lstm/quarantined", 0x2edb9a46ad16c985, func() []float64 { return lstmOut("quarantined") }},
+		{"attn/healthy", 0x1a0e2212ea702271, func() []float64 { return attnOut("healthy") }},
+		{"attn/faulty", 0xd8fb04e68fab2a50, func() []float64 { return attnOut("faulty") }},
+		{"attn/quarantined", 0x97cfdcfcf4aadf05, func() []float64 { return attnOut("quarantined") }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if !update {
+				t.Parallel()
+			}
+			got := workloadHash(tc.run())
+			if update {
+				fmt.Printf("golden %-20s 0x%016x\n", tc.name, got)
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("workload bits diverged: got 0x%016x, want 0x%016x", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWorkloadAccuracyParity checks every workload's analog output
+// against its exact reference within the signed-GEMM noise budget, on
+// healthy, faulted, and quarantined chips. Faults are excluded for
+// the recurrent LSTM (a stuck modulator compounds over timesteps by
+// design - that is what BIST and quarantine are for); quarantine must
+// stay parity-clean everywhere, since remap guarantees healthy-unit
+// outputs.
+func TestWorkloadAccuracyParity(t *testing.T) {
+	t.Parallel()
+	exact := nn.ExactGEMM{}
+	type wl struct {
+		name   string
+		states []string
+		budget float64
+		run    func(be nn.GEMMExecutor) []float64
+	}
+	m := nn.NewMLP("head", []int{24, 32, 10}, 7)
+	x := tensor.RandomMatrix(4, 24, 8)
+	l := nn.NewLSTM("cell", 12, 16, 17)
+	xs := make([]*tensor.Matrix, 5)
+	for i := range xs {
+		xs[i] = tensor.RandomMatrix(2, 12, int64(100+i))
+	}
+	q := tensor.RandomMatrix(6, 16, 21)
+	k := tensor.RandomMatrix(6, 16, 22)
+	v := tensor.RandomMatrix(6, 16, 23)
+
+	wls := []wl{
+		{"mlp", []string{"healthy", "quarantined"}, 0.25, func(be nn.GEMMExecutor) []float64 {
+			return m.Forward(be, x).Data
+		}},
+		{"lstm", []string{"healthy", "quarantined"}, 0.25, func(be nn.GEMMExecutor) []float64 {
+			h, c := l.Run(be, xs)
+			return append(append([]float64(nil), h.Data...), c.Data...)
+		}},
+		{"attn", []string{"healthy", "quarantined"}, 0.25, func(be nn.GEMMExecutor) []float64 {
+			return nn.Attention(be, q, k, v).Data
+		}},
+	}
+	for _, w := range wls {
+		w := w
+		for _, state := range w.states {
+			state := state
+			t.Run(w.name+"/"+state, func(t *testing.T) {
+				t.Parallel()
+				want := w.run(exact)
+				got := w.run(chipUnder(state))
+				if r := relRMS(got, want); r > w.budget {
+					t.Fatalf("analog %s diverges from exact reference: relative RMS %v > %v", w.name, r, w.budget)
+				}
+			})
+		}
+	}
+}
+
+// TestLSTMStepHandReference validates the gate plumbing against a
+// hand-computed single-unit cell.
+func TestLSTMStepHandReference(t *testing.T) {
+	t.Parallel()
+	l := &nn.LSTM{
+		Name: "unit", InSize: 1, Hidden: 1,
+		Wx: tensor.NewMatrix(1, 4),
+		Wh: tensor.NewMatrix(1, 4),
+		B:  []float64{0.1, 0.2, 0.3, 0.4},
+	}
+	copy(l.Wx.Data, []float64{0.5, -0.5, 1.0, 0.25})
+	copy(l.Wh.Data, []float64{0.1, 0.2, -0.3, 0.4})
+	x := tensor.NewMatrix(1, 1)
+	x.Data[0] = 0.8
+	h0 := tensor.NewMatrix(1, 1)
+	h0.Data[0] = 0.3
+	c0 := tensor.NewMatrix(1, 1)
+	c0.Data[0] = -0.2
+
+	sig := func(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+	i := sig(0.8*0.5 + 0.3*0.1 + 0.1)
+	f := sig(0.8*-0.5 + 0.3*0.2 + 0.2)
+	g := math.Tanh(0.8*1.0 + 0.3*-0.3 + 0.3)
+	o := sig(0.8*0.25 + 0.3*0.4 + 0.4)
+	wantC := f*-0.2 + i*g
+	wantH := o * math.Tanh(wantC)
+
+	h1, c1 := l.Step(nn.ExactGEMM{}, x, h0, c0)
+	if math.Abs(c1.Data[0]-wantC) > 1e-12 || math.Abs(h1.Data[0]-wantH) > 1e-12 {
+		t.Fatalf("Step = (h %v, c %v), want (h %v, c %v)", h1.Data[0], c1.Data[0], wantH, wantC)
+	}
+}
+
+// TestAttentionRowsAreConvexCombinations: softmax weights are a
+// probability distribution, so each exact-reference output row must
+// lie inside the column-wise range of V.
+func TestAttentionRowsAreConvexCombinations(t *testing.T) {
+	t.Parallel()
+	q := tensor.RandomMatrix(5, 8, 31)
+	k := tensor.RandomMatrix(5, 8, 32)
+	v := tensor.RandomMatrix(5, 8, 33)
+	out := nn.Attention(nn.ExactGEMM{}, q, k, v)
+	for j := 0; j < v.C; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < v.R; i++ {
+			lo = math.Min(lo, v.At(i, j))
+			hi = math.Max(hi, v.At(i, j))
+		}
+		for i := 0; i < out.R; i++ {
+			if got := out.At(i, j); got < lo-1e-12 || got > hi+1e-12 {
+				t.Fatalf("output (%d,%d) = %v outside V column range [%v, %v]", i, j, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestMLPLayersDescribeMapping: the mapper-level descriptors agree
+// with the weight shapes.
+func TestMLPLayersDescribeMapping(t *testing.T) {
+	t.Parallel()
+	m := nn.NewMLP("head", []int{24, 32, 10}, 7)
+	ls := m.Layers(4)
+	if len(ls) != 2 {
+		t.Fatalf("got %d layers, want 2", len(ls))
+	}
+	if ls[0].InZ != 24 || ls[0].OutZ != 32 || ls[0].InX != 4 || ls[0].Kind != nn.GEMM {
+		t.Fatalf("layer 0 = %+v", ls[0])
+	}
+	if got, want := ls[0].MACs(), int64(4*24*32); got != want {
+		t.Fatalf("layer 0 MACs = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import "testing"
+
+// representativeLayers has one well-formed layer per Kind. The
+// exhaustiveness tests below (and TestMapLayerCoversEveryKind in
+// internal/core) iterate [0, NumKinds) against it, so adding a Kind
+// without extending this table - or without String/MACs/MapLayer
+// cases - fails CI instead of silently mapping to zero cycles.
+func representativeLayers() map[Kind]Layer {
+	return map[Kind]Layer{
+		Conv:           {Name: "conv", Kind: Conv, InZ: 8, InY: 12, InX: 12, OutZ: 16, KY: 3, KX: 3, Stride: 1, Pad: 1},
+		Depthwise:      {Name: "dw", Kind: Depthwise, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 3, KX: 3, Stride: 1, Pad: 1},
+		Pointwise:      {Name: "pw", Kind: Pointwise, InZ: 8, InY: 12, InX: 12, OutZ: 16, KY: 1, KX: 1},
+		FC:             {Name: "fc", Kind: FC, InZ: 64, InY: 1, InX: 1, OutZ: 10, KY: 1, KX: 1},
+		MaxPoolKind:    {Name: "maxpool", Kind: MaxPoolKind, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 2, KX: 2, Stride: 2},
+		AvgPoolKind:    {Name: "avgpool", Kind: AvgPoolKind, InZ: 8, InY: 12, InX: 12, OutZ: 8, KY: 2, KX: 2, Stride: 2},
+		GEMM:           {Name: "gemm", Kind: GEMM, InZ: 32, InY: 1, InX: 16, OutZ: 24, KY: 1, KX: 1},
+		LSTMCell:       {Name: "lstm", Kind: LSTMCell, InZ: 32, InY: 1, InX: 8, OutZ: 48, KY: 1, KX: 1},
+		AttentionBlock: {Name: "attn", Kind: AttentionBlock, InZ: 32, InY: 1, InX: 16, OutZ: 32, KY: 1, KX: 1},
+	}
+}
+
+// TestKindStringExhaustive fails when a Kind is added without a
+// String case.
+func TestKindStringExhaustive(t *testing.T) {
+	t.Parallel()
+	seen := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("Kind %d has no String case", int(k))
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Kind %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	if Kind(NumKinds).String() != "unknown" {
+		t.Fatal("NumKinds itself must stringify as unknown")
+	}
+}
+
+// TestKindRepresentativesExhaustive fails when a Kind is added without
+// a representative layer, and checks the MACs/Params accounting of the
+// GEMM-family kinds.
+func TestKindRepresentativesExhaustive(t *testing.T) {
+	t.Parallel()
+	reps := representativeLayers()
+	for k := Kind(0); k < NumKinds; k++ {
+		l, ok := reps[k]
+		if !ok {
+			t.Fatalf("no representative layer for kind %v: extend representativeLayers and the mapper", k)
+		}
+		if l.Kind != k {
+			t.Fatalf("representative for %v has kind %v", k, l.Kind)
+		}
+		compute := k != MaxPoolKind && k != AvgPoolKind
+		if compute != l.HasMACs() {
+			t.Fatalf("kind %v: HasMACs() = %v, want %v", k, l.HasMACs(), compute)
+		}
+	}
+
+	g := reps[GEMM]
+	if got, want := g.MACs(), int64(16*32*24); got != want {
+		t.Errorf("GEMM MACs = %d, want %d", got, want)
+	}
+	if got, want := g.Params(), int64(32*24); got != want {
+		t.Errorf("GEMM Params = %d, want %d", got, want)
+	}
+	l := reps[LSTMCell]
+	if got, want := l.MACs(), int64(8*4*48*(32+48)); got != want {
+		t.Errorf("LSTM MACs = %d, want %d", got, want)
+	}
+	a := reps[AttentionBlock]
+	if got, want := a.MACs(), int64(2*16*16*32); got != want {
+		t.Errorf("attention MACs = %d, want %d", got, want)
+	}
+	if a.Params() != 0 {
+		t.Errorf("attention Params = %d, want 0 (no weights of its own)", a.Params())
+	}
+	if g.OutY() != 1 || g.OutX() != 16 {
+		t.Errorf("GEMM out = %dx%d, want 1x16", g.OutY(), g.OutX())
+	}
+}

@@ -29,6 +29,23 @@ const (
 	// MACs and are executed by the digital aggregation path.
 	MaxPoolKind
 	AvgPoolKind
+	// GEMM is a general matrix multiply: InX rows by InZ reduction
+	// elements against an InZ x OutZ weight matrix (the photonic block
+	// mapping with matrix rows as pixels; see core/gemm.go).
+	GEMM
+	// LSTMCell is one recurrent cell unrolled over InX timesteps:
+	// InZ input features, OutZ hidden units, four gates per step.
+	LSTMCell
+	// AttentionBlock is a single-head attention over an InX-long
+	// sequence of InZ-dim states: QK^T and AV run on the fabric, the
+	// softmax between them is digital.
+	AttentionBlock
+
+	// NumKinds is the exclusive upper bound of the Kind enum. It must
+	// stay last: the exhaustiveness tests in nn and core iterate
+	// [0, NumKinds) and fail CI when a new kind misses a String, MACs,
+	// or MapLayer case.
+	NumKinds
 )
 
 // String names the kind.
@@ -46,6 +63,12 @@ func (k Kind) String() string {
 		return "maxpool"
 	case AvgPoolKind:
 		return "avgpool"
+	case GEMM:
+		return "gemm"
+	case LSTMCell:
+		return "lstm"
+	case AttentionBlock:
+		return "attn"
 	default:
 		return "unknown"
 	}
@@ -75,18 +98,24 @@ type Layer struct {
 	Branch bool
 }
 
-// OutY returns the output height via Eq. 1.
+// OutY returns the output height via Eq. 1. GEMM-family layers carry
+// their sequence/row extent in InX and have no height.
 func (l Layer) OutY() int {
-	if l.Kind == FC {
+	switch l.Kind {
+	case FC, GEMM, LSTMCell, AttentionBlock:
 		return 1
 	}
 	return tensor.ConvOutputDim(l.InY, l.KY, l.Pad, l.strideOr1())
 }
 
-// OutX returns the output width via Eq. 1.
+// OutX returns the output width via Eq. 1. GEMM-family layers keep
+// their row count (GEMM) or sequence length (LSTM, attention).
 func (l Layer) OutX() int {
-	if l.Kind == FC {
+	switch l.Kind {
+	case FC:
 		return 1
+	case GEMM, LSTMCell, AttentionBlock:
+		return l.InX
 	}
 	return tensor.ConvOutputDim(l.InX, l.KX, l.Pad, l.strideOr1())
 }
@@ -120,6 +149,15 @@ func (l Layer) MACs() int64 {
 		return outPix * int64(l.OutZ) * int64(l.InZ)
 	case FC:
 		return int64(l.InZ) * int64(l.InY) * int64(l.InX) * int64(l.OutZ)
+	case GEMM:
+		// M rows x K reduction x N columns.
+		return int64(l.InX) * int64(l.InZ) * int64(l.OutZ)
+	case LSTMCell:
+		// Four gates of OutZ units over [x;h] per timestep.
+		return int64(l.InX) * 4 * int64(l.OutZ) * int64(l.InZ+l.OutZ)
+	case AttentionBlock:
+		// QK^T and AV: two T x T x d products.
+		return 2 * int64(l.InX) * int64(l.InX) * int64(l.InZ)
 	default:
 		return 0
 	}
@@ -136,6 +174,14 @@ func (l Layer) Params() int64 {
 		return int64(l.OutZ) * int64(l.InZ)
 	case FC:
 		return int64(l.InZ) * int64(l.InY) * int64(l.InX) * int64(l.OutZ)
+	case GEMM:
+		return int64(l.InZ) * int64(l.OutZ)
+	case LSTMCell:
+		return 4 * int64(l.OutZ) * int64(l.InZ+l.OutZ)
+	case AttentionBlock:
+		// The bare block multiplies activations by activations; any
+		// Q/K/V projections are separate GEMM layers.
+		return 0
 	default:
 		return 0
 	}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"albireo/internal/quant"
+	"albireo/internal/tensor"
+)
+
+// QuantizedMLP is the end-to-end integer inference path of an MLP
+// head: weights are stored as signed symmetric codes, activations are
+// coded per-tensor through an affine scale/zero-point grid at every
+// layer boundary, accumulation is exact int64, and the digital
+// aggregation unit requantizes (one multiply by the scale product)
+// before bias and ReLU. The whole forward pass is deterministic
+// integer arithmetic plus digital float ends - the SCONNA-style
+// serving mode the accuracy-vs-bitwidth sweep in EXPERIMENTS.md
+// measures against the float path.
+type QuantizedMLP struct {
+	Name string
+	// Bits is the code width for both weights and activations.
+	Bits int
+	// WCodes[i] holds layer i's weight codes row-major (in x out);
+	// WQ[i] is the symmetric quantizer that produced them.
+	WCodes [][]int64
+	WQ     []quant.Quantizer
+	// Shapes[i] is layer i's (in, out) feature pair.
+	Shapes [][2]int
+	// Biases stay in real space: they are added after requantization.
+	Biases [][]float64
+}
+
+// QuantizeMLP converts a float MLP to its Bits-wide integer form.
+func QuantizeMLP(m *MLP, bits int) *QuantizedMLP {
+	q := &QuantizedMLP{Name: fmt.Sprintf("%s/int%d", m.Name, bits), Bits: bits}
+	for i, w := range m.Weights {
+		wq := quant.NewWeight(bits, w.MaxAbs())
+		codes := make([]int64, len(w.Data))
+		for j, v := range w.Data {
+			codes[j] = int64(wq.Code(v))
+		}
+		q.WCodes = append(q.WCodes, codes)
+		q.WQ = append(q.WQ, wq)
+		q.Shapes = append(q.Shapes, [2]int{w.R, w.C})
+		q.Biases = append(q.Biases, append([]float64(nil), m.Biases[i]...))
+	}
+	return q
+}
+
+// Forward runs a batch of rows through the integer path. Activation
+// grids are calibrated per tensor (dynamic min/max), so the only
+// float operations are the per-layer requantize multiply, bias add,
+// and ReLU - all digital-aggregation-unit work.
+func (q *QuantizedMLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	last := len(q.WCodes) - 1
+	for i, codes := range q.WCodes {
+		in, out := q.Shapes[i][0], q.Shapes[i][1]
+		if h.C != in {
+			panic(fmt.Sprintf("nn: quantized layer %d wants %d features, got %d", i, in, h.C)) //lint:ignore exit-hygiene layer shape invariant; caller bug
+		}
+		aq := quant.CalibrateAffine(h.Data, q.Bits)
+		wLSB := q.WQ[i].LSB()
+		next := tensor.NewMatrix(h.R, out)
+		xc := make([]int64, in)
+		for r := 0; r < h.R; r++ {
+			row := h.Data[r*in : (r+1)*in]
+			for k, v := range row {
+				xc[k] = aq.Code(v) - aq.Zero
+			}
+			for j := 0; j < out; j++ {
+				var acc int64
+				for k, c := range xc {
+					acc += c * codes[k*out+j]
+				}
+				v := quant.Requantize(acc, aq.Scale, wLSB) + q.Biases[i][j]
+				if i < last && v < 0 {
+					v = 0
+				}
+				next.Data[r*out+j] = v
+			}
+		}
+		h = next
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+package nn_test
+
+import (
+	"testing"
+
+	"albireo/internal/nn"
+	"albireo/internal/tensor"
+)
+
+// TestQuantizedMLPTracksFloat: the int8 integer path must stay within
+// a small relative RMS of the float reference, and the error must not
+// collapse to zero (it is a real quantization path, not a float alias).
+func TestQuantizedMLPTracksFloat(t *testing.T) {
+	t.Parallel()
+	m := nn.NewMLP("head", []int{24, 32, 10}, 7)
+	x := tensor.RandomMatrix(6, 24, 9)
+	want := m.Forward(nn.ExactGEMM{}, x)
+
+	got := nn.QuantizeMLP(m, 8).Forward(x)
+	r := relRMS(got.Data, want.Data)
+	if r > 0.05 {
+		t.Fatalf("int8 path diverges from float: relative RMS %v > 0.05", r)
+	}
+	if r == 0 {
+		t.Fatal("int8 path is bit-identical to float: quantization is not happening")
+	}
+}
+
+// TestQuantizedMLPBitwidthMonotonic: more bits must not make the
+// integer path meaningfully worse, and very low bitwidths must be
+// visibly worse than int8 - the shape the EXPERIMENTS.md sweep plots.
+func TestQuantizedMLPBitwidthMonotonic(t *testing.T) {
+	t.Parallel()
+	m := nn.NewMLP("head", []int{24, 32, 10}, 7)
+	x := tensor.RandomMatrix(6, 24, 9)
+	want := m.Forward(nn.ExactGEMM{}, x)
+
+	err := func(bits int) float64 {
+		return relRMS(nn.QuantizeMLP(m, bits).Forward(x).Data, want.Data)
+	}
+	e2, e4, e8 := err(2), err(4), err(8)
+	if !(e2 > e4 && e4 > e8) {
+		t.Fatalf("quantization error not decreasing with bits: e2=%v e4=%v e8=%v", e2, e4, e8)
+	}
+	if e2 < 5*e8 {
+		t.Fatalf("2-bit path suspiciously close to 8-bit: e2=%v e8=%v", e2, e8)
+	}
+}
+
+// TestQuantizedMLPDeterministic: the integer path is exact arithmetic,
+// so repeated runs must agree bitwise.
+func TestQuantizedMLPDeterministic(t *testing.T) {
+	t.Parallel()
+	m := nn.NewMLP("head", []int{16, 12, 4}, 3)
+	q := nn.QuantizeMLP(m, 8)
+	x := tensor.RandomMatrix(3, 16, 5)
+	a, b := q.Forward(x), q.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("integer path nondeterministic at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestAffineRoundTripEveryBitwidth sweeps every supported bitwidth and
+// checks the round-trip properties the integer inference path relies
+// on: Quantize is idempotent (bitwise - a snapped value snaps to
+// itself), every code survives Dequantize then Code, and the zero
+// point represents 0.0 exactly.
+func TestAffineRoundTripEveryBitwidth(t *testing.T) {
+	t.Parallel()
+	data := []float64{-1.3, -0.4, 0, 0.25, 0.9, 2.1}
+	for bits := 2; bits <= 10; bits++ {
+		a := CalibrateAffine(data, bits)
+		if a.Scale <= 0 {
+			t.Fatalf("bits=%d: calibration degenerate on non-constant data", bits)
+		}
+		if got := a.Dequantize(a.Code(0)); got != 0 {
+			t.Fatalf("bits=%d: zero point not exact: 0.0 quantizes to %v", bits, got)
+		}
+		// Every code is a fixed point of Code(Dequantize(.)).
+		for code := int64(0); code <= a.MaxCode(); code++ {
+			if back := a.Code(a.Dequantize(code)); back != code {
+				t.Fatalf("bits=%d: code %d round-trips to %d", bits, code, back)
+			}
+		}
+		// Quantize idempotence, bitwise, over the full grid range and
+		// beyond (clipping must also be idempotent).
+		f := func(x float64) bool {
+			x = math.Mod(x, 4)
+			y := a.Quantize(x)
+			return math.Float64bits(a.Quantize(y)) == math.Float64bits(y)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("bits=%d: Quantize not idempotent: %v", bits, err)
+		}
+	}
+}
+
+// TestQuantizerRoundTripEveryBitwidth does the same for the symmetric
+// signed/unsigned Quantizer the weights and the analog input path use.
+func TestQuantizerRoundTripEveryBitwidth(t *testing.T) {
+	t.Parallel()
+	for bits := 2; bits <= 10; bits++ {
+		for _, signed := range []bool{false, true} {
+			var q Quantizer
+			if signed {
+				q = NewWeight(bits, 1.5)
+			} else {
+				q = NewActivation(bits, 1.5)
+			}
+			lo := 0
+			if signed {
+				lo = -q.Steps()
+			}
+			for code := lo; code <= q.Steps(); code++ {
+				if back := q.Code(q.Dequantize(code)); back != code {
+					t.Fatalf("bits=%d signed=%v: code %d round-trips to %d", bits, signed, code, back)
+				}
+			}
+			f := func(x float64) bool {
+				x = math.Mod(x, 4)
+				y := q.Quantize(x)
+				return math.Float64bits(q.Quantize(y)) == math.Float64bits(y)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatalf("bits=%d signed=%v: Quantize not idempotent: %v", bits, signed, err)
+			}
+		}
+	}
+}
+
+// TestCalibrateAffineDegenerate: constant tensors produce the
+// all-zero-point grid, and Code/Dequantize stay total on it.
+func TestCalibrateAffineDegenerate(t *testing.T) {
+	t.Parallel()
+	a := CalibrateAffine([]float64{0, 0, 0}, 8)
+	if a.Scale != 0 || a.Zero != 0 {
+		t.Fatalf("degenerate calibration = %+v, want zero grid", a)
+	}
+	if a.Code(3.7) != 0 || a.Dequantize(0) != 0 {
+		t.Fatal("degenerate grid must map everything to the zero point")
+	}
+}
+
+// TestCalibrateAffineRangeIncludesZero: a strictly positive tensor
+// still gets code 0 as its zero point, so padding quantizes exactly.
+func TestCalibrateAffineRangeIncludesZero(t *testing.T) {
+	t.Parallel()
+	a := CalibrateAffine([]float64{0.5, 1.0, 2.0}, 8)
+	if a.Zero != 0 {
+		t.Fatalf("positive-tensor zero point = %d, want 0", a.Zero)
+	}
+	if got := a.Dequantize(a.Code(0)); got != 0 {
+		t.Fatalf("0.0 quantizes to %v on a positive tensor", got)
+	}
+}

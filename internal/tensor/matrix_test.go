@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	a := RandomMatrix(5, 7, 1)
+	b := RandomMatrix(7, 4, 2)
+	got := MatMul(a, b)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			var want float64
+			for k := 0; k < a.C; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(got.At(i, j)-want) > 1e-12 {
+				t.Fatalf("MatMul(%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	m := RandomMatrix(3, 5, 3)
+	tt := m.Transpose().Transpose()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatalf("double transpose changed element %d", i)
+		}
+	}
+	if got := m.Transpose().At(4, 2); got != m.At(2, 4) {
+		t.Fatalf("transpose element mismatch: %v != %v", got, m.At(2, 4))
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := RandomMatrix(4, 6, 4)
+	SoftmaxRows(m)
+	for r := 0; r < m.R; r++ {
+		var sum float64
+		for c := 0; c < m.C; c++ {
+			v := m.At(r, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("softmax row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestAddBiasAndElementwise(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, -2, 3, -4})
+	m.AddBias([]float64{10, 20})
+	want := []float64{11, 18, 13, 16}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddBias[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+	h := MulMat(m, m)
+	if h.At(1, 1) != 16*16 {
+		t.Fatalf("MulMat = %v, want 256", h.At(1, 1))
+	}
+	s := AddMat(m, m)
+	if s.At(0, 0) != 22 {
+		t.Fatalf("AddMat = %v, want 22", s.At(0, 0))
+	}
+	r := NewMatrix(1, 3)
+	copy(r.Data, []float64{-1, 0, 2})
+	ReLUMat(r)
+	if r.Data[0] != 0 || r.Data[2] != 2 {
+		t.Fatalf("ReLUMat = %v", r.Data)
+	}
+}
+
+func TestSigmoidTanh(t *testing.T) {
+	m := NewMatrix(1, 2)
+	copy(m.Data, []float64{0, 1000})
+	SigmoidMat(m)
+	if m.Data[0] != 0.5 || m.Data[1] != 1 {
+		t.Fatalf("SigmoidMat = %v", m.Data)
+	}
+	n := NewMatrix(1, 2)
+	copy(n.Data, []float64{0, 2})
+	TanhMat(n)
+	if n.Data[0] != 0 || n.Data[1] != math.Tanh(2) {
+		t.Fatalf("TanhMat = %v", n.Data)
+	}
+}
+
+func TestRandomMatrixDeterministic(t *testing.T) {
+	a := RandomMatrix(3, 3, 42)
+	b := RandomMatrix(3, 3, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("RandomMatrix not deterministic at %d", i)
+		}
+	}
+	hasNeg := false
+	for _, v := range a.Data {
+		if v < 0 {
+			hasNeg = true
+		}
+	}
+	if !hasNeg {
+		t.Fatal("RandomMatrix produced no negative values")
+	}
+	nn := RandomNonNegMatrix(3, 3, 42)
+	for _, v := range nn.Data {
+		if v < 0 {
+			t.Fatalf("RandomNonNegMatrix produced %v", v)
+		}
+	}
+}
