@@ -77,6 +77,15 @@ go run ./examples/faulttolerance
 echo "==> fleet serve smoke (degraded 2-chip pool, output in fleet.out)"
 go run ./cmd/albireo-serve -addr "" -sweeps 1 -sweep-batch 1 -size 8 -pool 2 -detune "0,0,4,2,0.4" | tee fleet.out
 
+echo "==> sharded fleet smoke (kernel-group fan-out, journaled + replayed, output in shard.out)"
+# Every layer fans out across both chips and merges; the replay proves
+# the sharded serving history is bit-exact end to end.
+rm -rf shardjournal.d
+go run ./cmd/albireo-serve -addr "" -sweeps 1 -sweep-batch 1 -size 8 -pool 2 \
+	-shard -journal shardjournal.d | tee shard.out
+go run ./cmd/albireo-replay -journal shardjournal.d | tee -a shard.out
+rm -rf shardjournal.d
+
 echo "==> BIST health report (output in health.out)"
 go run ./cmd/albireo-serve -addr "" -sweeps 0 -bist | tee health.out
 

@@ -61,6 +61,12 @@ type sweepConfig struct {
 	linger       int
 	programTicks int64
 	requestTicks int64
+	// Sharded scale-out points: a low-rate single-inference workload
+	// whose kernel groups fan out across each pool size, priced at
+	// shardRequestTicks steady state.
+	shardPools        []int
+	shardRate         float64
+	shardRequestTicks int64
 }
 
 // run is the whole tool behind a single exit point so tests can drive
@@ -77,6 +83,9 @@ func run(args []string, out io.Writer) error {
 	programTicks := fs.Int64("program-ticks", 2, "virtual service ticks charged once per batch (MZM weight programming)")
 	requestTicks := fs.Int64("request-ticks", 1, "virtual service ticks charged per request in a batch")
 	extraLatency := fs.Int64("extra-latency", 0, "extra per-request service ticks; injects a deliberate regression to prove the gate trips")
+	shardPools := fs.String("shard-pools", "1,2,4", `pool sizes for the sharded scale-out points; "" skips them`)
+	shardRate := fs.Float64("shard-rate", 0.02, "offered rate for the sharded points: low enough that each inference's latency is its own, not queueing")
+	shardRequestTicks := fs.Int64("shard-request-ticks", 18, "steady-state service ticks of the sharded points' single inference (split across the owned kernel-group fraction)")
 	jsonPath := fs.String("json", "", "write BENCH_serve.json to this file")
 	baseline := fs.String("baseline", "", "baseline JSON; fail if any point's p99 regresses past it")
 	slack := fs.Float64("p99-slack", 0.15, "fractional p99 headroom over the baseline (plus 1 tick absolute) before failing")
@@ -113,6 +122,7 @@ func run(args []string, out io.Writer) error {
 	cfg := sweepConfig{
 		ticks: *ticks, seed: *seed, queue: *queue, batch: *batch, linger: *linger,
 		programTicks: *programTicks, requestTicks: *requestTicks + *extraLatency,
+		shardRate: *shardRate, shardRequestTicks: *shardRequestTicks + *extraLatency,
 	}
 	var err error
 	if cfg.rates, err = parseFloats(*rates); err != nil {
@@ -120,6 +130,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.pools, err = parseInts(*pools); err != nil {
 		return fmt.Errorf("-pools: %w", err)
+	}
+	if *shardPools != "" {
+		if cfg.shardPools, err = parseInts(*shardPools); err != nil {
+			return fmt.Errorf("-shard-pools: %w", err)
+		}
 	}
 
 	rep, err := sweep(cfg)
@@ -173,16 +188,49 @@ func sweep(cfg sweepConfig) (load.Report, error) {
 			rep.Points = append(rep.Points, load.BuildPoint(pool, rate, res))
 		}
 	}
+	// Sharded scale-out points: one low-rate workload per pool size,
+	// fanned out at the kernel-group boundary. Pool 1 cannot fan out
+	// and serves whole - it is the in-report baseline the multi-chip
+	// points are read against.
+	if len(cfg.shardPools) > 0 {
+		rep.ShardRequestTicks = cfg.shardRequestTicks
+	}
+	for _, pool := range cfg.shardPools {
+		res, err := load.RunPoint(
+			load.Config{Rate: cfg.shardRate, Ticks: cfg.ticks, Seed: cfg.seed, Shard: true, KernelM: 36},
+			fleet.Options{
+				MaxBatch:   cfg.batch,
+				MaxLinger:  cfg.linger,
+				QueueDepth: cfg.queue,
+				ServiceModel: fleet.ServiceModel{
+					ProgramTicks: cfg.programTicks,
+					RequestTicks: cfg.shardRequestTicks,
+				},
+			},
+			load.NullUnits(pool)...)
+		if err != nil {
+			return load.Report{}, fmt.Errorf("shard pool %d rate %g: %w", pool, cfg.shardRate, err)
+		}
+		pt := load.BuildPoint(pool, cfg.shardRate, res)
+		pt.Shard = true
+		rep.Points = append(rep.Points, pt)
+	}
 	return rep, nil
 }
 
-// printReport renders the throughput-latency table.
+// printReport renders the throughput-latency table. Sharded
+// scale-out points carry a "shard" mode marker: their E2E is
+// single-inference latency across the pool, not batched throughput.
 func printReport(out io.Writer, rep load.Report) {
-	fmt.Fprintf(out, "%-6s %-8s %-9s %-6s %7s %7s %7s %7s %7s\n",
-		"pool", "offered", "achieved", "shed%", "p50", "p90", "p99", "p999", "max")
+	fmt.Fprintf(out, "%-6s %-6s %-8s %-9s %-6s %7s %7s %7s %7s %7s\n",
+		"pool", "mode", "offered", "achieved", "shed%", "p50", "p90", "p99", "p999", "max")
 	for _, p := range rep.Points {
-		fmt.Fprintf(out, "%-6d %-8g %-9.3f %-6.1f %7.0f %7.0f %7.0f %7.0f %7.0f\n",
-			p.Pool, p.OfferedRate, p.AchievedRate, 100*p.ShedFraction,
+		mode := "whole"
+		if p.Shard {
+			mode = "shard"
+		}
+		fmt.Fprintf(out, "%-6d %-6s %-8g %-9.3f %-6.1f %7.0f %7.0f %7.0f %7.0f %7.0f\n",
+			p.Pool, mode, p.OfferedRate, p.AchievedRate, 100*p.ShedFraction,
 			p.E2E.P50, p.E2E.P90, p.E2E.P99, p.E2E.P999, p.E2E.Max)
 	}
 }
@@ -192,6 +240,7 @@ var selftestConfig = sweepConfig{
 	rates: []float64{0.5, 1.2}, pools: []int{1, 2},
 	ticks: 200, seed: 12345, queue: 32, batch: 4, linger: 2,
 	programTicks: 2, requestTicks: 1,
+	shardPools: []int{1, 4}, shardRate: 0.02, shardRequestTicks: 18,
 }
 
 // runSelftest runs the pinned sweep twice and requires byte-identical

@@ -104,7 +104,7 @@ func TestBadFlagsRejected(t *testing.T) {
 }
 
 // TestReportTableRendered checks the human-facing summary has one row
-// per (pool, rate) cell.
+// per (pool, rate) cell plus the default sharded scale-out points.
 func TestReportTableRendered(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
@@ -112,7 +112,24 @@ func TestReportTableRendered(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 1+4 { // header + 2 pools x 2 rates
-		t.Fatalf("table = %d lines, want 5:\n%s", len(lines), out.String())
+	if len(lines) != 1+4+3 { // header + 2 pools x 2 rates + 3 shard pools
+		t.Fatalf("table = %d lines, want 8:\n%s", len(lines), out.String())
+	}
+	var shard int
+	for _, l := range lines {
+		if strings.Contains(l, "shard") {
+			shard++
+		}
+	}
+	if shard != 3 {
+		t.Fatalf("table has %d shard rows, want 3:\n%s", shard, out.String())
+	}
+	out.Reset()
+	if err := run(tinyArgs("-shard-pools", ""), &out); err != nil {
+		t.Fatalf("run without shard points: %v", err)
+	}
+	lines = strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+4 { // empty -shard-pools skips the scale-out rows
+		t.Fatalf("table without shard points = %d lines, want 5:\n%s", len(lines), out.String())
 	}
 }

@@ -86,6 +86,7 @@ func run(args []string, stdout io.Writer) error {
 	section("Energy refinement", experiments.FormatEnergy(experiments.EnergyRefinement()))
 	section("WDM link budget", experiments.FormatLink())
 	section("Memory feasibility", experiments.FormatFeasibility(experiments.FeasibilityReport()))
+	section("GEMM workload zoo — non-CNN latency and energy", workloadTable(core.DefaultConfig()))
 	section("Multi-chip strong scaling (VGG16)", scaleOutTable(vgg16))
 	section("Excluded baselines (Section V claim)", excludedTable(vgg16))
 	if *bitwidth {
@@ -93,6 +94,24 @@ func run(args []string, stdout io.Writer) error {
 			experiments.FormatBitwidth(experiments.BitwidthSweep([]int{3, 4, 5, 6, 8, 10}, 60)))
 	}
 	return nil
+}
+
+// workloadTable evaluates the non-CNN workload zoo - MLP head, LSTM
+// sequence, transformer block - through the same Algorithm 2 mapping
+// the paper benchmarks use: the GEMM-family kinds schedule on the
+// photonic block mapping, so latency/energy/EDP are directly
+// comparable to the CNN rows.
+func workloadTable(cfg core.Config) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "model              layers      MACs     cycles  latency(us)  energy(uJ)  util(%)")
+	for _, m := range nn.WorkloadModels() {
+		mapping := cfg.MapModel(m)
+		r := perf.Evaluate(cfg, m)
+		fmt.Fprintf(&b, "%-17s  %6d  %8d  %9d  %11.3f  %10.3f  %7.1f\n",
+			m.Name, len(mapping.Layers), m.TotalMACs(), mapping.TotalCycles,
+			r.Latency*1e6, r.Energy*1e6, mapping.Utilization()*100)
+	}
+	return b.String()
 }
 
 // scaleOutTable renders the VGG16 strong-scaling curve.

@@ -37,6 +37,8 @@ func TestRunWritesReport(t *testing.T) {
 		"Observed device activity",
 		"observed activity matches the analytic model exactly",
 		"Dataflow ablation",
+		"GEMM workload zoo",
+		"Transformer-Block",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

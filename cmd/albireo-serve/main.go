@@ -107,6 +107,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	budget := fs.Float64("budget", 0.5, "accuracy-guard relative divergence budget per layer")
 	detune := fs.String("detune", "", `inject faults into worker 0 before the BIST scan: "group,unit,tap,column,residual[,driftPerCycle]", semicolon-separated`)
 	keepDegraded := fs.Bool("keep-degraded", true, "keep faulty workers serving on their surviving units at reduced weight; false drains the whole worker")
+	shard := fs.Bool("shard", false, "fan each layer's output kernels out across the pool at the kernel-group boundary and merge (pool >= 2): lower single-inference latency, bit-identical outputs")
 	bist := fs.Bool("bist", false, `with -addr "": print the per-worker BIST health JSON instead of metrics`)
 	journalDir := fs.String("journal", "", "append a hash-chained request journal under this directory (created if absent; reopened with crash recovery if it already holds one)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
@@ -198,7 +199,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// below advances one tick per -linger period, so MaxLinger 1 tick
 	// realizes the flag. Stdout mode runs no ticker and dispatches
 	// immediately.
-	opt := fleet.Options{MaxBatch: *batch, QueueDepth: *queue, KeepDegraded: *keepDegraded, Journal: jrn}
+	opt := fleet.Options{MaxBatch: *batch, QueueDepth: *queue, KeepDegraded: *keepDegraded, Shard: *shard, Journal: jrn}
 	tickEvery := *linger
 	if *addr != "" {
 		if tickEvery > 0 {

@@ -337,59 +337,8 @@ func (c *Chip) Pointwise(a *tensor.Volume, w *tensor.Kernels, relu bool) *tensor
 		return out
 	}
 	npix := a.Y * a.X
-	nm, nd := c.cfg.Nm, c.cfg.Nd
 	for m := 0; m < w.M; m++ {
-		gi := c.assignGroup(m)
-		g := c.groups[gi]
-		nug := g.Capacity()
-		sc := &g.conv
-		c.ins.tile(sp, m, gi)
-		for p0 := 0; p0 < npix; p0 += nd {
-			acc := sc.acc
-			for d := range acc {
-				acc[d] = 0
-			}
-			for b0 := 0; b0 < pr.slotsPer; b0 += nug {
-				nu := min(nug, pr.slotsPer-b0)
-				for u := 0; u < nu; u++ {
-					b := b0 + u
-					sc.weights[u] = pr.slot(m, b)
-					rows := sc.avals[u]
-					for t := 0; t < nm; t++ {
-						row := rows[t]
-						z := b*nm + t
-						if z >= a.Z {
-							for d := range row {
-								row[d] = 0
-							}
-							continue
-						}
-						base := z * npix
-						for d := 0; d < nd; d++ {
-							if p0+d < npix {
-								row[d] = qa.Data[base+p0+d]
-							} else {
-								row[d] = 0
-							}
-						}
-					}
-				}
-				part := g.stepPrequantized(sc.part, sc.weights[:nu], sc.avals[:nu])
-				if c.ins != nil {
-					c.ins.step(gi, nu)
-				}
-				for d := range acc {
-					acc[d] += part[d]
-				}
-			}
-			for d := 0; d < nd && p0+d < npix; d++ {
-				v := acc[d] * outScale
-				if relu && v < 0 {
-					v = 0
-				}
-				out.Data[m*npix+p0+d] = v
-			}
-		}
+		c.pointwiseKernel(qa, pr, sp, out, m, npix, relu, outScale)
 	}
 	return out
 }
@@ -411,38 +360,8 @@ func (c *Chip) FullyConnected(a *tensor.Volume, w *tensor.Kernels, relu bool) []
 	if outScale == 0 {
 		return out
 	}
-	n := a.Z * a.Y * a.X
-	nm := c.cfg.Nm
 	for m := 0; m < w.M; m++ {
-		gi := c.assignGroup(m)
-		g := c.groups[gi]
-		nug := g.Capacity()
-		sc := &g.conv
-		c.ins.tile(sp, m, gi)
-		var acc float64
-		for b0 := 0; b0 < pr.slotsPer; b0 += nug {
-			nu := min(nug, pr.slotsPer-b0)
-			for u := 0; u < nu; u++ {
-				b := b0 + u
-				sc.weights[u] = pr.slot(m, b)
-				rows := sc.avals[u]
-				for t := 0; t < nm; t++ {
-					row := rows[t]
-					for d := range row {
-						row[d] = 0
-					}
-					if e := b*nm + t; e < n {
-						row[0] = qa.Data[e]
-					}
-				}
-			}
-			part := g.stepPrequantized(sc.part, sc.weights[:nu], sc.avals[:nu])
-			if c.ins != nil {
-				c.ins.step(gi, nu)
-			}
-			acc += part[0]
-		}
-		v := acc * outScale
+		v := c.fcNeuron(qa, pr, sp, m) * outScale
 		if relu && v < 0 {
 			v = 0
 		}

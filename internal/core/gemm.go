@@ -157,11 +157,11 @@ func (c *Chip) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
 	if pr.wScale != 0 {
 		qa, aScale := c.prequantizeInput(&c.posVol)
 		if s := aScale * pr.wScale; s != 0 {
-			c.gemmPass(qa, pr, sp, dst, mRows, s, false)
+			c.gemmPass(qa, pr, sp, dst, mRows, s, false, ShardSpec{})
 		}
 		qa, aScale = c.prequantizeInput(&c.negVol)
 		if s := aScale * pr.wScale; s != 0 {
-			c.gemmPass(qa, pr, sp, dst, mRows, s, true)
+			c.gemmPass(qa, pr, sp, dst, mRows, s, true, ShardSpec{})
 		}
 	}
 	// Digital write-back: dst holds the product transposed (one PLCG
@@ -182,12 +182,16 @@ func (c *Chip) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
 // the block mapping - the Pointwise layer loop with matrix rows as
 // pixels. The first (positive) pass assigns dst so a skipped negative
 // pass leaves pointwise-identical bits; the negative pass subtracts in
-// the digital aggregation unit.
+// the digital aggregation unit. A non-whole shard restricts the pass
+// to its owned output columns (GEMMShard).
 //
 //hot: steady-state GEMM loop; per-tile work must not allocate.
-func (c *Chip) gemmPass(qa *tensor.Volume, pr *weightProgram, sp *obs.Span, dst []float64, npix int, outScale float64, subtract bool) {
+func (c *Chip) gemmPass(qa *tensor.Volume, pr *weightProgram, sp *obs.Span, dst []float64, npix int, outScale float64, subtract bool, shard ShardSpec) {
 	nm, nd := c.cfg.Nm, c.cfg.Nd
 	for m := 0; m < pr.m; m++ {
+		if !shard.Owns(m) {
+			continue
+		}
 		gi := c.assignGroup(m)
 		g := c.groups[gi]
 		nug := g.Capacity()

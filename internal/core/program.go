@@ -47,11 +47,14 @@ const (
 	progBlock
 )
 
-// progKey identifies a cached program: the kernel tensor identity plus
-// the mapping kind it was compiled for.
+// progKey identifies a cached program: the kernel tensor identity, the
+// mapping kind, and the (normalized) kernel-group shard it was
+// compiled for. Whole-layer shards normalize to the zero ShardSpec so
+// sharded and unsharded execution of a full slice share one entry.
 type progKey struct {
-	w    *tensor.Kernels
-	kind programKind
+	w     *tensor.Kernels
+	kind  programKind
+	shard ShardSpec
 }
 
 // maxCachedPrograms bounds the chip's program cache. Grouped
@@ -128,7 +131,16 @@ func (c *Chip) faultEpochSum() int64 {
 // reusing the cached compilation when the kernel bits, quarantine
 // schedule, and fault state are all unchanged.
 func (c *Chip) programFor(kind programKind, w *tensor.Kernels) *weightProgram {
-	key := progKey{w: w, kind: kind}
+	return c.programShard(kind, w, ShardSpec{})
+}
+
+// programShard is programFor for a kernel-group shard: the compiled
+// program covers only the shard's owned kernels (unowned slots stay
+// zero, so slot indexing is unchanged), which makes per-shard compile
+// time and cache footprint proportional to the owned slice.
+func (c *Chip) programShard(kind programKind, w *tensor.Kernels, shard ShardSpec) *weightProgram {
+	shard = normalizeShard(shard)
+	key := progKey{w: w, kind: kind, shard: shard}
 	fe := c.faultEpochSum()
 	if pr, ok := c.progs[key]; ok &&
 		pr.schedEpoch == c.schedEpoch && pr.faultEpoch == fe &&
@@ -136,7 +148,7 @@ func (c *Chip) programFor(kind programKind, w *tensor.Kernels) *weightProgram {
 		sameBits(pr.src, w.Data) {
 		return pr
 	}
-	pr := c.compileProgram(kind, w)
+	pr := c.compileProgram(kind, w, shard)
 	pr.schedEpoch, pr.faultEpoch = c.schedEpoch, fe
 	if c.progs == nil {
 		c.progs = make(map[progKey]*weightProgram)
@@ -154,8 +166,10 @@ func (c *Chip) programFor(kind programKind, w *tensor.Kernels) *weightProgram {
 // and StuckMZM transfers. The per-slot unit assignment mirrors the
 // layer loops: conv slot (m, z) lands on group activeGroup(m), unit
 // avail[z % capacity]; depthwise drives avail[0]; block layouts
-// round-robin blocks over avail.
-func (c *Chip) compileProgram(kind programKind, w *tensor.Kernels) *weightProgram {
+// round-robin blocks over avail. A non-whole shard compiles only its
+// owned kernels; the codes array stays full-size (unowned slots zero)
+// so slot(m, s) indexing is layout-independent.
+func (c *Chip) compileProgram(kind programKind, w *tensor.Kernels, shard ShardSpec) *weightProgram {
 	pr := &weightProgram{
 		wScale: w.MaxAbs(),
 		m:      w.M, z: w.Z, y: w.Y, x: w.X,
@@ -172,6 +186,9 @@ func (c *Chip) compileProgram(kind programKind, w *tensor.Kernels) *weightProgra
 		pr.slotsPer = w.Z * len(pr.chunks)
 		pr.codes = make([]float64, w.M*pr.slotsPer*pr.nm)
 		for m := 0; m < w.M; m++ {
+			if !shard.Owns(m) {
+				continue
+			}
 			g := c.groups[c.activeGroup(m)]
 			nug := g.Capacity()
 			for z := 0; z < w.Z; z++ {
@@ -187,6 +204,9 @@ func (c *Chip) compileProgram(kind programKind, w *tensor.Kernels) *weightProgra
 		pr.slotsPer = len(pr.chunks)
 		pr.codes = make([]float64, w.M*pr.slotsPer*pr.nm)
 		for m := 0; m < w.M; m++ {
+			if !shard.Owns(m) {
+				continue
+			}
 			g := c.groups[c.activeGroup(m)]
 			unit := g.units[g.avail[0]]
 			for ci := range pr.chunks {
@@ -198,6 +218,9 @@ func (c *Chip) compileProgram(kind programKind, w *tensor.Kernels) *weightProgra
 		pr.slotsPer = (n + pr.nm - 1) / pr.nm
 		pr.codes = make([]float64, w.M*pr.slotsPer*pr.nm)
 		for m := 0; m < w.M; m++ {
+			if !shard.Owns(m) {
+				continue
+			}
 			g := c.groups[c.activeGroup(m)]
 			nug := g.Capacity()
 			for b := 0; b < pr.slotsPer; b++ {

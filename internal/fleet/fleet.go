@@ -71,6 +71,11 @@ const (
 	// MetricWorkerWeight gauges routing weight per worker (label
 	// worker; healthy PLCU count for chip-backed workers).
 	MetricWorkerWeight = "albireo_fleet_worker_weight"
+	// MetricShardFanouts counts requests fanned out into kernel-group
+	// sub-requests across the pool.
+	MetricShardFanouts = "albireo_fleet_shard_fanouts_total"
+	// MetricShardSubs counts kernel-group sub-requests executed.
+	MetricShardSubs = "albireo_fleet_shard_subs_total"
 )
 
 // Typed admission errors. Submissions also fail with the caller's
@@ -112,6 +117,15 @@ type Options struct {
 	// Health tunes the BIST probes used for startup scans and
 	// re-probes (zero value: health.DefaultOptions).
 	Health health.Options
+	// Shard fans eligible requests (dense convolutions, fully-connected
+	// layers, and GEMM-family products) out across the in-service pool
+	// as kernel-group sub-requests: each worker programs and executes
+	// only its residue-class window of the output kernels, and the
+	// scheduler merges the disjoint slices into one output. Sharding
+	// engages only when at least two shard-capable workers (chip-backed,
+	// or a backend implementing ShardBackend) are in service; otherwise
+	// requests take the whole-request path unchanged.
+	Shard bool
 	// VirtualTime prices execution with ServiceModel in linger ticks
 	// instead of observing wall progress: dispatched batches are
 	// booked on a completion ledger that Tick settles, and admission
@@ -180,6 +194,21 @@ type request struct {
 	// accessors after delivery.
 	jseq int64
 
+	// shard is the kernel-group window a sub-request owns (zero for
+	// whole requests) and sp links it to its parent's merge state. A
+	// request with non-nil sp never delivers on its own done channel:
+	// the last finishing sub delivers the merged result to sp.req.
+	shard core.ShardSpec
+	sp    *shardParent
+
+	// pinned marks a cross-layer pipeline stage request: aff is the
+	// worker it is bound to (the stage's home), and it never shard
+	// fans-out (a pinned request must run whole on its worker so
+	// consecutive layers stream through different chips). Unpinned
+	// requests have aff normalized to -1 at admission.
+	pinned bool
+	aff    int
+
 	// st is the latency decomposition; final flips (with release
 	// semantics, after the last stamp) when st stops changing, so
 	// Future.Stages can read it race-free from any goroutine.
@@ -209,6 +238,12 @@ type batchKey struct {
 	relu bool
 	tag  journal.Op
 	mb   *tensor.Matrix
+	// shard and aff separate kernel-group sub-requests from whole
+	// requests: subs coalesce only with subs owning the same window and
+	// pinned to the same worker (aff is the placement worker id; -1 for
+	// whole requests, which route by deficit round-robin).
+	shard core.ShardSpec
+	aff   int
 }
 
 // pendingBatch accumulates compatible requests until it fills or its
@@ -252,21 +287,23 @@ type Scheduler struct {
 	trace *obs.Trace
 	span  *obs.Span
 
-	depth      *obs.Gauge
-	batchSize  *obs.Histogram
-	admitted   *obs.Counter
-	shed       *obs.Counter
-	completed  *obs.Counter
-	canceled   *obs.Counter
-	ticksC     *obs.Counter
-	drains     *obs.Counter
-	restores   *obs.Counter
-	reprobes   *obs.Counter
-	latE2E     *obs.Histogram
-	latLinger  *obs.Histogram
-	latWait    *obs.Histogram
-	latExec    *obs.Histogram
-	latDeliver *obs.Histogram
+	depth        *obs.Gauge
+	batchSize    *obs.Histogram
+	admitted     *obs.Counter
+	shed         *obs.Counter
+	completed    *obs.Counter
+	canceled     *obs.Counter
+	ticksC       *obs.Counter
+	drains       *obs.Counter
+	restores     *obs.Counter
+	reprobes     *obs.Counter
+	latE2E       *obs.Histogram
+	latLinger    *obs.Histogram
+	latWait      *obs.Histogram
+	latExec      *obs.Histogram
+	latDeliver   *obs.Histogram
+	shardFanouts *obs.Counter
+	shardSubs    *obs.Counter
 }
 
 // New builds a scheduler over the given pool members. At least one
@@ -291,9 +328,18 @@ func New(opt Options, units ...Unit) (*Scheduler, error) {
 			// request in its own batch plus one outstanding probe, so a
 			// dispatch under the scheduler lock never blocks.
 			queue: make(chan workItem, s.opt.QueueDepth+1),
+			// Chipless workers shard at the architectural group count;
+			// chip-backed workers refresh this from the chip's active
+			// group count at every scan (applyReportLocked).
+			shardGroups: int64(core.DefaultConfig().Ng),
 		}
 		if u.Chip != nil {
 			w.eng = health.New(u.Chip, s.opt.Health)
+			w.shardCapable = true
+		}
+		if sb, ok := u.Backend.(ShardBackend); ok {
+			w.sb = sb
+			w.shardCapable = true
 		}
 		s.workers = append(s.workers, w)
 	}
@@ -321,6 +367,8 @@ func (s *Scheduler) Instrument(reg *obs.Registry, trace *obs.Trace) *Scheduler {
 	s.latWait = reg.Histogram(MetricLatencyQueueWait, obs.LatencyBuckets)
 	s.latExec = reg.Histogram(MetricLatencyExecute, obs.LatencyBuckets)
 	s.latDeliver = reg.Histogram(MetricLatencyDelivery, obs.LatencyBuckets)
+	s.shardFanouts = reg.Counter(MetricShardFanouts)
+	s.shardSubs = reg.Counter(MetricShardSubs)
 	for _, w := range s.workers {
 		w.instrument(reg, trace)
 	}
@@ -442,6 +490,9 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 		return &Future{err: err}
 	}
 	req.jseq = -1
+	if !req.pinned {
+		req.aff = -1
+	}
 	// The journal payload (which scales with tensor size) is encoded
 	// outside the scheduler lock; only the bounded-channel enqueue
 	// happens under it, so admission order and journal order agree
@@ -482,12 +533,22 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 		req.jseq = s.opt.Journal.Admit(jpayload)
 	}
 	req.st.Arrive = s.ticks.Load()
+	// Shard fan-out: an eligible request splits into kernel-group
+	// sub-requests across the in-service pool instead of dispatching
+	// whole. The parent keeps its single admission slot; the subs ride
+	// the normal pending/dispatch machinery below.
+	if s.opt.Shard && !req.pinned {
+		if fut, ok := s.tryShardLocked(req); ok {
+			s.mu.Unlock()
+			return fut
+		}
+	}
 	// No-linger fast path: with nothing pending (nothing could be
 	// stranded waiting for a route, so FIFO order is safe) the request
 	// is its own batch - route it directly and skip the coalescing
 	// map, the pendingBatch, and the one-element batch slice.
 	if s.opt.MaxLinger == 0 && len(s.pending) == 0 {
-		if best := s.pickWorkerLocked(); best != nil {
+		if best := s.routeAffLocked(req.aff); best != nil {
 			best.assigned++
 			s.batchSize.Observe(1)
 			best.batches.Inc()
@@ -506,7 +567,7 @@ func (s *Scheduler) submit(ctx context.Context, req *request) *Future {
 			return &Future{req: req}
 		}
 	}
-	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu, tag: req.tag, mb: req.mb}
+	key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu, tag: req.tag, mb: req.mb, aff: req.aff}
 	pb := s.byKey[key]
 	if pb == nil {
 		pb = &pendingBatch{key: key}
@@ -541,8 +602,11 @@ func (s *Scheduler) flushLocked(force bool) {
 // smallest weighted backlog (deficit round-robin: the worker
 // minimizing assigned/weight, ties to the lowest id). Integer
 // cross-multiplication keeps the comparison exact and deterministic.
+// Shard sub-batches honor their placement affinity first and fall
+// back to the least-loaded shard-capable worker when the pinned one
+// has left service.
 func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
-	best := s.pickWorkerLocked()
+	best := s.routeLocked(pb)
 	if best == nil {
 		return false
 	}
@@ -566,12 +630,57 @@ func (s *Scheduler) dispatchLocked(pb *pendingBatch) bool {
 	return true
 }
 
+// routeLocked picks the worker for one pending batch: affinity for
+// shard sub-batches and pinned pipeline stages, deficit round-robin
+// for whole requests. When the pinned worker has left service, shard
+// subs fall back to the least-loaded shard-capable worker; pipeline
+// stages to the general routing policy.
+func (s *Scheduler) routeLocked(pb *pendingBatch) *worker {
+	if pb.key.aff < 0 {
+		return s.pickWorkerLocked()
+	}
+	if w := s.workers[pb.key.aff]; w.inService && w.weight > 0 {
+		return w
+	}
+	if pb.key.shard.Of > 0 {
+		return s.pickShardWorkerLocked()
+	}
+	return s.pickWorkerLocked()
+}
+
+// routeAffLocked routes one unbatched request: its pinned worker when
+// in service, the routing policy otherwise (and always for aff -1).
+func (s *Scheduler) routeAffLocked(aff int) *worker {
+	if aff >= 0 {
+		if w := s.workers[aff]; w.inService && w.weight > 0 {
+			return w
+		}
+	}
+	return s.pickWorkerLocked()
+}
+
 // pickWorkerLocked returns the in-service worker with the smallest
 // weighted backlog, or nil when none is eligible.
 func (s *Scheduler) pickWorkerLocked() *worker {
 	var best *worker
 	for _, w := range s.workers {
 		if !w.inService || w.weight <= 0 {
+			continue
+		}
+		if best == nil || w.assigned*best.weight < best.assigned*w.weight {
+			best = w
+		}
+	}
+	return best
+}
+
+// pickShardWorkerLocked is pickWorkerLocked restricted to
+// shard-capable workers: the fallback route for a sub-request whose
+// placement worker drained after fan-out.
+func (s *Scheduler) pickShardWorkerLocked() *worker {
+	var best *worker
+	for _, w := range s.workers {
+		if !w.inService || w.weight <= 0 || !w.shardCapable {
 			continue
 		}
 		if best == nil || w.assigned*best.weight < best.assigned*w.weight {
@@ -606,9 +715,15 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	if s.started {
 		s.flushLocked(true)
 	}
-	// Whatever could not dispatch fails now rather than hanging.
+	// Whatever could not dispatch fails now rather than hanging. A
+	// stranded shard sub fails its whole parent (once): the merge can
+	// never complete, so the parent's slot releases here instead.
 	for _, pb := range s.pending {
 		for _, req := range pb.reqs {
+			if req.sp != nil {
+				s.failShard(req.sp, ErrClosed)
+				continue
+			}
 			s.deliver(req, result{err: ErrClosed})
 			s.releaseSlot()
 		}

@@ -95,6 +95,23 @@ func (m ServiceModel) BatchTicks(n int) int64 {
 	return d
 }
 
+// ShardTicks prices one batch of n kernel-group sub-requests owning
+// count of of residue classes: weight programming is still paid once
+// (each chip programs its own window), but the steady-state cost
+// scales with the owned fraction of the kernels - the virtual-time
+// face of the sharded speedup. Never less than 1 tick.
+func (m ServiceModel) ShardTicks(n, count, of int) int64 {
+	if of <= 0 {
+		return m.BatchTicks(n)
+	}
+	work := int64(n) * m.RequestTicks * int64(count)
+	d := m.ProgramTicks + (work+int64(of)-1)/int64(of)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
 // ledgerEntry is one booked batch on the virtual-time completion
 // ledger, keyed for deterministic pop order by (execEnd, seq).
 type ledgerEntry struct {
@@ -162,7 +179,13 @@ func (s *Scheduler) bookLocked(w *worker, reqs []*request) {
 	if w.vBusyUntil > start {
 		start = w.vBusyUntil
 	}
-	end := start + s.opt.ServiceModel.BatchTicks(len(reqs))
+	price := s.opt.ServiceModel.BatchTicks(len(reqs))
+	if first := reqs[0]; first.sp != nil {
+		// A shard sub-batch is uniform (the batch key carries the
+		// window), so the first request prices the whole batch.
+		price = s.opt.ServiceModel.ShardTicks(len(reqs), first.shard.Count, first.shard.Of)
+	}
+	end := start + price
 	w.vBusyUntil = end
 	for _, req := range reqs {
 		req.st.ExecStart = start
@@ -190,6 +213,10 @@ func (s *Scheduler) settleLedgerLocked(now int64, force bool) {
 			deliver = top.execEnd
 		}
 		for _, req := range top.reqs {
+			if req.sp != nil {
+				s.settleShardLocked(req, deliver)
+				continue
+			}
 			req.st.Deliver = deliver
 			req.final.Store(true)
 			s.recordStages(req.st)
@@ -206,6 +233,41 @@ func (s *Scheduler) settleLedgerLocked(now int64, force bool) {
 				obs.Int("journal_seq", top.reqs[0].jseq))
 		}
 	}
+}
+
+// settleShardLocked settles one booked kernel-group sub-request: its
+// own stamps finalize, and when it is the last of its parent's subs
+// to settle, the parent aggregates (earliest sub start to last sub
+// end), records on the histograms - parent only, so the stage
+// reconciliation invariant counts each admitted request once - and
+// releases the admission slot. The ledger settles under the scheduler
+// mutex in deterministic (execEnd, seq) order, so the aggregate is a
+// pure function of the request trace.
+func (s *Scheduler) settleShardLocked(req *request, deliver int64) {
+	req.st.Deliver = deliver
+	req.final.Store(true)
+	sp := req.sp
+	sp.mu.Lock()
+	if req.st.ExecStart < sp.vMinStart {
+		sp.vMinStart = req.st.ExecStart
+	}
+	if req.st.ExecEnd > sp.vMaxEnd {
+		sp.vMaxEnd = req.st.ExecEnd
+	}
+	sp.vremaining--
+	last := sp.vremaining == 0 && !sp.failed
+	minStart, maxEnd := sp.vMinStart, sp.vMaxEnd
+	sp.mu.Unlock()
+	if !last {
+		return
+	}
+	p := sp.req
+	p.st.ExecStart = minStart
+	p.st.ExecEnd = maxEnd
+	p.st.Deliver = deliver
+	p.final.Store(true)
+	s.recordStages(p.st)
+	s.releaseSlot()
 }
 
 // recordStages observes one request's decomposition. All instruments

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"albireo/internal/inference"
+	"albireo/internal/journal"
+	"albireo/internal/tensor"
+)
+
+// ErrPipelineVirtual rejects pipelines on a virtual-time scheduler:
+// stage chaining is wall-clock execution, and mixing it with the
+// ledger would book stages the ledger never observes.
+var ErrPipelineVirtual = errors.New("fleet: pipelines require a wall-time scheduler")
+
+// Value is a pipeline stage payload: exactly one of Vol, Vec, or Mat
+// is set, matching what the previous stage produced.
+type Value struct {
+	Vol *tensor.Volume
+	Vec []float64
+	Mat *tensor.Matrix
+}
+
+// StageKind types one pipeline stage.
+type StageKind int
+
+const (
+	// StageConv is an analog convolution layer (dense, grouped,
+	// depthwise, or pointwise - whatever the worker backend maps).
+	StageConv StageKind = iota
+	// StageFC is an analog fully-connected layer producing logits.
+	StageFC
+	// StageGEMM is an analog GEMM against a fixed right operand.
+	StageGEMM
+	// StageDigital is a host-side transform (pooling, reshaping)
+	// executed inline between analog stages.
+	StageDigital
+)
+
+// Stage describes one layer of a cross-layer pipeline.
+type Stage struct {
+	// Kind selects the stage form.
+	Kind StageKind
+	// W holds the conv kernels (StageConv) or FC weights (StageFC).
+	W *tensor.Kernels
+	// Cfg is the convolution geometry (StageConv only).
+	Cfg tensor.ConvConfig
+	// ReLU applies the activation on analog stages.
+	ReLU bool
+	// B is the programmed right operand (StageGEMM only). Keeping it
+	// fixed per stage is what makes the worker's weight-program cache
+	// hit on every inference.
+	B *tensor.Matrix
+	// Fn is the host transform (StageDigital only).
+	Fn func(Value) (Value, error)
+}
+
+// Pipeline streams consecutive network layers through different
+// workers: each analog stage is pinned to a home worker at build
+// time, so while inference k occupies the stage-1 chip, inference k+1
+// runs stage 0 on a different chip - cross-layer pipelining in the
+// multi-chip fleet. Every stage keeps its weights resident in its
+// home worker's weight-program cache, paying the programming cost
+// once across the whole stream instead of once per layer crossing.
+//
+// A Pipeline is safe for concurrent Infer calls; overlap across
+// in-flight inferences is where the throughput win comes from.
+// Pinning is a routing hint, not a correctness requirement: if a home
+// worker drains, its stage falls back to the general routing policy
+// and the stream continues on the surviving pool.
+type Pipeline struct {
+	s      *Scheduler
+	stages []Stage
+	aff    []int
+}
+
+// NewPipeline builds a pipeline over the scheduler's in-service pool,
+// assigning analog stages to workers round-robin in stage order.
+func (s *Scheduler) NewPipeline(stages []Stage) (*Pipeline, error) {
+	if s.opt.VirtualTime {
+		return nil, ErrPipelineVirtual
+	}
+	if len(stages) == 0 {
+		return nil, errors.New("fleet: empty pipeline")
+	}
+	for i, st := range stages {
+		switch st.Kind {
+		case StageConv, StageFC:
+			if st.W == nil {
+				return nil, fmt.Errorf("fleet: pipeline stage %d: missing weights", i)
+			}
+		case StageGEMM:
+			if st.B == nil {
+				return nil, fmt.Errorf("fleet: pipeline stage %d: missing GEMM operand", i)
+			}
+		case StageDigital:
+			if st.Fn == nil {
+				return nil, fmt.Errorf("fleet: pipeline stage %d: missing digital fn", i)
+			}
+		default:
+			return nil, fmt.Errorf("fleet: pipeline stage %d: unknown kind %d", i, st.Kind)
+		}
+	}
+	s.mu.Lock()
+	var ids []int
+	for _, w := range s.workers {
+		if w.inService && w.weight > 0 {
+			ids = append(ids, w.id)
+		}
+	}
+	s.mu.Unlock()
+	if len(ids) == 0 {
+		return nil, errors.New("fleet: no worker in service")
+	}
+	aff := make([]int, len(stages))
+	k := 0
+	for i, st := range stages {
+		if st.Kind == StageDigital {
+			aff[i] = -1
+			continue
+		}
+		aff[i] = ids[k%len(ids)]
+		k++
+	}
+	return &Pipeline{s: s, stages: stages, aff: aff}, nil
+}
+
+// Homes returns each stage's home worker id (-1 for digital stages).
+func (p *Pipeline) Homes() []int {
+	out := make([]int, len(p.aff))
+	copy(out, p.aff)
+	return out
+}
+
+// Infer runs one input through the pipeline, stage by stage. Each
+// analog stage submits a pinned request to its home worker and waits
+// for it before entering the next stage, so a single inference is
+// sequential; concurrent Infer calls overlap stage-wise across the
+// pool.
+func (p *Pipeline) Infer(ctx context.Context, in Value) (Value, error) {
+	v := in
+	for i, st := range p.stages {
+		var err error
+		switch st.Kind {
+		case StageDigital:
+			if v, err = st.Fn(v); err != nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: %w", i, err)
+			}
+		case StageConv:
+			if v.Vol == nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: conv needs a volume input", i)
+			}
+			fut := p.s.submit(ctx, &request{
+				a: v.Vol, w: st.W, cfg: st.Cfg, relu: st.ReLU,
+				ctx: ctx, pinned: true, aff: p.aff[i],
+			})
+			vol, err := fut.Volume()
+			if err != nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: %w", i, err)
+			}
+			v = Value{Vol: vol}
+		case StageFC:
+			if v.Vol == nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: fc needs a volume input", i)
+			}
+			fut := p.s.submit(ctx, &request{
+				fc: true, a: v.Vol, w: st.W, relu: st.ReLU,
+				ctx: ctx, pinned: true, aff: p.aff[i],
+			})
+			vec, err := fut.Logits()
+			if err != nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: %w", i, err)
+			}
+			v = Value{Vec: vec}
+		case StageGEMM:
+			if v.Mat == nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: gemm needs a matrix input", i)
+			}
+			fut := p.s.submit(ctx, &request{
+				tag: journal.OpGEMM, ma: v.Mat, mb: st.B, relu: st.ReLU,
+				ctx: ctx, pinned: true, aff: p.aff[i],
+			})
+			mat, err := fut.Matrix()
+			if err != nil {
+				return Value{}, fmt.Errorf("fleet: pipeline stage %d: %w", i, err)
+			}
+			v = Value{Mat: mat}
+		}
+	}
+	return v, nil
+}
+
+// PipelineFromNetwork stages an inference network: conv layers become
+// analog stages, pooling becomes digital stages, and the classifier
+// (when present) a final FC stage. Residual blocks do not stage -
+// their branches re-join, which a linear pipeline cannot express -
+// and return an error; run those networks whole.
+func (s *Scheduler) PipelineFromNetwork(n *inference.Network) (*Pipeline, error) {
+	stages := make([]Stage, 0, len(n.Ops)+1)
+	for i, op := range n.Ops {
+		switch o := op.(type) {
+		case inference.ConvOp:
+			stages = append(stages, Stage{Kind: StageConv, W: o.Kernels, Cfg: o.Cfg, ReLU: o.ReLU})
+		case inference.PoolOp:
+			stages = append(stages, Stage{Kind: StageDigital, Fn: func(v Value) (Value, error) {
+				if v.Vol == nil {
+					return Value{}, errors.New("pool needs a volume input")
+				}
+				if o.Max {
+					return Value{Vol: tensor.MaxPool(v.Vol, o.Window, o.Stride)}, nil
+				}
+				return Value{Vol: tensor.AvgPool(v.Vol, o.Window, o.Stride)}, nil
+			}})
+		default:
+			return nil, fmt.Errorf("fleet: network op %d (%T) cannot stage in a linear pipeline", i, op)
+		}
+	}
+	if n.Classifier != nil {
+		stages = append(stages, Stage{Kind: StageFC, W: n.Classifier})
+	}
+	return s.NewPipeline(stages)
+}

@@ -1,0 +1,227 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/fleet"
+	"albireo/internal/inference"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// quietUnit builds a noiseless pool member: with the stochastic
+// instruments off, chip outputs depend only on the programmed weights
+// and inputs, so stage placement cannot change bits.
+func quietUnit(seed int64) fleet.Unit {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DisableNoise = true
+	a := inference.NewAnalog(cfg)
+	return fleet.Unit{Backend: a, Chip: a.Chip}
+}
+
+// startPipelinePool builds and starts a wall-time scheduler over the
+// given units.
+func startPipelinePool(t *testing.T, units []fleet.Unit) *fleet.Scheduler {
+	t.Helper()
+	s, err := fleet.New(fleet.Options{MaxBatch: 8, QueueDepth: 32}, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close(context.Background()) })
+	return s
+}
+
+// TestPipelineMatchesSequential checks the pipeline's correctness
+// contract: with noiseless chips, streaming a conv-pool-pointwise-fc
+// stack through three different workers produces bit-identical output
+// to running the same layers back to back on one backend.
+func TestPipelineMatchesSequential(t *testing.T) {
+	t.Parallel()
+	w1 := tensor.RandomKernels(8, 3, 3, 3, 101)
+	w2 := tensor.RandomKernels(12, 8, 1, 1, 102)
+	wfc := tensor.RandomKernels(10, 12, 5, 5, 103)
+	in := tensor.RandomVolume(3, 10, 10, 104)
+	cfg3 := tensor.ConvConfig{Stride: 1, Pad: 1}
+	stages := []fleet.Stage{
+		{Kind: fleet.StageConv, W: w1, Cfg: cfg3, ReLU: true},
+		{Kind: fleet.StageDigital, Fn: func(v fleet.Value) (fleet.Value, error) {
+			return fleet.Value{Vol: tensor.MaxPool(v.Vol, 2, 2)}, nil
+		}},
+		{Kind: fleet.StageConv, W: w2, ReLU: true},
+		{Kind: fleet.StageFC, W: wfc},
+	}
+
+	s := startPipelinePool(t, []fleet.Unit{quietUnit(81), quietUnit(82), quietUnit(83)})
+	p, err := s.NewPipeline(stages)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	// Three analog stages over three workers: round-robin homes.
+	if homes := p.Homes(); homes[0] != 0 || homes[1] != -1 || homes[2] != 1 || homes[3] != 2 {
+		t.Fatalf("homes = %v, want [0 -1 1 2]", homes)
+	}
+	got, err := p.Infer(context.Background(), fleet.Value{Vol: in})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+
+	b := inference.Analog{Chip: quietUnit(99).Chip}
+	ref := b.FullyConnected(b.Conv(tensor.MaxPool(b.Conv(in, w1, cfg3, true), 2, 2), w2, tensor.ConvConfig{}, true), wfc, false)
+	requireBitsEqual(t, [][]float64{got.Vec}, [][]float64{ref})
+}
+
+// TestPipelineConcurrentInfers overlaps a stream of inferences across
+// the pool - the throughput case pipelining exists for - and checks
+// every in-flight inference still produces the reference bits.
+func TestPipelineConcurrentInfers(t *testing.T) {
+	t.Parallel()
+	w1 := tensor.RandomKernels(8, 3, 3, 3, 111)
+	wfc := tensor.RandomKernels(10, 8, 8, 8, 112)
+	in := tensor.RandomVolume(3, 8, 8, 113)
+	cfg3 := tensor.ConvConfig{Stride: 1, Pad: 1}
+	stages := []fleet.Stage{
+		{Kind: fleet.StageConv, W: w1, Cfg: cfg3, ReLU: true},
+		{Kind: fleet.StageFC, W: wfc},
+	}
+	s := startPipelinePool(t, []fleet.Unit{quietUnit(84), quietUnit(85)})
+	p, err := s.NewPipeline(stages)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	b := inference.Analog{Chip: quietUnit(99).Chip}
+	ref := b.FullyConnected(b.Conv(in, w1, cfg3, true), wfc, false)
+
+	const streams = 8
+	outs := make([][]float64, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.Infer(context.Background(), fleet.Value{Vol: in})
+			if err == nil {
+				outs[i] = v.Vec
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out == nil {
+			t.Fatalf("stream %d failed", i)
+		}
+		requireBitsEqual(t, [][]float64{out}, [][]float64{ref})
+	}
+}
+
+// TestPipelineDeterministicWithNoise checks reproducibility on noisy
+// chips: two identically built fleets running the same two-inference
+// stream produce identical bits, inference by inference - placement
+// is deterministic, and each chip's noise stream advances identically.
+func TestPipelineDeterministicWithNoise(t *testing.T) {
+	t.Parallel()
+	w1 := tensor.RandomKernels(8, 3, 3, 3, 121)
+	wfc := tensor.RandomKernels(10, 8, 8, 8, 122)
+	in1 := tensor.RandomVolume(3, 8, 8, 123)
+	in2 := tensor.RandomVolume(3, 8, 8, 124)
+	cfg3 := tensor.ConvConfig{Stride: 1, Pad: 1}
+	stages := []fleet.Stage{
+		{Kind: fleet.StageConv, W: w1, Cfg: cfg3, ReLU: true},
+		{Kind: fleet.StageFC, W: wfc},
+	}
+	run := func() [][]float64 {
+		s := startPipelinePool(t, []fleet.Unit{analogUnit(86), analogUnit(87)})
+		p, err := s.NewPipeline(stages)
+		if err != nil {
+			t.Fatalf("NewPipeline: %v", err)
+		}
+		var outs [][]float64
+		for _, in := range []*tensor.Volume{in1, in2} {
+			v, err := p.Infer(context.Background(), fleet.Value{Vol: in})
+			if err != nil {
+				t.Fatalf("Infer: %v", err)
+			}
+			outs = append(outs, v.Vec)
+		}
+		return outs
+	}
+	requireBitsEqual(t, run(), run())
+}
+
+// TestPipelineGEMMStages streams an MLP expressed as GEMM layers -
+// each stage's right operand stays resident in its home worker's
+// weight-program cache across the stream.
+func TestPipelineGEMMStages(t *testing.T) {
+	t.Parallel()
+	x := tensor.RandomMatrix(4, 12, 131)
+	l1 := tensor.RandomMatrix(12, 16, 132)
+	l2 := tensor.RandomMatrix(16, 10, 133)
+	stages := []fleet.Stage{
+		{Kind: fleet.StageGEMM, B: l1, ReLU: true},
+		{Kind: fleet.StageGEMM, B: l2},
+	}
+	s := startPipelinePool(t, []fleet.Unit{quietUnit(88), quietUnit(89)})
+	p, err := s.NewPipeline(stages)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	got, err := p.Infer(context.Background(), fleet.Value{Mat: x})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	b := inference.Analog{Chip: quietUnit(99).Chip}
+	ref := b.GEMM(b.GEMM(x, l1, true), l2, false)
+	requireBitsEqual(t, [][]float64{got.Mat.Data}, [][]float64{ref.Data})
+}
+
+// TestPipelineFromNetwork stages the zoo's TinyCNN and checks the
+// pipelined run reproduces the whole-network reference bits; residual
+// topologies are rejected (their branches re-join, which a linear
+// pipeline cannot express).
+func TestPipelineFromNetwork(t *testing.T) {
+	t.Parallel()
+	n := inference.TinyCNN(3, 12, 141)
+	in := tensor.RandomVolume(3, 12, 12, 142)
+	s := startPipelinePool(t, []fleet.Unit{quietUnit(91), quietUnit(92), quietUnit(93)})
+	p, err := s.PipelineFromNetwork(n)
+	if err != nil {
+		t.Fatalf("PipelineFromNetwork: %v", err)
+	}
+	got, err := p.Infer(context.Background(), fleet.Value{Vol: in})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	b := inference.Analog{Chip: quietUnit(99).Chip}
+	requireBitsEqual(t, [][]float64{got.Vec}, [][]float64{n.Run(b, in)})
+
+	if _, err := s.PipelineFromNetwork(inference.TinyResNet(3, 12, 143)); err == nil {
+		t.Fatal("residual network staged; want error")
+	}
+}
+
+// TestPipelineVirtualTimeRejected: stage chaining is wall-clock
+// execution; a virtual-time scheduler must refuse to build one.
+func TestPipelineVirtualTimeRejected(t *testing.T) {
+	t.Parallel()
+	s, err := fleet.New(fleet.Options{MaxBatch: 4, QueueDepth: 8, VirtualTime: true},
+		quietUnit(94), quietUnit(95))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close(context.Background())
+	if _, err := s.NewPipeline([]fleet.Stage{{Kind: fleet.StageFC, W: tensor.RandomKernels(2, 1, 1, 1, 1)}}); !errors.Is(err, fleet.ErrPipelineVirtual) {
+		t.Fatalf("err = %v, want ErrPipelineVirtual", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"albireo/internal/inference"
 	"albireo/internal/journal"
 	"albireo/internal/obs"
+	"albireo/internal/tensor"
 )
 
 // PoolSpec is the construction-relevant description of a serving pool:
@@ -160,6 +161,19 @@ type JournalExecutor struct {
 	// Health tunes the replayed re-probe scans; the zero value matches
 	// a scheduler built with zero Options.Health.
 	Health health.Options
+	// merges holds the in-progress merge buffers of sharded requests,
+	// keyed by admit sequence (lazily initialized).
+	merges map[uint64]*shardMerge
+}
+
+// shardMerge is the replay-side merge buffer of one sharded request:
+// the full-size output that per-worker shard executions fill in
+// disjoint slices, exactly as the live scheduler's merge stage does.
+type shardMerge struct {
+	op  journal.Op
+	vol *tensor.Volume
+	vec []float64
+	mat *tensor.Matrix
 }
 
 // Execute implements journal.Executor.
@@ -177,6 +191,73 @@ func (p *JournalExecutor) Execute(worker int, req *journal.Request) ([32]byte, e
 		return journal.HashMatrix(b.GEMM(req.MA, req.MB, req.ReLU)), nil
 	default:
 		return [32]byte{}, fmt.Errorf("fleet: unknown journaled op %d", req.Op)
+	}
+}
+
+// ExecuteShard implements journal.Executor: it re-executes one
+// kernel-group window on the recorded worker's chip, filling the owned
+// slice of the request's merge buffer. Like the live sharded path it
+// drives the chip directly - sub-requests bypass the guard and observe
+// wrappers - so the replayed noise streams line up with the recording.
+func (p *JournalExecutor) ExecuteShard(worker int, admit uint64, req *journal.Request, pos, count, of int) error {
+	if worker < 0 || worker >= len(p.Units) {
+		return fmt.Errorf("fleet: worker %d outside rebuilt pool of %d", worker, len(p.Units))
+	}
+	chip := p.Units[worker].Chip
+	if chip == nil {
+		return fmt.Errorf("fleet: worker %d has no chip; shard records need chip-backed pools", worker)
+	}
+	if p.merges == nil {
+		p.merges = make(map[uint64]*shardMerge)
+	}
+	ms, ok := p.merges[admit]
+	if !ok {
+		ms = &shardMerge{op: req.Op}
+		switch req.Op {
+		case journal.OpConv:
+			stride := req.Cfg.Stride
+			if stride == 0 {
+				stride = 1
+			}
+			by := tensor.ConvOutputDim(req.A.Y, req.W.Y, req.Cfg.Pad, stride)
+			bx := tensor.ConvOutputDim(req.A.X, req.W.X, req.Cfg.Pad, stride)
+			ms.vol = tensor.NewVolume(req.W.M, by, bx)
+		case journal.OpFC:
+			ms.vec = make([]float64, req.W.M)
+		case journal.OpGEMM, journal.OpLSTM, journal.OpAttention:
+			ms.mat = tensor.NewMatrix(req.MA.R, req.MB.C)
+		default:
+			return fmt.Errorf("fleet: unknown journaled op %d", req.Op)
+		}
+		p.merges[admit] = ms
+	}
+	spec := core.ShardSpec{Pos: pos, Count: count, Of: of}
+	switch req.Op {
+	case journal.OpConv:
+		chip.ConvShard(req.A, req.W, req.Cfg, req.ReLU, spec, ms.vol)
+	case journal.OpFC:
+		chip.FullyConnectedShard(req.A, req.W, req.ReLU, spec, ms.vec)
+	case journal.OpGEMM, journal.OpLSTM, journal.OpAttention:
+		chip.GEMMShard(req.MA, req.MB, req.ReLU, spec, ms.mat)
+	}
+	return nil
+}
+
+// FinishShard implements journal.Executor: it hashes and releases a
+// sharded request's merge buffer.
+func (p *JournalExecutor) FinishShard(admit uint64) ([32]byte, error) {
+	ms, ok := p.merges[admit]
+	if !ok {
+		return [32]byte{}, fmt.Errorf("fleet: merged deliver for admit %d without shard records", admit)
+	}
+	delete(p.merges, admit)
+	switch {
+	case ms.vol != nil:
+		return journal.HashVolume(ms.vol), nil
+	case ms.vec != nil:
+		return journal.HashVector(ms.vec), nil
+	default:
+		return journal.HashMatrix(ms.mat), nil
 	}
 }
 

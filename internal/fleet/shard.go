@@ -1,0 +1,327 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"albireo/internal/core"
+	"albireo/internal/journal"
+	"albireo/internal/obs"
+	"albireo/internal/tensor"
+)
+
+// ShardBackend is the kernel-group execution interface a chipless
+// backend can implement to join shard fan-outs. Each call executes
+// only the kernels (or output columns) the shard window owns and
+// writes them into the caller-allocated full-size output; windows of
+// one request are disjoint, so concurrent shard calls against the
+// same output never race.
+type ShardBackend interface {
+	ConvShard(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool, shard core.ShardSpec, out *tensor.Volume)
+	FullyConnectedShard(a *tensor.Volume, w *tensor.Kernels, relu bool, shard core.ShardSpec, out []float64)
+	GEMMShard(a, b *tensor.Matrix, relu bool, shard core.ShardSpec, out *tensor.Matrix)
+}
+
+// shardParent is the merge state of one sharded request: the
+// pre-allocated full-size output its sub-requests fill in disjoint
+// slices, and the barrier bookkeeping that decides which sub is last.
+// The output buffers are written lock-free (windows are disjoint);
+// the mutex orders the countdown, so the last sub's read of the
+// merged output happens after every other sub's writes.
+type shardParent struct {
+	req  *request
+	subs []*request
+
+	vol *tensor.Volume
+	vec []float64
+	mat *tensor.Matrix
+
+	mu        sync.Mutex
+	remaining int   // subs not yet executed (wall-side barrier)
+	minStart  int64 // min wall-mode ExecStart across executed subs
+	// Virtual-time mode settles sub-requests on the ledger, not at
+	// execution, so it keeps its own countdown and stamp bounds.
+	vremaining int
+	vMinStart  int64
+	vMaxEnd    int64
+	failed     bool // parent already delivered an error (Close)
+}
+
+// result assembles the merged output.
+func (sp *shardParent) result() result {
+	switch {
+	case sp.vol != nil:
+		return result{vol: sp.vol}
+	case sp.vec != nil:
+		return result{vec: sp.vec}
+	default:
+		return result{mat: sp.mat}
+	}
+}
+
+// subDone records one executed sub and reports whether it was the
+// last (and the min execution-start stamp, for the parent's wall-mode
+// decomposition).
+func (sp *shardParent) subDone(start int64) (last bool, minStart int64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if start < sp.minStart {
+		sp.minStart = start
+	}
+	sp.remaining--
+	return sp.remaining == 0 && !sp.failed, sp.minStart
+}
+
+// shardEligibleLocked returns the fan-out placement set - the
+// in-service, positively weighted, shard-capable workers - when the
+// request can shard, or nil. Depthwise and grouped convolutions keep
+// the whole-request path: their kernel-to-channel coupling does not
+// split at the output-kernel boundary.
+func (s *Scheduler) shardEligibleLocked(req *request) []*worker {
+	if !req.tag.GEMMFamily() && !req.fc {
+		if req.cfg.Depthwise || (req.cfg.Groups != 0 && req.cfg.Groups != 1) {
+			return nil
+		}
+	}
+	var parts []*worker
+	for _, w := range s.workers {
+		if w.inService && w.weight > 0 && w.shardCapable {
+			parts = append(parts, w)
+		}
+	}
+	if len(parts) < 2 {
+		return nil
+	}
+	return parts
+}
+
+// tryShardLocked fans one admitted request out into kernel-group
+// sub-requests: the output kernels split into residue-class windows
+// at the active-group boundary, placement apportions windows to the
+// routing weights (a degraded worker gets fewer kernel groups, never
+// zero; a drained worker gets none by exclusion), and each sub enters
+// the pending machinery pinned to its worker. Returns (future, true)
+// when the fan-out was taken; (nil, false) falls through to the
+// whole-request path. Called with the scheduler mutex held, after
+// admission: the parent keeps the single admission slot.
+func (s *Scheduler) tryShardLocked(req *request) (*Future, bool) {
+	parts := s.shardEligibleLocked(req)
+	if parts == nil {
+		return nil, false
+	}
+	var of int64
+	weights := make([]int64, len(parts))
+	for i, w := range parts {
+		weights[i] = w.weight
+		if w.shardGroups > of {
+			of = w.shardGroups
+		}
+	}
+	if of < 1 {
+		return nil, false
+	}
+	windows := core.PartitionShards(int(of), weights)
+	// Fewer residue classes than workers can leave zero-count windows;
+	// a fan-out needs at least two real subs to beat the whole path.
+	placed := parts[:0]
+	wins := windows[:0]
+	for i, w := range parts {
+		if windows[i].Count > 0 {
+			placed = append(placed, w)
+			wins = append(wins, windows[i])
+		}
+	}
+	if len(placed) < 2 {
+		return nil, false
+	}
+	sp := &shardParent{req: req, minStart: math.MaxInt64, vMinStart: math.MaxInt64}
+	sp.allocMerge(req)
+	// The parent carries sp too (ShardStages, Close-time failure); it
+	// is never enqueued or ledger-booked itself, so the sub-only paths
+	// that test req.sp never see it.
+	req.sp = sp
+	// The fan-out decision is the parent's dispatch point: it never
+	// lingers, its subs do.
+	req.st.Dispatch = req.st.Arrive
+	for i, w := range placed {
+		win := wins[i]
+		sub := &request{
+			fc: req.fc, a: req.a, w: req.w, cfg: req.cfg, relu: req.relu,
+			tag: req.tag, ma: req.ma, mb: req.mb,
+			// Background context: a sub never skips execution on the
+			// caller's cancellation (see runOne) and never waits.
+			ctx:   context.Background(),
+			jseq:  -1,
+			shard: win,
+			sp:    sp,
+		}
+		sub.st.Arrive = req.st.Arrive
+		sp.subs = append(sp.subs, sub)
+		key := batchKey{fc: req.fc, w: req.w, cfg: req.cfg, relu: req.relu,
+			tag: req.tag, mb: req.mb, shard: win, aff: w.id}
+		pb := s.byKey[key]
+		if pb == nil {
+			pb = &pendingBatch{key: key}
+			s.byKey[key] = pb
+			s.pending = append(s.pending, pb)
+		}
+		pb.reqs = append(pb.reqs, sub)
+	}
+	sp.remaining = len(sp.subs)
+	sp.vremaining = len(sp.subs)
+	s.shardFanouts.Inc()
+	if s.trace != nil {
+		s.span.Event(obs.RequestSharded, opName(req),
+			obs.Int("subs", int64(len(sp.subs))),
+			obs.Int("of", of),
+			obs.Int("journal_seq", req.jseq))
+	}
+	s.flushLocked(false)
+	return &Future{req: req}, true
+}
+
+// allocMerge pre-allocates the full-size merged output.
+func (sp *shardParent) allocMerge(req *request) {
+	switch {
+	case req.tag.GEMMFamily():
+		sp.mat = tensor.NewMatrix(req.ma.R, req.mb.C)
+	case req.fc:
+		sp.vec = make([]float64, req.w.M)
+	default:
+		stride := req.cfg.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		by := tensor.ConvOutputDim(req.a.Y, req.w.Y, req.cfg.Pad, stride)
+		bx := tensor.ConvOutputDim(req.a.X, req.w.X, req.cfg.Pad, stride)
+		sp.vol = tensor.NewVolume(req.w.M, by, bx)
+	}
+}
+
+// runShard executes one kernel-group sub-request on its worker and,
+// when it completes the merge, delivers the parent. The KindShard
+// record is emitted here on the worker goroutine - not at dispatch -
+// so the journal order of one worker's records (shards and delivers
+// alike) is that worker's execution order, the property replay needs
+// to reproduce per-chip noise and drift state.
+func (s *Scheduler) runShard(w *worker, req *request) int {
+	sp := req.sp
+	pjseq := sp.req.jseq
+	if j := s.opt.Journal; j != nil && pjseq >= 0 {
+		j.Record(journal.KindShard, journal.EncodeShard(journal.ShardRec{
+			Admit:  uint64(pjseq),
+			Worker: int64(w.id),
+			Pos:    int64(req.shard.Pos),
+			Count:  int64(req.shard.Count),
+			Of:     int64(req.shard.Of),
+		}))
+	}
+	start := s.ticks.Load()
+	if !s.opt.VirtualTime {
+		req.st.ExecStart = start
+	}
+	w.execShard(req, sp)
+	w.requests.Inc()
+	s.shardSubs.Inc()
+	if !s.opt.VirtualTime {
+		end := s.ticks.Load()
+		req.st.ExecEnd = end
+		req.st.Deliver = end
+		req.final.Store(true)
+	}
+	last, minStart := sp.subDone(start)
+	if !last {
+		return 1
+	}
+	s.completed.Inc()
+	res := sp.result()
+	// The merged deliver pins the union's output bits under worker -1:
+	// no single worker produced them, and replay recomputes the hash
+	// from its own merge buffer.
+	if j := s.opt.Journal; j != nil && pjseq >= 0 {
+		j.Record(journal.KindDeliver, journal.EncodeDeliver(journal.Deliver{
+			Admit:  uint64(pjseq),
+			Worker: -1,
+			Hash:   resultHash(sp.req, res),
+		}))
+	}
+	if !s.opt.VirtualTime {
+		end := s.ticks.Load()
+		p := sp.req
+		p.st.ExecStart = minStart
+		p.st.ExecEnd = end
+		p.st.Deliver = end
+		p.final.Store(true)
+		s.recordStages(p.st)
+		if s.trace != nil && s.opt.Journal != nil {
+			s.span.Event(obs.RequestCompleted, opName(p),
+				obs.Int("worker", -1),
+				obs.Int("journal_seq", p.jseq))
+		}
+	}
+	s.deliver(sp.req, res)
+	if !s.opt.VirtualTime {
+		s.releaseSlot()
+	}
+	return 1
+}
+
+// execShard runs one shard window, preferring the chip (the replayed
+// path) over a ShardBackend.
+func (w *worker) execShard(req *request, sp *shardParent) {
+	if w.chip != nil {
+		switch {
+		case req.tag.GEMMFamily():
+			w.chip.GEMMShard(req.ma, req.mb, req.relu, req.shard, sp.mat)
+		case req.fc:
+			w.chip.FullyConnectedShard(req.a, req.w, req.relu, req.shard, sp.vec)
+		default:
+			w.chip.ConvShard(req.a, req.w, req.cfg, req.relu, req.shard, sp.vol)
+		}
+		return
+	}
+	switch {
+	case req.tag.GEMMFamily():
+		w.sb.GEMMShard(req.ma, req.mb, req.relu, req.shard, sp.mat)
+	case req.fc:
+		w.sb.FullyConnectedShard(req.a, req.w, req.relu, req.shard, sp.vec)
+	default:
+		w.sb.ConvShard(req.a, req.w, req.cfg, req.relu, req.shard, sp.vol)
+	}
+}
+
+// failShard fails a sharded request's parent exactly once: delivery
+// and the slot release happen here, and any subs still executing find
+// failed set and never deliver.
+func (s *Scheduler) failShard(sp *shardParent, err error) {
+	sp.mu.Lock()
+	if sp.failed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.failed = true
+	sp.mu.Unlock()
+	s.deliver(sp.req, result{err: err})
+	s.releaseSlot()
+}
+
+// ShardStages returns the per-shard stage decompositions of a sharded
+// request, in placement order (ascending worker id at fan-out time).
+// ok is false for unsharded requests or before the merged result
+// finalizes; the parent's own Stages aggregate the merge (ExecStart
+// is the earliest sub start, ExecEnd the last sub end).
+func (f *Future) ShardStages() ([]StageTicks, bool) {
+	if f.err != nil || f.req == nil || f.req.sp == nil || !f.req.final.Load() {
+		return nil, false
+	}
+	sp := f.req.sp
+	out := make([]StageTicks, 0, len(sp.subs))
+	for _, sub := range sp.subs {
+		if !sub.final.Load() {
+			return nil, false
+		}
+		out = append(out, sub.st)
+	}
+	return out, true
+}

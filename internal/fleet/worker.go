@@ -29,10 +29,20 @@ type worker struct {
 	eng     *health.Engine
 	queue   chan workItem
 
+	// sb is the backend's shard interface when it implements one;
+	// shardCapable marks the worker eligible for kernel-group
+	// sub-requests (chip-backed, or sb non-nil). Chip-backed workers
+	// execute shards on the chip directly - bypassing the guard and
+	// observe wrappers - so replay can reproduce the same noise stream
+	// by driving the rebuilt chip the same way.
+	sb           ShardBackend
+	shardCapable bool
+
 	inService    bool
 	weight       int64 // healthy PLCU count (1 for chipless workers)
 	assigned     int64 // batches routed here, for deficit round-robin
 	vBusyUntil   int64 // virtual-time tick the worker is booked until
+	shardGroups  int64 // cached chip.ActiveGroups() (Ng for chipless)
 	probePending bool
 	degraded     bool // cached chip.Degraded(); the chip itself is
 	// only touched by its owning goroutine
@@ -142,6 +152,13 @@ func (s *Scheduler) runSingle(w *worker, req *request) {
 // executes and delivers. Returns 1 if the backend ran the request, 0
 // if it was skipped as canceled.
 func (s *Scheduler) runOne(w *worker, req *request) int {
+	// Kernel-group sub-requests take the shard path: no cancellation
+	// check (a partially executed merge would leave the chips' noise
+	// state trace-dependent on wall timing; the parent's Future handles
+	// the caller's context) and no per-sub delivery.
+	if req.sp != nil {
+		return s.runShard(w, req)
+	}
 	if err := req.ctx.Err(); err != nil {
 		s.canceled.Inc()
 		if j := s.opt.Journal; j != nil && req.jseq >= 0 {
@@ -236,6 +253,11 @@ func (s *Scheduler) applyReportLocked(w *worker, rep health.Report, probe bool) 
 	}
 	w.inService = inService
 	w.degraded = w.chip != nil && w.chip.Degraded()
+	if w.chip != nil {
+		// Safe chip access: Start scans before the goroutines launch and
+		// runProbe runs on the owning goroutine (same rule as Degraded).
+		w.shardGroups = int64(w.chip.ActiveGroups())
+	}
 	switch {
 	case wasInService && !inService:
 		s.drains.Inc()

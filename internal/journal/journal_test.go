@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
@@ -493,6 +494,8 @@ func TestAsyncBackpressureDegrades(t *testing.T) {
 type replayExec struct {
 	hashes map[int]map[string][32]byte // worker -> op -> hash
 	probes []int
+	shards []ShardRec
+	merged map[uint64][32]byte // admit -> merged output hash
 }
 
 func (e *replayExec) Execute(worker int, req *Request) ([32]byte, error) {
@@ -502,6 +505,19 @@ func (e *replayExec) Execute(worker int, req *Request) ([32]byte, error) {
 func (e *replayExec) Probe(worker int) error {
 	e.probes = append(e.probes, worker)
 	return nil
+}
+
+func (e *replayExec) ExecuteShard(worker int, admit uint64, req *Request, pos, count, of int) error {
+	e.shards = append(e.shards, ShardRec{Admit: admit, Worker: int64(worker), Pos: int64(pos), Count: int64(count), Of: int64(of)})
+	return nil
+}
+
+func (e *replayExec) FinishShard(admit uint64) ([32]byte, error) {
+	h, ok := e.merged[admit]
+	if !ok {
+		return [32]byte{}, fmt.Errorf("no merge for admit %d", admit)
+	}
+	return h, nil
 }
 
 func TestReplayVerifiesAndDiverges(t *testing.T) {
@@ -560,5 +576,76 @@ func TestReplayVerifiesAndDiverges(t *testing.T) {
 	}
 	if res.Verified != 1 {
 		t.Fatalf("verified before divergence = %d, want 1", res.Verified)
+	}
+}
+
+func TestShardRecordRoundTrip(t *testing.T) {
+	in := ShardRec{Admit: 42, Worker: 3, Pos: 4, Count: 2, Of: 9}
+	out, err := DecodeShard(EncodeShard(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	if _, err := DecodeShard(EncodeShard(in)[:11]); err == nil {
+		t.Fatal("truncated shard payload decoded")
+	}
+	if KindShard.String() != "shard" {
+		t.Fatalf("KindShard = %q", KindShard)
+	}
+}
+
+// TestReplayShardedRequest pins the sharded replay protocol: shard
+// sub-requests execute at their KindShard records (journal order =
+// per-worker dispatch order), and the parent's merged deliver (Worker
+// -1) is verified through FinishShard.
+func TestReplayShardedRequest(t *testing.T) {
+	mergedHash := HashVolume(tensor.RandomVolume(2, 2, 2, 9))
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := &Request{Op: OpConv, A: tensor.RandomVolume(2, 4, 4, 1), W: tensor.RandomKernels(4, 2, 3, 3, 2)}
+	mustAppend := func(k Kind, p []byte) uint64 {
+		t.Helper()
+		seq, err := w.Append(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+	admit := mustAppend(KindAdmit, EncodeRequest(conv))
+	mustAppend(KindShard, EncodeShard(ShardRec{Admit: admit, Worker: 0, Pos: 0, Count: 5, Of: 9}))
+	mustAppend(KindShard, EncodeShard(ShardRec{Admit: admit, Worker: 1, Pos: 5, Count: 4, Of: 9}))
+	mustAppend(KindDeliver, EncodeDeliver(Deliver{Admit: admit, Worker: -1, Hash: mergedHash}))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := &replayExec{merged: map[uint64][32]byte{admit: mergedHash}}
+	res, err := Replay(snap, ex)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.ShardSubs != 2 || res.Delivers != 1 || res.Verified != 1 {
+		t.Fatalf("replay result = %+v, want 2 shard subs and 1 verified deliver", res)
+	}
+	if len(ex.shards) != 2 || ex.shards[0].Worker != 0 || ex.shards[1].Pos != 5 {
+		t.Fatalf("shards replayed = %+v", ex.shards)
+	}
+
+	// A merge that reproduces different bits is a divergence at the
+	// parent's deliver record.
+	ex = &replayExec{merged: map[uint64][32]byte{admit: HashVolume(tensor.RandomVolume(2, 2, 2, 10))}}
+	if _, err := Replay(snap, ex); err == nil {
+		t.Fatal("diverging merged hash verified")
+	} else if d, ok := AsDivergence(err); !ok || d.Worker != -1 {
+		t.Fatalf("want *Divergence on worker -1, got %v", err)
 	}
 }

@@ -38,6 +38,15 @@ const (
 	// KindRestart records a journal reopened for append after a crash
 	// or restart (Restart).
 	KindRestart Kind = 9
+	// KindShard records one kernel-group sub-request of a sharded
+	// admit executed on a worker (ShardRec). It is emitted on the
+	// worker goroutine at execution time - like KindDeliver - so the
+	// journal order of one worker's records (shards and delivers
+	// alike) is that worker's execution order, the property replay
+	// relies on to reproduce per-chip noise and drift state. The
+	// parent's KindDeliver carries Worker -1 and the merged output
+	// hash.
+	KindShard Kind = 10
 )
 
 // String names the record kind.
@@ -61,6 +70,8 @@ func (k Kind) String() string {
 		return "fallback"
 	case KindRestart:
 		return "restart"
+	case KindShard:
+		return "shard"
 	default:
 		return "unknown"
 	}
@@ -230,6 +241,39 @@ func DecodeFallback(b []byte) (Fallback, error) {
 		return Fallback{}, fmt.Errorf("journal: fallback: %w", err)
 	}
 	return f, nil
+}
+
+// ShardRec is the payload of a KindShard record: one kernel-group
+// window of an admitted request, bound to the worker that executes it.
+type ShardRec struct {
+	// Admit is the sequence number of the parent's KindAdmit record.
+	Admit uint64
+	// Worker is the pool index the sub-request was dispatched to.
+	Worker int64
+	// Pos, Count, Of are the core.ShardSpec window: the sub-request
+	// owns kernels m with m % Of in [Pos, Pos+Count).
+	Pos, Count, Of int64
+}
+
+// EncodeShard renders the canonical shard encoding.
+func EncodeShard(s ShardRec) []byte {
+	e := newEncoder(40)
+	e.u64(s.Admit)
+	e.i64(s.Worker)
+	e.i64(s.Pos)
+	e.i64(s.Count)
+	e.i64(s.Of)
+	return e.buf
+}
+
+// DecodeShard parses a shard payload.
+func DecodeShard(b []byte) (ShardRec, error) {
+	d := newDecoder(b)
+	s := ShardRec{Admit: d.u64(), Worker: d.i64(), Pos: d.i64(), Count: d.i64(), Of: d.i64()}
+	if err := d.finish(); err != nil {
+		return ShardRec{}, fmt.Errorf("journal: shard: %w", err)
+	}
+	return s, nil
 }
 
 // Restart is the payload of a KindRestart record.

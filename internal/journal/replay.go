@@ -17,6 +17,15 @@ type Executor interface {
 	// the chip-state side effects of a recorded drain/restore
 	// transition.
 	Probe(worker int) error
+	// ExecuteShard runs one kernel-group window (kernels m with
+	// m % of in [pos, pos+count)) of the admitted request on the given
+	// worker, accumulating the owned output slice into the parent's
+	// merge buffer. The parent's merged hash is collected later by
+	// FinishShard when its KindDeliver record (Worker -1) is reached.
+	ExecuteShard(worker int, admit uint64, req *Request, pos, count, of int) error
+	// FinishShard finalizes a sharded request's merge buffer and
+	// returns the canonical hash of the merged output.
+	FinishShard(admit uint64) ([32]byte, error)
 }
 
 // Divergence pinpoints the first replayed request whose output hash
@@ -47,6 +56,8 @@ type ReplayResult struct {
 	Admits, Delivers, Sheds, Cancels, Fallbacks, Probes int
 	// Restarts counts journal reopenings recorded in the chain.
 	Restarts int
+	// ShardSubs counts kernel-group sub-request records re-executed.
+	ShardSubs int
 	// Verified counts delivers whose output hash matched bit-for-bit.
 	Verified int
 }
@@ -80,9 +91,20 @@ func Replay(snap *Snapshot, ex Executor) (ReplayResult, error) {
 			if !ok {
 				return res, fmt.Errorf("seq %d: deliver references unknown admit %d", rec.Seq, d.Admit)
 			}
-			got, err := ex.Execute(int(d.Worker), req)
-			if err != nil {
-				return res, fmt.Errorf("seq %d: execute on worker %d: %w", rec.Seq, d.Worker, err)
+			var got [32]byte
+			if d.Worker < 0 {
+				// Merged deliver of a sharded request: the per-worker
+				// windows already ran at their KindShard records; this
+				// collects the merge buffer's hash.
+				got, err = ex.FinishShard(d.Admit)
+				if err != nil {
+					return res, fmt.Errorf("seq %d: finish shard admit %d: %w", rec.Seq, d.Admit, err)
+				}
+			} else {
+				got, err = ex.Execute(int(d.Worker), req)
+				if err != nil {
+					return res, fmt.Errorf("seq %d: execute on worker %d: %w", rec.Seq, d.Worker, err)
+				}
 			}
 			res.Delivers++
 			if got != d.Hash {
@@ -109,6 +131,23 @@ func Replay(snap *Snapshot, ex Executor) (ReplayResult, error) {
 				}
 				res.Probes++
 			}
+		case KindShard:
+			s, err := DecodeShard(rec.Payload)
+			if err != nil {
+				return res, fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
+			req, ok := admits[s.Admit]
+			if !ok {
+				return res, fmt.Errorf("seq %d: shard references unknown admit %d", rec.Seq, s.Admit)
+			}
+			// Shard records are journaled at execution time on the worker
+			// goroutine, so executing here preserves each worker's
+			// recorded execution order exactly as whole-request delivers
+			// do.
+			if err := ex.ExecuteShard(int(s.Worker), s.Admit, req, int(s.Pos), int(s.Count), int(s.Of)); err != nil {
+				return res, fmt.Errorf("seq %d: shard on worker %d: %w", rec.Seq, s.Worker, err)
+			}
+			res.ShardSubs++
 		case KindRestart:
 			res.Restarts++
 		default:

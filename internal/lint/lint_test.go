@@ -133,6 +133,20 @@ func TestObsDeterminismCoversGEMM(t *testing.T) {
 	})
 }
 
+func TestObsDeterminismCoversShard(t *testing.T) {
+	t.Parallel()
+	// The kernel-group fan-out instruments through the same registry
+	// as whole-request serving (internal/fleet is inside the rule's
+	// scope): fan-out counters and per-window stage stamps are
+	// virtual-tick-denominated, and the golden bit-identity tests
+	// compare the snapshots they feed.
+	got := fixture(t, "shardobs.go", "internal/fleet/fixture.go", []*Rule{ObsDeterminism()})
+	assertFindings(t, got, []string{
+		"13: [obs-determinism] time.Since() reads the wall clock; telemetry must be cycle-denominated (use obs.Span.EndAt with a cycle stamp, or an injected obs.Clock at the cmd boundary)",
+		"16: [obs-determinism] time.Now() at an instrumentation site; record simulation cycles or event counts, and take wall time only from an injected obs.Clock at the cmd boundary",
+	})
+}
+
 func TestUnitSafetyGolden(t *testing.T) {
 	t.Parallel()
 	got := fixture(t, "unitsafety.go", "internal/photonics/fixture.go", []*Rule{UnitSafety()})

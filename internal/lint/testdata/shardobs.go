@@ -1,0 +1,20 @@
+// Fixture pinning the obs-determinism rule's coverage of the shard
+// fan-out instrumentation: fan-out/sub counters, per-window shard
+// stage stamps, and the merge-barrier settle all feed the registry
+// snapshot the golden bit-identity tests compare, so a wall-clock
+// read anywhere in the shard path would make identical sharded
+// traces diverge. Merge latency counts virtual ticks booked by the
+// service model, never elapsed wall time.
+package fixture
+
+import "time"
+
+func settleMergeBarrier(fanned time.Time, windows int) int64 {
+	if time.Since(fanned) > time.Millisecond {
+		return 0
+	}
+	_ = time.Now()
+	return shardTicksFor(windows) // allowed: tick-denominated
+}
+
+func shardTicksFor(windows int) int64 { return int64(2 + 18/windows) }

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"albireo/internal/core"
 	"albireo/internal/tensor"
 )
 
@@ -35,3 +36,18 @@ func (NullBackend) GEMM(a, b *tensor.Matrix, relu bool) *tensor.Matrix {
 
 // Name identifies the backend.
 func (NullBackend) Name() string { return "null" }
+
+// ConvShard implements fleet.ShardBackend: the pre-zeroed merge
+// buffer already is the window's output, so a chipless worker joins
+// shard fan-outs at zero compute - the sharded sweep measures
+// placement and the shard service model, nothing else.
+func (NullBackend) ConvShard(a *tensor.Volume, w *tensor.Kernels, cfg tensor.ConvConfig, relu bool, shard core.ShardSpec, out *tensor.Volume) {
+}
+
+// FullyConnectedShard implements fleet.ShardBackend (no-op).
+func (NullBackend) FullyConnectedShard(a *tensor.Volume, w *tensor.Kernels, relu bool, shard core.ShardSpec, out []float64) {
+}
+
+// GEMMShard implements fleet.ShardBackend (no-op).
+func (NullBackend) GEMMShard(a, b *tensor.Matrix, relu bool, shard core.ShardSpec, out *tensor.Matrix) {
+}

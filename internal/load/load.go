@@ -49,6 +49,11 @@ type Config struct {
 	// (default 2). Distinct banks cannot coalesce, so Mix > 1 keeps
 	// the micro-batcher honest instead of feeding it one giant key.
 	Mix int
+	// Shard turns on kernel-group fan-out: each conv splits across the
+	// pool at the residue-class boundary and merges, so a point
+	// measures single-inference scale-out latency instead of
+	// whole-request throughput.
+	Shard bool
 }
 
 // withDefaults fills unset fields.
@@ -103,6 +108,9 @@ func RunPoint(cfg Config, opt fleet.Options, units ...fleet.Unit) (Result, error
 		return Result{}, fmt.Errorf("load: need positive rate and ticks, got %g and %d", cfg.Rate, cfg.Ticks)
 	}
 	opt.VirtualTime = true
+	if cfg.Shard {
+		opt.Shard = true
+	}
 	reg := obs.NewRegistry()
 	s, err := fleet.New(opt, units...)
 	if err != nil {

@@ -62,12 +62,16 @@ func TickStats(samples []int64) StageStats {
 type Point struct {
 	Pool        int     `json:"pool"`
 	OfferedRate float64 `json:"offered_rate"`
-	Ticks       int     `json:"ticks"`
-	TotalTicks  int64   `json:"total_ticks"`
-	Issued      int64   `json:"issued"`
-	Admitted    int64   `json:"admitted"`
-	Completed   int64   `json:"completed"`
-	Shed        int64   `json:"shed"`
+	// Shard marks a kernel-group scale-out point: requests fan out
+	// across the pool and merge instead of dispatching whole, so E2E
+	// here is single-inference latency, not batched throughput.
+	Shard      bool  `json:"shard,omitempty"`
+	Ticks      int   `json:"ticks"`
+	TotalTicks int64 `json:"total_ticks"`
+	Issued     int64 `json:"issued"`
+	Admitted   int64 `json:"admitted"`
+	Completed  int64 `json:"completed"`
+	Shed       int64 `json:"shed"`
 	// AchievedRate is completed work per tick over the whole run
 	// (drain included), so past saturation it converges on pool
 	// capacity instead of echoing the offered rate.
@@ -123,18 +127,27 @@ func BuildPoint(pool int, rate float64, res Result) Point {
 // Report is the BENCH_serve.json document: the measurement sweep plus
 // everything needed to reproduce it.
 type Report struct {
-	Schema       string  `json:"schema"`
-	Seed         int64   `json:"seed"`
-	QueueDepth   int     `json:"queue_depth"`
-	MaxBatch     int     `json:"max_batch"`
-	MaxLinger    int     `json:"max_linger"`
-	ProgramTicks int64   `json:"program_ticks"`
-	RequestTicks int64   `json:"request_ticks"`
-	Points       []Point `json:"points"`
+	Schema       string `json:"schema"`
+	Seed         int64  `json:"seed"`
+	QueueDepth   int    `json:"queue_depth"`
+	MaxBatch     int    `json:"max_batch"`
+	MaxLinger    int    `json:"max_linger"`
+	ProgramTicks int64  `json:"program_ticks"`
+	RequestTicks int64  `json:"request_ticks"`
+	// ShardRequestTicks is the steady-state price used by the sharded
+	// scale-out points (0 when the sweep ran none): a single inference
+	// heavy enough that splitting its kernel groups pays.
+	ShardRequestTicks int64   `json:"shard_request_ticks,omitempty"`
+	Points            []Point `json:"points"`
 }
 
-// pointKey identifies a point across report and baseline.
+// pointKey identifies a point across report and baseline. Sharded
+// points key separately: the same (pool, rate) cell measures a
+// different serving mode.
 func pointKey(p Point) string {
+	if p.Shard {
+		return fmt.Sprintf("pool=%d rate=%g shard", p.Pool, p.OfferedRate)
+	}
 	return fmt.Sprintf("pool=%d rate=%g", p.Pool, p.OfferedRate)
 }
 

@@ -1,0 +1,61 @@
+package nn
+
+// The GEMM workload zoo as mapper-level models: the same MLP, LSTM,
+// and attention blocks that blocks.go executes functionally, described
+// through their own Layer descriptors so Config.MapModel prices
+// non-CNN latency and energy exactly like the paper benchmarks.
+
+// MLPHead returns the MLP classifier head as a model: a 512-feature
+// embedding through two hidden layers to 10 logits, batch 32.
+func MLPHead() Model {
+	return Model{
+		Name:   "MLP-Head",
+		Layers: NewMLP("mlp-head", []int{512, 256, 128, 10}, 41).Layers(32),
+	}
+}
+
+// LSTMSeq returns one recurrent cell unrolled over a 64-step sequence
+// of 128-feature inputs with a 256-unit hidden state.
+func LSTMSeq() Model {
+	return Model{
+		Name:   "LSTM-Seq64",
+		Layers: []Layer{NewLSTM("lstm", 128, 256, 42).Layer(64)},
+	}
+}
+
+// TransformerBlock returns one encoder block over a 64-token sequence
+// of 256-dim states: Q/K/V projections (K and V branch from the same
+// input), single-head attention, the output projection, and a
+// 1024-wide feed-forward.
+func TransformerBlock() Model {
+	const (
+		seq = 64
+		dim = 256
+		ffn = 1024
+	)
+	proj := func(name string, in, out int, branch bool) Layer {
+		return Layer{
+			Name: name, Kind: GEMM,
+			InZ: in, InY: 1, InX: seq,
+			OutZ: out, KY: 1, KX: 1,
+			Branch: branch,
+		}
+	}
+	return Model{
+		Name: "Transformer-Block",
+		Layers: []Layer{
+			proj("q-proj", dim, dim, false),
+			proj("k-proj", dim, dim, true),
+			proj("v-proj", dim, dim, true),
+			AttentionLayer("attn", seq, dim),
+			proj("out-proj", dim, dim, false),
+			proj("ffn1", dim, ffn, false),
+			proj("ffn2", ffn, dim, false),
+		},
+	}
+}
+
+// WorkloadModels returns the non-CNN workload zoo in report order.
+func WorkloadModels() []Model {
+	return []Model{MLPHead(), LSTMSeq(), TransformerBlock()}
+}

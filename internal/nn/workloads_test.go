@@ -1,0 +1,54 @@
+package nn
+
+import "testing"
+
+func TestWorkloadModelsValidate(t *testing.T) {
+	t.Parallel()
+	models := WorkloadModels()
+	if len(models) != 3 {
+		t.Fatalf("workload zoo has %d models, want 3", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.TotalMACs() <= 0 {
+			t.Errorf("%s: no MACs", m.Name)
+		}
+		for _, l := range m.Layers {
+			switch l.Kind {
+			case GEMM, LSTMCell, AttentionBlock:
+			default:
+				t.Errorf("%s layer %s: kind %s is not GEMM-family", m.Name, l.Name, l.Kind)
+			}
+		}
+	}
+}
+
+func TestMLPHeadMatchesBlocks(t *testing.T) {
+	t.Parallel()
+	// The model's layer chain must be the descriptor chain of the
+	// executable MLP it names: dims 512 -> 256 -> 128 -> 10 at batch 32.
+	m := MLPHead()
+	dims := []int{512, 256, 128, 10}
+	if len(m.Layers) != len(dims)-1 {
+		t.Fatalf("MLP head has %d layers, want %d", len(m.Layers), len(dims)-1)
+	}
+	for i, l := range m.Layers {
+		if l.InZ != dims[i] || l.OutZ != dims[i+1] || l.InX != 32 {
+			t.Errorf("layer %d = in %d out %d rows %d, want in %d out %d rows 32",
+				i, l.InZ, l.OutZ, l.InX, dims[i], dims[i+1])
+		}
+	}
+}
+
+func TestTransformerBlockMACs(t *testing.T) {
+	t.Parallel()
+	// Four dim x dim projections, a 2*T*T*d attention, and the two
+	// feed-forward products, all over 64 tokens of 256 features.
+	const seq, dim, ffn = 64, 256, 1024
+	want := int64(4*seq*dim*dim) + int64(2*seq*seq*dim) + int64(2*seq*dim*ffn)
+	if got := TransformerBlock().TotalMACs(); got != want {
+		t.Errorf("TotalMACs = %d, want %d", got, want)
+	}
+}

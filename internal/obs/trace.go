@@ -46,6 +46,9 @@ const (
 	// faithful trace (a record was dropped under backpressure or an
 	// append failed).
 	JournalDegraded
+	// RequestSharded marks a fleet request fanned out into kernel-group
+	// sub-requests across the in-service pool.
+	RequestSharded
 	// Mark is a free-form point event.
 	Mark
 )
@@ -81,6 +84,8 @@ func (k EventKind) String() string {
 		return "request-completed"
 	case JournalDegraded:
 		return "journal-degraded"
+	case RequestSharded:
+		return "request-sharded"
 	case Mark:
 		return "mark"
 	default:

@@ -45,6 +45,61 @@ func EvaluateMultiChip(cfg core.Config, model nn.Model, chips int) Result {
 	}
 }
 
+// ShardLatencyTicks prices a single sharded inference on a pool in
+// the fleet's virtual-time service model. The of residue classes are
+// apportioned across the workers by core.PartitionShards over their
+// routing weights (healthy-PLCU counts, so a degraded chip holds a
+// narrower window), every shard executes concurrently, and the merge
+// barrier completes when the widest window does. A window of count
+// classes costs programTicks + ceil(requestTicks*count/of): weight
+// programming is paid once per chip regardless of the window, which
+// is exactly why the speedup saturates below the pool count. Mirrors
+// fleet.ServiceModel.ShardTicks plus the placement policy, including
+// the fleet's refusal to fan out below two non-empty windows (the
+// whole-request path then prices as one plain single-request batch).
+func ShardLatencyTicks(programTicks, requestTicks int64, of int, weights []int64) int64 {
+	base := programTicks + requestTicks
+	if base < 1 {
+		base = 1
+	}
+	if of <= 0 || len(weights) == 0 {
+		return base
+	}
+	placed := 0
+	var worst int64
+	for _, win := range core.PartitionShards(of, weights) {
+		if win.Count <= 0 {
+			continue
+		}
+		placed++
+		work := (requestTicks*int64(win.Count) + int64(of) - 1) / int64(of)
+		if d := programTicks + work; d > worst {
+			worst = d
+		}
+	}
+	if placed < 2 {
+		return base
+	}
+	if worst < 1 {
+		worst = 1
+	}
+	return worst
+}
+
+// ShardSpeedup is the analytic single-inference speedup of the
+// kernel-group fan-out over whole-request dispatch on the same pool:
+// BatchTicks(1) / ShardLatencyTicks. It is a pure function of the
+// service model, the shard modulus, and the placement weights, and it
+// is cross-validated against the measured fleet in
+// scaleout_shard_test.go.
+func ShardSpeedup(programTicks, requestTicks int64, of int, weights []int64) float64 {
+	base := programTicks + requestTicks
+	if base < 1 {
+		base = 1
+	}
+	return float64(base) / float64(ShardLatencyTicks(programTicks, requestTicks, of, weights))
+}
+
 // ScaleOutCurve evaluates 1..maxChips and returns the results, for
 // strong-scaling studies.
 func ScaleOutCurve(cfg core.Config, model nn.Model, maxChips int) []Result {

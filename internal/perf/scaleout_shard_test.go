@@ -1,0 +1,215 @@
+// Cross-validation of the analytic shard-speedup model against the
+// measured fleet. Both sides of the comparison are deterministic -
+// ShardLatencyTicks is arithmetic over the placement, and the fleet's
+// virtual clock books service from the same ServiceModel - so the
+// isolated-inference checks demand exact agreement (tolerance: 0
+// ticks). The open-loop sweep check allows queueing on top: offered
+// load inflates the mean but can never deflate the minimum, so the
+// sweep's fastest request must still price exactly at the analytic
+// latency, and the mean is bounded by a documented queueing allowance.
+package perf_test
+
+import (
+	"context"
+	"testing"
+
+	"albireo/internal/core"
+	"albireo/internal/fleet"
+	"albireo/internal/inference"
+	"albireo/internal/load"
+	"albireo/internal/obs"
+	"albireo/internal/perf"
+	"albireo/internal/tensor"
+)
+
+// The service model every check shares, matching the serve-gate shard
+// sweep: program once, 18 steady-state ticks for a whole inference.
+const (
+	shardProgTicks = 2
+	shardReqTicks  = 18
+)
+
+// cloneChips builds n clone pool members (same Config, same Seed) -
+// the pool shape the bit-identity guarantee and the sharded dispatch
+// assume.
+func cloneChips(n int, seed int64, prep func(int, *core.Chip)) []fleet.Unit {
+	units := make([]fleet.Unit, n)
+	for i := range units {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		a := inference.NewAnalog(cfg)
+		units[i] = fleet.Unit{Backend: a, Chip: a.Chip}
+		if prep != nil {
+			prep(i, a.Chip)
+		}
+	}
+	return units
+}
+
+// measureSharded prices one isolated sharded inference on the pool in
+// virtual time and returns its end-to-end ticks.
+func measureSharded(t *testing.T, units []fleet.Unit) int64 {
+	t.Helper()
+	s, err := fleet.New(fleet.Options{
+		MaxBatch: 8, QueueDepth: 16, Shard: true, KeepDegraded: true,
+		VirtualTime:  true,
+		ServiceModel: fleet.ServiceModel{ProgramTicks: shardProgTicks, RequestTicks: shardReqTicks},
+	}, units...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Instrument(obs.NewRegistry(), nil)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	in := tensor.RandomVolume(6, 10, 10, 971)
+	w := tensor.RandomKernels(18, 6, 3, 3, 972)
+	fut := s.ConvAsync(ctx, in, w, tensor.ConvConfig{Stride: 1, Pad: 1}, true)
+	if _, err := fut.Volume(); err != nil {
+		t.Fatalf("conv: %v", err)
+	}
+	for s.InFlight() > 0 {
+		s.Tick()
+	}
+	st, ok := fut.Stages()
+	if !ok {
+		t.Fatal("stages not final after drain")
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return st.EndToEnd()
+}
+
+// TestShardSpeedupMatchesMeasuredFleet is the analytic-vs-measured
+// cross-validation on healthy clone pools: for every pool size the
+// model must price the isolated sharded inference to the tick, and
+// the speedup ratios must therefore agree exactly.
+func TestShardSpeedupMatchesMeasuredFleet(t *testing.T) {
+	t.Parallel()
+	ng := core.DefaultConfig().Ng
+	weight := int64(ng * core.DefaultConfig().Nu) // healthy PLCUs per clone
+	base := measureSharded(t, cloneChips(1, 66, nil))
+	for _, pool := range []int{1, 2, 3, 4} {
+		weights := make([]int64, pool)
+		for i := range weights {
+			weights[i] = weight
+		}
+		want := perf.ShardLatencyTicks(shardProgTicks, shardReqTicks, ng, weights)
+		got := measureSharded(t, cloneChips(pool, 66, nil))
+		if got != want {
+			t.Errorf("pool-%d measured e2e = %d ticks, analytic = %d (tolerance 0: both sides are deterministic)",
+				pool, got, want)
+		}
+		analytic := perf.ShardSpeedup(shardProgTicks, shardReqTicks, ng, weights)
+		if measured := float64(base) / float64(got); measured != analytic {
+			t.Errorf("pool-%d measured speedup %.4f != analytic %.4f", pool, measured, analytic)
+		}
+	}
+}
+
+// TestShardSpeedupMatchesDegradedPool validates the placement term:
+// with worker 1 quarantined down to weight 9 the windows over weights
+// {27, 9, 27} are {4, 1, 4}, and the analytic price of the widest
+// window must match the measured merge barrier exactly.
+func TestShardSpeedupMatchesDegradedPool(t *testing.T) {
+	t.Parallel()
+	ng := core.DefaultConfig().Ng
+	units := cloneChips(3, 67, func(i int, c *core.Chip) {
+		if i != 1 {
+			return
+		}
+		for g := 0; g < ng; g++ {
+			for u := 0; u < 2; u++ {
+				if err := c.Quarantine(g, u); err != nil {
+					t.Fatalf("Quarantine(%d,%d): %v", g, u, err)
+				}
+			}
+		}
+	})
+	full := int64(ng * core.DefaultConfig().Nu)
+	weights := []int64{full, full / 3, full}
+	want := perf.ShardLatencyTicks(shardProgTicks, shardReqTicks, ng, weights)
+	// Widest window is 4 of 9 classes: 2 + ceil(18*4/9) = 10 ticks.
+	if want != 10 {
+		t.Fatalf("analytic degraded latency = %d ticks, want 10", want)
+	}
+	if got := measureSharded(t, units); got != want {
+		t.Errorf("degraded pool measured e2e = %d ticks, analytic = %d (tolerance 0)", got, want)
+	}
+}
+
+// TestShardSpeedupCrossValidatesSweep ties the model to the open-loop
+// harness behind the serve gate. Queueing only ever adds latency, so
+// the sweep's minimum end-to-end must equal the analytic price
+// exactly, and the mean may exceed it by at most the documented
+// allowance: at rate 0.02 the pool-1 utilization is 0.02*20 = 0.4,
+// where an M/D/1-shaped queue stays well under 3x the service time.
+func TestShardSpeedupCrossValidatesSweep(t *testing.T) {
+	t.Parallel()
+	ng := core.DefaultConfig().Ng
+	for _, pool := range []int{1, 4} {
+		res, err := load.RunPoint(load.Config{
+			Rate: 0.02, Ticks: 4000, Seed: 7, Shard: true, KernelM: 4 * ng,
+		}, fleet.Options{
+			MaxBatch: 8, QueueDepth: 64,
+			ServiceModel: fleet.ServiceModel{ProgramTicks: shardProgTicks, RequestTicks: shardReqTicks},
+		}, load.NullUnits(pool)...)
+		if err != nil {
+			t.Fatalf("pool-%d RunPoint: %v", pool, err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("pool-%d sweep completed nothing", pool)
+		}
+		weights := make([]int64, pool) // null workers route at weight 1
+		for i := range weights {
+			weights[i] = 1
+		}
+		want := perf.ShardLatencyTicks(shardProgTicks, shardReqTicks, ng, weights)
+		minE2E, sum := int64(1<<62), int64(0)
+		for _, st := range res.Stages {
+			e := st.EndToEnd()
+			sum += e
+			if e < minE2E {
+				minE2E = e
+			}
+		}
+		if minE2E != want {
+			t.Errorf("pool-%d sweep min e2e = %d ticks, analytic = %d (uncontended request must price exactly)",
+				pool, minE2E, want)
+		}
+		mean := float64(sum) / float64(res.Completed)
+		if mean < float64(want) || mean > 3*float64(want) {
+			t.Errorf("pool-%d sweep mean e2e = %.1f ticks outside [%d, %d] (analytic + queueing allowance)",
+				pool, mean, want, 3*want)
+		}
+	}
+}
+
+// TestShardLatencyTicksEdges pins the model's fallbacks: no modulus,
+// no weights, or fewer than two non-empty windows all price as the
+// whole-request path, and the floor never drops below one tick.
+func TestShardLatencyTicksEdges(t *testing.T) {
+	t.Parallel()
+	if got := perf.ShardLatencyTicks(2, 18, 0, []int64{1, 1}); got != 20 {
+		t.Errorf("no modulus = %d, want whole-path 20", got)
+	}
+	if got := perf.ShardLatencyTicks(2, 18, 9, nil); got != 20 {
+		t.Errorf("no weights = %d, want whole-path 20", got)
+	}
+	if got := perf.ShardLatencyTicks(2, 18, 9, []int64{27}); got != 20 {
+		t.Errorf("single window = %d, want whole-path 20 (fleet skips fan-out)", got)
+	}
+	// Two residue classes over three workers leaves one empty window
+	// and two placed: still a real fan-out.
+	if got := perf.ShardLatencyTicks(2, 18, 2, []int64{1, 1, 1}); got != 11 {
+		t.Errorf("of=2 across 3 = %d, want 2+ceil(18/2) = 11", got)
+	}
+	if got := perf.ShardLatencyTicks(0, 0, 0, nil); got != 1 {
+		t.Errorf("degenerate model = %d, want floor 1", got)
+	}
+	if got := perf.ShardSpeedup(2, 18, 9, []int64{27, 27, 27, 27}); got != 2.5 {
+		t.Errorf("pool-4 analytic speedup = %g, want 20/8 = 2.5", got)
+	}
+}
